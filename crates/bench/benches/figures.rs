@@ -1,0 +1,192 @@
+//! Criterion benches: one target per table/figure, exercising reduced
+//! configurations of the exact experiment code paths. These measure the
+//! simulator's own performance; the scientific outputs come from the `repro`
+//! binary.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use upp_core::UppConfig;
+use upp_noc::config::NocConfig;
+use upp_noc::topology::ChipletSystemSpec;
+use upp_workloads::runner::{run_point, SchemeKind, SweepWindows};
+use upp_workloads::synthetic::Pattern;
+
+fn tiny_windows() -> SweepWindows {
+    SweepWindows { warmup: 200, measure: 1_500 }
+}
+
+fn bench_tables(c: &mut Criterion) {
+    c.bench_function("table1_qualitative", |b| {
+        b.iter(|| upp_bench::run("table1", true).expect("table1 exists"))
+    });
+    c.bench_function("table2_configuration", |b| {
+        b.iter(|| upp_bench::run("table2", true).expect("table2 exists"))
+    });
+}
+
+fn bench_fig7_point(c: &mut Criterion) {
+    let spec = ChipletSystemSpec::baseline();
+    let mut group = c.benchmark_group("fig7_sweep_point");
+    group.sample_size(10);
+    for kind in SchemeKind::evaluated() {
+        group.bench_function(kind.label(), |b| {
+            b.iter(|| {
+                run_point(
+                    &spec,
+                    &NocConfig::default(),
+                    &kind,
+                    0,
+                    Pattern::UniformRandom,
+                    0.05,
+                    tiny_windows(),
+                    1,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_fig8_point(c: &mut Criterion) {
+    use upp_noc::ni::ConsumePolicy;
+    use upp_workloads::coherence::run_benchmark;
+    use upp_workloads::profiles::benchmark;
+    use upp_workloads::runner::build_system;
+    let spec = ChipletSystemSpec::baseline();
+    let mut group = c.benchmark_group("fig8_coherence_run");
+    group.sample_size(10);
+    group.bench_function("bodytrack_upp", |b| {
+        b.iter(|| {
+            let mut profile = benchmark("bodytrack").expect("profile exists");
+            profile.transactions = 25;
+            let built = build_system(
+                &spec,
+                NocConfig::default(),
+                &SchemeKind::Upp(UppConfig::default()),
+                0,
+                1,
+                ConsumePolicy::External,
+            );
+            let mut sys = built.sys;
+            run_benchmark(&mut sys, profile, 1, 5_000_000)
+        })
+    });
+    group.finish();
+}
+
+fn bench_fig9_large_point(c: &mut Criterion) {
+    let spec = ChipletSystemSpec::large();
+    let mut group = c.benchmark_group("fig9_large_system_point");
+    group.sample_size(10);
+    group.bench_function("upp", |b| {
+        b.iter(|| {
+            run_point(
+                &spec,
+                &NocConfig::default(),
+                &SchemeKind::Upp(UppConfig::default()),
+                0,
+                Pattern::UniformRandom,
+                0.04,
+                tiny_windows(),
+                1,
+            )
+        })
+    });
+    group.finish();
+}
+
+fn bench_fig10_boundary_point(c: &mut Criterion) {
+    use upp_noc::topology::SystemKind;
+    let mut group = c.benchmark_group("fig10_boundary_point");
+    group.sample_size(10);
+    for n in [2u16, 8] {
+        let spec = ChipletSystemSpec::of_kind(SystemKind::BoundaryCount(n));
+        group.bench_function(format!("boundaries_{n}"), |b| {
+            b.iter(|| {
+                run_point(
+                    &spec,
+                    &NocConfig::default(),
+                    &SchemeKind::Upp(UppConfig::default()),
+                    0,
+                    Pattern::UniformRandom,
+                    0.04,
+                    tiny_windows(),
+                    1,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_fig11_faulty_point(c: &mut Criterion) {
+    let spec = ChipletSystemSpec::baseline();
+    let mut group = c.benchmark_group("fig11_faulty_point");
+    group.sample_size(10);
+    group.bench_function("faults_10", |b| {
+        b.iter(|| {
+            run_point(
+                &spec,
+                &NocConfig::default(),
+                &SchemeKind::Upp(UppConfig::default()),
+                10,
+                Pattern::UniformRandom,
+                0.04,
+                tiny_windows(),
+                1,
+            )
+        })
+    });
+    group.finish();
+}
+
+fn bench_fig13_threshold_point(c: &mut Criterion) {
+    let spec = ChipletSystemSpec::baseline();
+    let mut group = c.benchmark_group("fig13_threshold_point");
+    group.sample_size(10);
+    for th in [20u64, 1000] {
+        group.bench_function(format!("threshold_{th}"), |b| {
+            b.iter(|| {
+                run_point(
+                    &spec,
+                    &NocConfig::default(),
+                    &SchemeKind::Upp(UppConfig::with_threshold(th)),
+                    0,
+                    Pattern::UniformRandom,
+                    0.08,
+                    tiny_windows(),
+                    1,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_models(c: &mut Criterion) {
+    c.bench_function("fig14_area_model", |b| {
+        b.iter(|| upp_bench::run("fig14", true).expect("fig14 exists"))
+    });
+    c.bench_function("fig12_15_energy_model", |b| {
+        use upp_noc::stats::NetStats;
+        use upp_workloads::energy::EnergyModel;
+        let model = EnergyModel::default();
+        let mut stats = NetStats::new(3);
+        stats.flit_hops = 1_000_000;
+        stats.flits_injected = 150_000;
+        stats.flits_ejected = 150_000;
+        b.iter(|| model.energy(&NocConfig::default(), &stats, 80, 300, 100_000))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_tables,
+    bench_fig7_point,
+    bench_fig8_point,
+    bench_fig9_large_point,
+    bench_fig10_boundary_point,
+    bench_fig11_faulty_point,
+    bench_fig13_threshold_point,
+    bench_models,
+);
+criterion_main!(benches);

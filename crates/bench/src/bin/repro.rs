@@ -1,0 +1,67 @@
+//! CLI entry point regenerating the paper's tables and figures.
+//!
+//! Usage:
+//!
+//! ```text
+//! repro [--quick] [--out DIR] <id>... | all | list
+//! ```
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+fn main() {
+    let mut quick = false;
+    let mut out_dir = PathBuf::from("results");
+    let mut ids: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--out" => {
+                out_dir = PathBuf::from(args.next().unwrap_or_else(|| {
+                    eprintln!("--out needs a directory");
+                    std::process::exit(2);
+                }));
+            }
+            "list" => {
+                for id in upp_bench::ALL_IDS {
+                    println!("{id}");
+                }
+                return;
+            }
+            "all" => ids.extend(upp_bench::ALL_IDS.iter().map(|s| s.to_string())),
+            other if other.starts_with('-') => {
+                eprintln!("unknown flag {other}");
+                std::process::exit(2);
+            }
+            other => ids.push(other.to_string()),
+        }
+    }
+    if ids.is_empty() {
+        eprintln!(
+            "usage: repro [--quick] [--out DIR] <id>... | all | list\n  ids: {}",
+            upp_bench::ALL_IDS.join(", ")
+        );
+        std::process::exit(2);
+    }
+    for id in ids {
+        let t0 = Instant::now();
+        match upp_bench::run(&id, quick) {
+            Some(result) => {
+                println!("\n{}", result.markdown);
+                match result.write_json(&out_dir) {
+                    Ok(path) => eprintln!(
+                        "[{id}] done in {:.1?}; data -> {}",
+                        t0.elapsed(),
+                        path.display()
+                    ),
+                    Err(e) => eprintln!("[{id}] done, but writing JSON failed: {e}"),
+                }
+            }
+            None => {
+                eprintln!("unknown experiment id {id}; try `repro list`");
+                std::process::exit(2);
+            }
+        }
+    }
+}

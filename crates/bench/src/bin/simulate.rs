@@ -1,0 +1,178 @@
+//! A generic command-line driver for the simulator: pick a system, scheme,
+//! traffic pattern, load and duration; get latency/throughput/recovery
+//! statistics (and optionally an occupancy SVG).
+//!
+//! ```text
+//! simulate --scheme upp --pattern uniform_random --rate 0.08 --cycles 50000
+//! simulate --scheme none --rate 0.2 --svg wedge.svg     # watch it deadlock
+//! simulate --system large --scheme composable --vcs 4
+//! ```
+
+use std::process::exit;
+use upp_core::UppConfig;
+use upp_noc::config::NocConfig;
+use upp_noc::ni::ConsumePolicy;
+use upp_noc::topology::{ChipletSystemSpec, SystemKind};
+use upp_noc::viz::topology_svg;
+use upp_workloads::runner::{build_system, SchemeKind};
+use upp_workloads::synthetic::{Pattern, SyntheticTraffic};
+
+struct Args {
+    system: SystemKind,
+    scheme: SchemeKind,
+    pattern: Pattern,
+    rate: f64,
+    cycles: u64,
+    vcs: usize,
+    faults: usize,
+    seed: u64,
+    threshold: u64,
+    svg: Option<String>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: simulate [options]\n\
+         --system baseline|large|b2|b8       (default baseline)\n\
+         --scheme upp|composable|remote|none (default upp)\n\
+         --pattern uniform_random|bit_complement|bit_rotation|transpose|hotspot|neighbor\n\
+         --rate FLOAT                        offered flits/cycle/node (default 0.05)\n\
+         --cycles N                          traffic cycles (default 50000)\n\
+         --vcs N                             VCs per VNet (default 1)\n\
+         --faults N                          random faulty links (default 0)\n\
+         --threshold N                       UPP detection threshold (default 20)\n\
+         --seed N                            (default 1)\n\
+         --svg PATH                          write final occupancy heat map"
+    );
+    exit(2);
+}
+
+fn parse() -> Args {
+    let mut a = Args {
+        system: SystemKind::Baseline,
+        scheme: SchemeKind::Upp(UppConfig::default()),
+        pattern: Pattern::UniformRandom,
+        rate: 0.05,
+        cycles: 50_000,
+        vcs: 1,
+        faults: 0,
+        seed: 1,
+        threshold: 20,
+        svg: None,
+    };
+    let mut scheme_name = "upp".to_string();
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut val = || it.next().unwrap_or_else(|| usage());
+        match flag.as_str() {
+            "--system" => {
+                a.system = match val().as_str() {
+                    "baseline" => SystemKind::Baseline,
+                    "large" => SystemKind::Large,
+                    "b2" => SystemKind::BoundaryCount(2),
+                    "b8" => SystemKind::BoundaryCount(8),
+                    _ => usage(),
+                }
+            }
+            "--scheme" => scheme_name = val(),
+            "--pattern" => {
+                let v = val();
+                a.pattern = Pattern::ALL
+                    .into_iter()
+                    .chain(Pattern::EXTRA)
+                    .find(|p| p.label() == v)
+                    .unwrap_or_else(|| usage());
+            }
+            "--rate" => a.rate = val().parse().unwrap_or_else(|_| usage()),
+            "--cycles" => a.cycles = val().parse().unwrap_or_else(|_| usage()),
+            "--vcs" => a.vcs = val().parse().unwrap_or_else(|_| usage()),
+            "--faults" => a.faults = val().parse().unwrap_or_else(|_| usage()),
+            "--threshold" => a.threshold = val().parse().unwrap_or_else(|_| usage()),
+            "--seed" => a.seed = val().parse().unwrap_or_else(|_| usage()),
+            "--svg" => a.svg = Some(val()),
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+    }
+    a.scheme = match scheme_name.as_str() {
+        "upp" => SchemeKind::Upp(UppConfig::with_threshold(a.threshold)),
+        "composable" => SchemeKind::Composable,
+        "remote" => SchemeKind::RemoteControl,
+        "none" => SchemeKind::None,
+        _ => usage(),
+    };
+    a
+}
+
+fn main() {
+    let args = parse();
+    let spec = ChipletSystemSpec::of_kind(args.system);
+    let cfg = NocConfig::default().with_vcs_per_vnet(args.vcs);
+    let built = build_system(
+        &spec,
+        cfg,
+        &args.scheme,
+        args.faults,
+        args.seed,
+        ConsumePolicy::Immediate { latency: 1 },
+    );
+    let mut sys = built.sys;
+    let mut traffic =
+        SyntheticTraffic::new(sys.net().topo(), args.pattern, args.rate, args.seed);
+    eprintln!(
+        "system {:?} | scheme {} | pattern {} | rate {} | {} cycles | {} VCs | {} faults",
+        args.system,
+        args.scheme.label(),
+        args.pattern.label(),
+        args.rate,
+        args.cycles,
+        args.vcs,
+        args.faults
+    );
+    for cycle in 0..args.cycles {
+        traffic.tick(&mut sys);
+        sys.step();
+        if sys.net().stalled() {
+            eprintln!("network stalled (deadlock) at cycle {cycle}");
+            break;
+        }
+    }
+    let outcome = sys.run_until_drained(args.cycles);
+    let stats = sys.net().stats();
+    let nodes = sys
+        .net()
+        .topo()
+        .chiplets()
+        .iter()
+        .map(|c| c.routers.len())
+        .sum::<usize>();
+    println!("outcome:            {outcome:?}");
+    println!("packets delivered:  {} / {} created", stats.packets_ejected, stats.packets_created);
+    println!("flits delivered:    {}", stats.flits_ejected);
+    println!("network latency:    {:.2} cycles", stats.avg_net_latency());
+    println!("queueing latency:   {:.2} cycles", stats.avg_queue_latency());
+    println!("worst latency:      {} cycles", stats.max_latency);
+    println!(
+        "throughput:         {:.4} flits/cycle/node",
+        stats.throughput(sys.net().cycle(), nodes)
+    );
+    println!("control-signal hops: {}", stats.control_hops);
+    println!("bypass (popup) hops: {}", stats.bypass_hops);
+    if let Some(h) = &built.upp_stats {
+        let s = *h.lock().expect("single-threaded");
+        println!(
+            "UPP: {} upward packets, {} popups ({} partial), {} stops, {} acks dropped",
+            s.upward_packets, s.popups_completed, s.partial_popups, s.stops_sent, s.acks_dropped
+        );
+        if s.popups_completed > 0 {
+            println!("UPP mean recovery:  {:.1} cycles (detection -> delivered)", s.avg_recovery_latency());
+        }
+    }
+    if let Some(path) = args.svg {
+        let occ = sys.net().occupancy();
+        match std::fs::write(&path, topology_svg(sys.net().topo(), &occ)) {
+            Ok(()) => eprintln!("wrote {path}"),
+            Err(e) => eprintln!("could not write {path}: {e}"),
+        }
+    }
+}

@@ -1,0 +1,105 @@
+//! Fig. 14: hardware overhead on chiplet and interposer routers, computed
+//! from the calibrated analytic area model.
+
+use crate::report::{pct, ExperimentResult, MarkdownTable};
+use serde::Serialize;
+use upp_noc::config::NocConfig;
+use upp_workloads::area::AreaModel;
+
+/// One bar of Fig. 14.
+#[derive(Debug, Clone, Serialize)]
+pub struct Bar {
+    /// Scheme label.
+    pub scheme: String,
+    /// Router location.
+    pub location: String,
+    /// VCs per VNet.
+    pub vcs: usize,
+    /// Area overhead as a fraction of the baseline router.
+    pub overhead: f64,
+}
+
+/// Collects the Fig. 14 bars.
+pub fn collect() -> Vec<Bar> {
+    let model = AreaModel::default();
+    let mut bars = Vec::new();
+    for vcs in [1usize, 4] {
+        let cfg = NocConfig::default().with_vcs_per_vnet(vcs);
+        let comp = model.composable(&cfg);
+        let upp = model.upp(&cfg);
+        let remote = model.remote_control(&cfg, 4, 16);
+        for (scheme, o) in
+            [("composable", comp), ("remote-control", remote), ("UPP", upp)]
+        {
+            bars.push(Bar {
+                scheme: scheme.into(),
+                location: "chiplet router".into(),
+                vcs,
+                overhead: o.chiplet,
+            });
+            bars.push(Bar {
+                scheme: scheme.into(),
+                location: "interposer router".into(),
+                vcs,
+                overhead: o.interposer,
+            });
+        }
+    }
+    bars
+}
+
+/// Runs Fig. 14 and renders it.
+pub fn run() -> ExperimentResult {
+    let bars = collect();
+    let mut out = String::new();
+    out.push_str("### Fig. 14 — router area overhead (45 nm analytic model)\n\n");
+    let mut t = MarkdownTable::new(["location", "VCs", "composable", "remote-control", "UPP"]);
+    for location in ["chiplet router", "interposer router"] {
+        for vcs in [1usize, 4] {
+            let get = |s: &str| {
+                bars.iter()
+                    .find(|b| b.scheme == s && b.location == location && b.vcs == vcs)
+                    .map(|b| pct(b.overhead))
+                    .unwrap_or_else(|| "-".into())
+            };
+            t.row([
+                location.to_string(),
+                vcs.to_string(),
+                get("composable"),
+                get("remote-control"),
+                get("UPP"),
+            ]);
+        }
+    }
+    out.push_str(&t.render());
+    out.push_str(
+        "\nPaper: chiplet router 3.77%/1.50% (UPP) vs 4.14%/1.65% (remote control); \
+         interposer router 2.62%/1.47% (UPP) vs 0 for the others; always <4% for UPP.\n",
+    );
+    ExperimentResult::new("fig14", "Fig. 14: hardware overhead", out, &bars)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overheads_match_the_published_bars() {
+        let bars = collect();
+        let get = |s: &str, loc: &str, vcs: usize| {
+            bars.iter()
+                .find(|b| b.scheme == s && b.location == loc && b.vcs == vcs)
+                .unwrap()
+                .overhead
+        };
+        assert!((get("UPP", "chiplet router", 1) - 0.0377).abs() < 0.004);
+        assert!((get("UPP", "interposer router", 1) - 0.0262).abs() < 0.004);
+        assert!((get("remote-control", "chiplet router", 1) - 0.0414).abs() < 0.005);
+        assert_eq!(get("composable", "chiplet router", 1), 0.0);
+        assert_eq!(get("remote-control", "interposer router", 4), 0.0);
+        // UPP's headline: under 4% everywhere.
+        for b in bars.iter().filter(|b| b.scheme == "UPP") {
+            assert!(b.overhead < 0.04, "{} {} {}VC", b.scheme, b.location, b.vcs);
+        }
+    }
+}

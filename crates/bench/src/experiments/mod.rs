@@ -1,0 +1,78 @@
+//! One module per table/figure of the paper's evaluation section.
+
+pub mod ablations;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13;
+pub mod fig14;
+pub mod fig15;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod tables;
+
+use crate::report::ExperimentResult;
+use upp_noc::config::NocConfig;
+use upp_workloads::runner::SweepWindows;
+
+/// All experiment ids, in paper order.
+pub const ALL_IDS: [&str; 12] = [
+    "table1", "table2", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14",
+    "fig15", "ablations",
+];
+
+/// Runs one experiment by id. `quick` trades fidelity for speed (short
+/// windows, coarser grids) — used by tests and criterion benches.
+pub fn run(id: &str, quick: bool) -> Option<ExperimentResult> {
+    match id {
+        "table1" => Some(tables::table1()),
+        "table2" => Some(tables::table2()),
+        "fig7" => Some(fig7::run(quick)),
+        "fig8" => Some(fig8::run(quick)),
+        "fig9" => Some(fig9::run(quick)),
+        "fig10" => Some(fig10::run(quick)),
+        "fig11" => Some(fig11::run(quick)),
+        "fig12" => Some(fig12::run(quick)),
+        "fig13" => Some(fig13::run(quick)),
+        "fig14" => Some(fig14::run()),
+        "fig15" => Some(fig15::run(quick)),
+        "ablations" => Some(ablations::run(quick)),
+        _ => None,
+    }
+}
+
+/// Measurement windows for the mode.
+pub fn windows(quick: bool) -> SweepWindows {
+    if quick {
+        SweepWindows { warmup: 1_000, measure: 6_000 }
+    } else {
+        SweepWindows::default()
+    }
+}
+
+/// Network config with the given VC count.
+pub fn cfg(vcs: usize) -> NocConfig {
+    NocConfig::default().with_vcs_per_vnet(vcs)
+}
+
+/// Injection-rate grid for 1 VC per VNet runs.
+pub fn rates_1vc(quick: bool) -> Vec<f64> {
+    if quick {
+        vec![0.02, 0.06, 0.09, 0.12]
+    } else {
+        vec![0.01, 0.02, 0.04, 0.06, 0.08, 0.09, 0.10, 0.11, 0.12, 0.14]
+    }
+}
+
+/// Injection-rate grid for 4 VCs per VNet runs.
+pub fn rates_4vc(quick: bool) -> Vec<f64> {
+    if quick {
+        vec![0.04, 0.10, 0.16, 0.20]
+    } else {
+        vec![0.01, 0.04, 0.08, 0.12, 0.14, 0.16, 0.18, 0.20, 0.22]
+    }
+}
+
+/// The deterministic seed used for every experiment.
+pub const SEED: u64 = 2022;

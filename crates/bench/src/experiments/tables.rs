@@ -1,0 +1,151 @@
+//! Table I (qualitative scheme comparison) and Table II (simulation
+//! configuration), regenerated from the implementation itself.
+
+use crate::report::{mark, ExperimentResult, MarkdownTable};
+use serde::Serialize;
+use upp_baselines::composable::Composable;
+use upp_baselines::remote::{RemoteControl, RemoteControlConfig};
+use upp_core::{Upp, UppConfig};
+use upp_noc::config::NocConfig;
+use upp_noc::scheme::Scheme;
+use upp_noc::topology::ChipletSystemSpec;
+
+#[derive(Debug, Serialize)]
+struct Table1Row {
+    scheme: String,
+    topology_modularity: bool,
+    vc_modularity: bool,
+    flow_control_modularity: bool,
+    full_path_diversity: bool,
+    no_injection_control: bool,
+    topology_independence: bool,
+}
+
+/// Table I: the modular schemes' qualitative attributes, read directly from
+/// each scheme's [`Scheme::properties`] implementation.
+pub fn table1() -> ExperimentResult {
+    let topo = ChipletSystemSpec::baseline().build(0).expect("baseline builds");
+    let (composable, _) = Composable::build(&topo).expect("composable search succeeds");
+    let schemes: Vec<Box<dyn Scheme>> = vec![
+        Box::new(composable),
+        Box::new(RemoteControl::new(RemoteControlConfig::default())),
+        Box::new(Upp::new(UppConfig::default())),
+    ];
+    let mut rows = Vec::new();
+    let mut md = MarkdownTable::new([
+        "scheme",
+        "topology mod.",
+        "VC mod.",
+        "flow-control mod.",
+        "full path diversity",
+        "w/o injection control",
+        "topology independence",
+    ]);
+    for s in &schemes {
+        let p = s.properties();
+        md.row([
+            s.name().to_string(),
+            mark(p.topology_modularity).to_string(),
+            mark(p.vc_modularity).to_string(),
+            mark(p.flow_control_modularity).to_string(),
+            mark(p.full_path_diversity).to_string(),
+            mark(p.no_injection_control).to_string(),
+            mark(p.topology_independence).to_string(),
+        ]);
+        rows.push(Table1Row {
+            scheme: s.name().to_string(),
+            topology_modularity: p.topology_modularity,
+            vc_modularity: p.vc_modularity,
+            flow_control_modularity: p.flow_control_modularity,
+            full_path_diversity: p.full_path_diversity,
+            no_injection_control: p.no_injection_control,
+            topology_independence: p.topology_independence,
+        });
+    }
+    let markdown = format!(
+        "### Table I — qualitative comparison (modular schemes)\n\n{}\nExpected: UPP is \
+         the only row with every attribute (paper Table I).\n",
+        md.render()
+    );
+    ExperimentResult::new("table1", "Table I: qualitative comparison", markdown, &rows)
+}
+
+#[derive(Debug, Serialize)]
+struct Table2Data {
+    cfg: NocConfig,
+    topology: String,
+    directories: usize,
+    upp_detection_threshold: u64,
+}
+
+/// Table II: the simulated configuration, read from the default config.
+pub fn table2() -> ExperimentResult {
+    let cfg = NocConfig::default();
+    let topo = ChipletSystemSpec::baseline().build(0).expect("baseline builds");
+    let mut md = MarkdownTable::new(["parameter", "value"]);
+    md.row([
+        "topology".to_string(),
+        format!(
+            "1 4x4 mesh interposer, {} 4x4 mesh chiplets, {} vertical links",
+            topo.chiplets().len(),
+            topo.chiplets().iter().map(|c| c.boundary_routers.len()).sum::<usize>()
+        ),
+    ]);
+    md.row(["VNets".to_string(), cfg.num_vnets.to_string()]);
+    md.row(["VCs per VNet".to_string(), format!("{} or 4", cfg.vcs_per_vnet)]);
+    md.row(["VC buffer depth (flits)".to_string(), cfg.vc_buffer_depth.to_string()]);
+    md.row(["router pipeline".to_string(), "3 stages (BW+RC / SA+VCS / ST) + LT".to_string()]);
+    md.row([
+        "link".to_string(),
+        format!("latency {} cycle, width {} bits", cfg.link_latency, cfg.flit_width_bits),
+    ]);
+    md.row(["flow control".to_string(), "wormhole".to_string()]);
+    md.row([
+        "packet sizes".to_string(),
+        format!("data {} flits, control {} flit", cfg.data_packet_flits, cfg.control_packet_flits),
+    ]);
+    md.row(["directories".to_string(), "8, on the interposer".to_string()]);
+    md.row(["UPP detection threshold".to_string(), "20 cycles".to_string()]);
+    let markdown = format!("### Table II — simulation configuration\n\n{}", md.render());
+    let data = Table2Data {
+        cfg,
+        topology: "baseline (Fig. 1)".into(),
+        directories: 8,
+        upp_detection_threshold: 20,
+    };
+    ExperimentResult::new("table2", "Table II: simulation configuration", markdown, &data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_has_three_schemes_and_upp_wins() {
+        let r = table1();
+        assert!(r.markdown.contains("UPP"));
+        assert!(r.markdown.contains("composable"));
+        assert!(r.markdown.contains("remote-control"));
+        let rows = r.json.as_array().unwrap();
+        assert_eq!(rows.len(), 3);
+        let upp = rows.iter().find(|x| x["scheme"] == "UPP").unwrap();
+        for key in [
+            "topology_modularity",
+            "vc_modularity",
+            "flow_control_modularity",
+            "full_path_diversity",
+            "no_injection_control",
+            "topology_independence",
+        ] {
+            assert_eq!(upp[key], true, "{key}");
+        }
+    }
+
+    #[test]
+    fn table2_prints_the_configuration() {
+        let r = table2();
+        assert!(r.markdown.contains("wormhole"));
+        assert!(r.markdown.contains("128 bits"));
+        assert!(r.markdown.contains("20 cycles"));
+    }
+}

@@ -1,0 +1,173 @@
+//! Rendering helpers: markdown tables and JSON result files.
+
+use serde::Serialize;
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+/// One regenerated experiment artifact.
+#[derive(Debug, Clone)]
+pub struct ExperimentResult {
+    /// Experiment id (`fig7`, `table1`, ...).
+    pub id: &'static str,
+    /// Human title.
+    pub title: &'static str,
+    /// Markdown rendering (printed to stdout and embeddable in
+    /// EXPERIMENTS.md).
+    pub markdown: String,
+    /// Machine-readable data.
+    pub json: serde_json::Value,
+}
+
+impl ExperimentResult {
+    /// Builds a result, serialising `data` to JSON.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` fails to serialise (a bug in the result types).
+    pub fn new<T: Serialize>(
+        id: &'static str,
+        title: &'static str,
+        markdown: String,
+        data: &T,
+    ) -> Self {
+        Self {
+            id,
+            title,
+            markdown,
+            json: serde_json::to_value(data).expect("results serialise"),
+        }
+    }
+
+    /// Writes `<dir>/<id>.json` and returns the path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn write_json(&self, dir: &Path) -> std::io::Result<PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{}.json", self.id));
+        std::fs::write(&path, serde_json::to_string_pretty(&self.json)?)?;
+        Ok(path)
+    }
+}
+
+/// A simple markdown table builder.
+#[derive(Debug, Default, Clone)]
+pub struct MarkdownTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl MarkdownTable {
+    /// Starts a table with the given column headers.
+    pub fn new<I, S>(header: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        Self { header: header.into_iter().map(Into::into).collect(), rows: Vec::new() }
+    }
+
+    /// Appends one row.
+    pub fn row<I, S>(&mut self, cells: I) -> &mut Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        debug_assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Renders to markdown.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "| {} |", self.header.join(" | "));
+        let _ = writeln!(
+            out,
+            "|{}|",
+            self.header.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+        );
+        for r in &self.rows {
+            let _ = writeln!(out, "| {} |", r.join(" | "));
+        }
+        out
+    }
+
+    /// Number of data rows so far.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when no rows have been added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+/// Formats a float with 1 decimal.
+pub fn f1(x: f64) -> String {
+    format!("{x:.1}")
+}
+
+/// Formats a float with 3 decimals.
+pub fn f3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+/// Formats a ratio as a percentage with 1 decimal.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}
+
+/// Formats a signed ratio as a percentage with an explicit sign.
+pub fn spct(x: f64) -> String {
+    format!("{:+.1}%", x * 100.0)
+}
+
+/// Check/cross mark used by Table I.
+pub fn mark(b: bool) -> &'static str {
+    if b {
+        "yes"
+    } else {
+        "no"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_pipes_and_separator() {
+        let mut t = MarkdownTable::new(["a", "b"]);
+        t.row(["1", "2"]).row(["3", "4"]);
+        let md = t.render();
+        assert!(md.starts_with("| a | b |"));
+        assert!(md.contains("|---|---|"));
+        assert!(md.contains("| 3 | 4 |"));
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(f1(1.26), "1.3");
+        assert_eq!(f3(0.12345), "0.123");
+        assert_eq!(pct(0.0377), "3.8%");
+        assert_eq!(spct(0.21), "+21.0%");
+        assert_eq!(spct(-0.005), "-0.5%");
+        assert_eq!(mark(true), "yes");
+        assert_eq!(mark(false), "no");
+    }
+
+    #[test]
+    fn result_writes_json() {
+        let r = ExperimentResult::new("test_exp", "t", "md".into(), &vec![1, 2, 3]);
+        let dir = std::env::temp_dir().join("upp_report_test");
+        let p = r.write_json(&dir).unwrap();
+        let body = std::fs::read_to_string(p).unwrap();
+        assert!(body.contains('1'));
+    }
+}

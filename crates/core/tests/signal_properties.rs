@@ -1,0 +1,64 @@
+//! Property tests over the Fig. 4 signal codec: every valid signal
+//! round-trips through its compact encoding, every encoding respects its
+//! field width, and decoding never panics on arbitrary 32-bit words.
+
+use proptest::prelude::*;
+use upp_core::signal::{UppSignal, ACK_WIDTH, REQ_WIDTH};
+use upp_noc::ids::{NodeId, VnetId};
+
+fn valid_signal() -> impl Strategy<Value = UppSignal> {
+    prop_oneof![
+        (0u32..256, 0u8..3, 0u8..16).prop_map(|(d, v, vc)| UppSignal::Req {
+            dest: NodeId(d),
+            vnet: VnetId(v),
+            input_vc: vc,
+        }),
+        (0u32..256, 0u8..3).prop_map(|(d, v)| UppSignal::Stop {
+            dest: NodeId(d),
+            vnet: VnetId(v),
+        }),
+        (0u8..3, 0u8..8).prop_map(|(v, s)| UppSignal::Ack { vnet: VnetId(v), started: s }),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn roundtrip(sig in valid_signal()) {
+        let bits = sig.encode().expect("valid signals encode");
+        prop_assert_eq!(UppSignal::decode(bits).expect("encodings decode"), sig);
+    }
+
+    #[test]
+    fn encodings_fit_their_fields(sig in valid_signal()) {
+        let bits = sig.encode().expect("valid signals encode");
+        let width = match sig {
+            UppSignal::Ack { .. } => ACK_WIDTH,
+            _ => REQ_WIDTH,
+        };
+        prop_assert!(bits < (1u32 << width), "{sig:?} spilled past {width} bits: {bits:#b}");
+    }
+
+    #[test]
+    fn decode_never_panics(bits in any::<u32>()) {
+        // Arbitrary words either decode to a valid signal that re-encodes to
+        // the same semantic content, or return a codec error.
+        if let Ok(sig) = UppSignal::decode(bits) {
+            let re = sig.encode().expect("decoded signals re-encode");
+            prop_assert_eq!(UppSignal::decode(re).expect("re-encoding decodes"), sig);
+        }
+    }
+
+    #[test]
+    fn oversized_destinations_rejected(d in 256u32..10_000, v in 0u8..3) {
+        let req = UppSignal::Req { dest: NodeId(d), vnet: VnetId(v), input_vc: 0 };
+        let stop = UppSignal::Stop { dest: NodeId(d), vnet: VnetId(v) };
+        prop_assert!(req.encode().is_err());
+        prop_assert!(stop.encode().is_err());
+    }
+
+    #[test]
+    fn oversized_vnets_rejected(v in 3u8..8) {
+        let ack = UppSignal::Ack { vnet: VnetId(v), started: 0 };
+        prop_assert!(ack.encode().is_err());
+    }
+}

@@ -1,0 +1,636 @@
+//! The network: routers, NIs, staged links and the per-cycle schedule.
+
+use crate::config::NocConfig;
+use crate::control::{ControlMsg, DeliveredControl};
+use crate::event::Event;
+use crate::ids::{Cycle, NodeId, PacketId, Port, VnetId};
+use crate::ni::{ConsumePolicy, Delivered, Ni, PermitState};
+use crate::packet::{Flit, Packet, RouteInfo};
+use crate::router::{Router, RouterCtx};
+use crate::routing::RouteComputer;
+use crate::stats::{NetStats, PacketRecord, PacketTracker};
+use crate::topology::Topology;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// A candidate *upward packet*: an input VC of an interposer router holding a
+/// packet stalled while attempting to move up the vertical link (Sec. V-A).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UpwardCandidate {
+    /// Input port of the stalled VC.
+    pub in_port: Port,
+    /// Flat VC index.
+    pub vc_flat: usize,
+    /// The stalled packet.
+    pub packet: PacketId,
+    /// Its VNet.
+    pub vnet: VnetId,
+    /// Destination router of the packet.
+    pub dest: NodeId,
+    /// True when the packet's head flit has already departed into the
+    /// chiplet (wormhole partial transmission, Sec. V-B3).
+    pub partly_transmitted: bool,
+}
+
+/// The simulated network.
+///
+/// Workloads enqueue packets with [`Network::try_send`]; schemes drive the
+/// UPP/remote-control mechanisms through the `scheme API` methods; the
+/// simulation loop alternates [`Network::begin_cycle`], scheme hooks, and
+/// [`Network::finish_cycle`].
+pub struct Network {
+    cfg: NocConfig,
+    topo: Topology,
+    routing: Arc<dyn RouteComputer>,
+    routers: Vec<Router>,
+    nis: Vec<Ni>,
+    cycle: Cycle,
+    calendar: BTreeMap<Cycle, Vec<Event>>,
+    stats: NetStats,
+    tracker: PacketTracker,
+}
+
+impl std::fmt::Debug for Network {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Network")
+            .field("cycle", &self.cycle)
+            .field("nodes", &self.routers.len())
+            .field("in_flight", &self.tracker.in_flight())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Network {
+    /// Builds a network over `topo` with the given routing and consumption
+    /// policy. `seed` drives the routers' VC-selection randomness.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the configuration fails [`NocConfig::validate`].
+    pub fn new(
+        cfg: NocConfig,
+        topo: Topology,
+        routing: Arc<dyn RouteComputer>,
+        consume: ConsumePolicy,
+        seed: u64,
+    ) -> Self {
+        cfg.validate().expect("invalid NocConfig");
+        let routers: Vec<Router> = topo
+            .nodes()
+            .iter()
+            .map(|n| Router::new(n.id, &cfg, &topo, seed))
+            .collect();
+        let nis: Vec<Ni> =
+            topo.nodes().iter().map(|n| Ni::new(n.id, &cfg, consume)).collect();
+        let stats = NetStats::new(cfg.num_vnets);
+        Self {
+            cfg,
+            topo,
+            routing,
+            routers,
+            nis,
+            cycle: 0,
+            calendar: BTreeMap::new(),
+            stats,
+            tracker: PacketTracker::new(),
+        }
+    }
+
+    /// The configuration.
+    pub fn cfg(&self) -> &NocConfig {
+        &self.cfg
+    }
+
+    /// The topology.
+    pub fn topo(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// The route computer.
+    pub fn routing(&self) -> &Arc<dyn RouteComputer> {
+        &self.routing
+    }
+
+    /// Current cycle.
+    pub fn cycle(&self) -> Cycle {
+        self.cycle
+    }
+
+    /// Statistics accumulated so far.
+    pub fn stats(&self) -> &NetStats {
+        &self.stats
+    }
+
+    /// Resets the measurement counters (end of warmup). In-flight packets
+    /// keep their records so their latencies are attributed to the
+    /// measurement window in which they finish.
+    pub fn reset_stats(&mut self) {
+        self.stats = NetStats::new(self.cfg.num_vnets);
+    }
+
+    /// Packets created but not yet fully ejected.
+    pub fn in_flight(&self) -> usize {
+        self.tracker.in_flight()
+    }
+
+    /// True when in-flight packets exist but nothing has moved for the
+    /// watchdog threshold — the network is wedged (only possible without a
+    /// deadlock-freedom scheme, or with a broken one).
+    pub fn stalled(&self) -> bool {
+        self.tracker.stalled(self.cycle, self.cfg.watchdog_threshold)
+    }
+
+    /// Cycle of the last observed flit movement.
+    pub fn last_progress(&self) -> Cycle {
+        self.tracker.last_progress()
+    }
+
+    /// Read access to one NI.
+    pub fn ni(&self, node: NodeId) -> &Ni {
+        &self.nis[node.index()]
+    }
+
+    /// Mutable access to one NI (workload-facing: popping delivered packets,
+    /// permit management).
+    pub fn ni_mut(&mut self, node: NodeId) -> &mut Ni {
+        &mut self.nis[node.index()]
+    }
+
+    /// Read access to one router.
+    pub fn router(&self, node: NodeId) -> &Router {
+        &self.routers[node.index()]
+    }
+
+    /// Mutable access to one router (scheme-facing mechanisms).
+    pub fn router_mut(&mut self, node: NodeId) -> &mut Router {
+        &mut self.routers[node.index()]
+    }
+
+    // ------------------------------------------------------------- workload
+
+    /// Creates and enqueues a packet; returns its id, or `None` when the
+    /// source injection queue is full.
+    pub fn try_send(
+        &mut self,
+        src: NodeId,
+        dest: NodeId,
+        vnet: VnetId,
+        len_flits: u16,
+    ) -> Option<PacketId> {
+        if !self.nis[src.index()].can_enqueue(vnet) {
+            return None;
+        }
+        let id = self.tracker.alloc_id();
+        let pkt = Packet::new(id, src, dest, vnet, len_flits, self.cycle);
+        let route = self.routing.plan(&self.topo, src, dest);
+        self.tracker.on_created(
+            id,
+            PacketRecord {
+                src,
+                dest,
+                class: route.class,
+                vnet,
+                len_flits,
+                created_at: self.cycle,
+                injected_at: None,
+                ejected_at: None,
+            },
+        );
+        self.nis[src.index()]
+            .enqueue(pkt, route)
+            .expect("can_enqueue checked");
+        self.stats.packets_created += 1;
+        Some(id)
+    }
+
+    /// Route plan a packet from `src` to `dest` would take (for schemes that
+    /// need to know boundary crossings before injection).
+    pub fn plan_route(&self, src: NodeId, dest: NodeId) -> RouteInfo {
+        self.routing.plan(&self.topo, src, dest)
+    }
+
+    // ----------------------------------------------------------- scheme API
+
+    /// Sends a control message from `node` (enters that router's dedicated
+    /// buffer, attends switch allocation from the next cycle).
+    pub fn send_control(&mut self, node: NodeId, msg: ControlMsg) {
+        let now = self.cycle;
+        self.routers[node.index()].send_control(msg, now);
+    }
+
+    /// Drains control messages that terminated at `node`'s router (acks).
+    pub fn take_router_inbox(&mut self, node: NodeId) -> Vec<DeliveredControl> {
+        self.routers[node.index()].take_control_inbox()
+    }
+
+    /// Drains control messages delivered to `node`'s NI (reqs/stops).
+    pub fn take_ni_inbox(&mut self, node: NodeId) -> Vec<DeliveredControl> {
+        self.nis[node.index()].take_control_inbox()
+    }
+
+    /// Scans an interposer router for upward-stalled packets of `vnet`.
+    pub fn upward_candidates(&self, node: NodeId, vnet: VnetId) -> Vec<UpwardCandidate> {
+        let r = &self.routers[node.index()];
+        let mut out = Vec::new();
+        for (p, f) in r.input_vcs() {
+            if !r.vnet_range(vnet).contains(&f) {
+                continue;
+            }
+            let vc = r.input_vc(p, f);
+            if vc.route_out != Some(Port::Up) {
+                continue;
+            }
+            let Some(owner) = vc.owner else { continue };
+            if vc.buf.is_empty() {
+                continue;
+            }
+            let dest = vc.buf.front().map(|b| b.flit.route.dest).unwrap_or(node);
+            out.push(UpwardCandidate {
+                in_port: p,
+                vc_flat: f,
+                packet: owner,
+                vnet,
+                dest,
+                partly_transmitted: vc.partly_transmitted(),
+            });
+        }
+        out
+    }
+
+    /// Last cycle a flit of `vnet` left `node` through the `Up` port.
+    pub fn up_last_sent(&self, node: NodeId, vnet: VnetId) -> Cycle {
+        self.routers[node.index()].up_last_sent(vnet)
+    }
+
+    /// Pops one flit of an input VC up into the bypass path (popup
+    /// transmission at the interposer router). Returns the flit if one was
+    /// eligible.
+    pub fn pop_upward_flit(
+        &mut self,
+        node: NodeId,
+        in_port: Port,
+        vc_flat: usize,
+    ) -> Option<Flit> {
+        self.pop_bypass_flit(node, in_port, vc_flat, Port::Up)
+    }
+
+    /// Pops one flit of an input VC into the bypass latch toward an explicit
+    /// output port (chiplet-side popup start for partly-transmitted worms,
+    /// Sec. V-B3). Returns the flit if one was eligible.
+    pub fn pop_bypass_flit(
+        &mut self,
+        node: NodeId,
+        in_port: Port,
+        vc_flat: usize,
+        out_port: Port,
+    ) -> Option<Flit> {
+        let Network { cfg, topo, routing, routers, nis, calendar, stats, tracker, cycle, .. } =
+            self;
+        let mut emit = Vec::new();
+        let flit = {
+            let mut ctx = RouterCtx {
+                cfg,
+                topo,
+                routing: routing.as_ref(),
+                now: *cycle,
+                ni: &mut nis[node.index()],
+                emit: &mut emit,
+                stats,
+                tracker,
+            };
+            routers[node.index()].pop_bypass_flit(&mut ctx, in_port, vc_flat, out_port)
+        };
+        for (at, ev) in emit {
+            calendar.entry(at).or_default().push(ev);
+        }
+        flit
+    }
+
+    /// Number of flits waiting in a router's bypass latch.
+    pub fn bypass_pending(&self, node: NodeId) -> usize {
+        self.routers[node.index()].bypass_pending()
+    }
+
+    /// NI-side ejection-entry reservation (UPP_req handling).
+    pub fn try_reserve_ejection(&mut self, node: NodeId, vnet: VnetId) -> bool {
+        self.nis[node.index()].try_reserve_entry(vnet)
+    }
+
+    /// Releases an NI ejection reservation (UPP_stop handling).
+    pub fn release_ejection_reservation(&mut self, node: NodeId, vnet: VnetId) {
+        self.nis[node.index()].release_reservation(vnet);
+    }
+
+    /// Sets an injection permit on a pending packet (remote control).
+    pub fn set_injection_permit(&mut self, node: NodeId, id: PacketId, state: PermitState) -> bool {
+        self.nis[node.index()].set_permit(id, state)
+    }
+
+    /// A per-node snapshot of buffered flits (router VC occupancy), useful
+    /// for diagnosing where a deadlock chain sits.
+    pub fn occupancy(&self) -> Vec<(NodeId, usize)> {
+        self.routers
+            .iter()
+            .map(|r| {
+                let n = r.node();
+                let flits: usize = r
+                    .input_vcs()
+                    .map(|(p, f)| r.input_vc(p, f).buf.len())
+                    .sum();
+                (n, flits)
+            })
+            .collect()
+    }
+
+    // ------------------------------------------------------- reconfiguration
+
+    /// Dynamically reconfigures the topology (fault injection, power gating)
+    /// and installs new routing — the network-flexibility scenario of
+    /// Sec. VI-B that UPP supports and the baselines do not.
+    ///
+    /// The network must be drained: in-flight route headers reference the
+    /// old topology.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err` when packets are still in flight or the mutated
+    /// topology fails validation (the mutation is kept; callers decide how
+    /// to repair).
+    pub fn reconfigure<F>(
+        &mut self,
+        mutate: F,
+        routing: Arc<dyn RouteComputer>,
+    ) -> Result<(), String>
+    where
+        F: FnOnce(&mut Topology),
+    {
+        if self.in_flight() > 0 {
+            return Err(format!(
+                "cannot reconfigure with {} packets in flight",
+                self.in_flight()
+            ));
+        }
+        mutate(&mut self.topo);
+        self.topo.validate()?;
+        self.routing = routing;
+        Ok(())
+    }
+
+    // ------------------------------------------------------------ the clock
+
+    /// Phase 1 of a cycle: delivers everything scheduled to arrive now.
+    /// Schemes observe post-arrival state in their `pre_cycle` hook.
+    pub fn begin_cycle(&mut self) {
+        let events = self.calendar.remove(&self.cycle).unwrap_or_default();
+        let Network { cfg, topo, routing, routers, nis, stats, tracker, cycle, calendar, .. } =
+            self;
+        let mut emit: Vec<(Cycle, Event)> = Vec::new();
+        for ev in events {
+            match ev {
+                Event::FlitArrive { node, in_port, vc_flat, flit } => {
+                    let mut ctx = RouterCtx {
+                        cfg,
+                        topo,
+                        routing: routing.as_ref(),
+                        now: *cycle,
+                        ni: &mut nis[node.index()],
+                        emit: &mut emit,
+                        stats,
+                        tracker,
+                    };
+                    routers[node.index()].deliver_flit(&mut ctx, in_port, vc_flat, flit);
+                }
+                Event::CreditArrive { node, out_port, vc_flat, is_free } => {
+                    routers[node.index()].deliver_credit(out_port, vc_flat, is_free);
+                }
+                Event::NiCreditArrive { node, vc_flat, is_free } => {
+                    nis[node.index()].on_credit(vc_flat, is_free);
+                }
+                Event::NiFlitArrive { node, flit } => {
+                    stats.flits_ejected += 1;
+                    tracker.touch(*cycle);
+                    let done =
+                        nis[node.index()].accept_flit(flit, *cycle, flit.upward);
+                    if let Some(d) = done {
+                        if let Some(rec) = tracker.on_ejected(d.pkt.id, *cycle) {
+                            stats.record_ejection(&rec, *cycle);
+                        }
+                    }
+                }
+                Event::ControlArrive { node, in_port, msg } => {
+                    routers[node.index()].deliver_control(in_port, msg, *cycle);
+                }
+                Event::NiControlArrive { node, in_port, msg } => {
+                    nis[node.index()].deliver_control(DeliveredControl {
+                        msg,
+                        in_port,
+                        at: *cycle,
+                    });
+                }
+            }
+        }
+        for (at, ev) in emit {
+            calendar.entry(at).or_default().push(ev);
+        }
+    }
+
+    /// Phase 2 of a cycle: NI injection, router allocation/commit, PE
+    /// consumption; then the clock advances.
+    pub fn finish_cycle(&mut self) {
+        let Network { cfg, topo, routing, routers, nis, stats, tracker, cycle, calendar, .. } =
+            self;
+        let mut emit: Vec<(Cycle, Event)> = Vec::new();
+        let now = *cycle;
+
+        // NI injection: one flit per NI per cycle onto the Local input port.
+        let vct = cfg.flow_control == crate::config::FlowControl::VirtualCutThrough;
+        for ni in nis.iter_mut() {
+            if let Some((flit, vc_flat)) = ni.inject_step(now, cfg.vcs_per_vnet, vct) {
+                if flit.kind.is_head() {
+                    tracker.on_injected(flit.packet, now);
+                    stats.packets_injected += 1;
+                }
+                stats.flits_injected += 1;
+                tracker.touch(now);
+                emit.push((
+                    now + cfg.link_latency,
+                    Event::FlitArrive {
+                        node: ni.node(),
+                        in_port: Port::Local,
+                        vc_flat,
+                        flit,
+                    },
+                ));
+            }
+        }
+
+        // Routers: bypass, control, switch allocation.
+        for i in 0..routers.len() {
+            let mut ctx = RouterCtx {
+                cfg,
+                topo,
+                routing: routing.as_ref(),
+                now,
+                ni: &mut nis[i],
+                emit: &mut emit,
+                stats,
+                tracker,
+            };
+            routers[i].step(&mut ctx);
+        }
+
+        // PE consumption (Immediate policy).
+        for ni in nis.iter_mut() {
+            ni.consume_step(now);
+        }
+
+        for (at, ev) in emit {
+            debug_assert!(at > now, "events must be staged into the future");
+            calendar.entry(at).or_default().push(ev);
+        }
+        *cycle += 1;
+    }
+
+    /// Runs a full cycle with no scheme hooks.
+    pub fn step(&mut self) {
+        self.begin_cycle();
+        self.finish_cycle();
+    }
+
+    /// Convenience: pops the oldest delivered packet at an NI.
+    pub fn pop_delivered(&mut self, node: NodeId, vnet: VnetId) -> Option<Delivered> {
+        self.nis[node.index()].pop_delivered(vnet)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ni::ConsumePolicy;
+    use crate::routing::ChipletRouting;
+    use crate::topology::ChipletSystemSpec;
+
+    fn net() -> Network {
+        let topo = ChipletSystemSpec::baseline().build(0).unwrap();
+        Network::new(
+            NocConfig::default(),
+            topo,
+            Arc::new(ChipletRouting::xy()),
+            ConsumePolicy::Immediate { latency: 1 },
+            42,
+        )
+    }
+
+    fn run_until_drained(net: &mut Network, max_cycles: u64) {
+        let mut guard = 0;
+        while net.in_flight() > 0 {
+            net.step();
+            guard += 1;
+            assert!(guard < max_cycles, "packets did not drain within {max_cycles} cycles");
+        }
+    }
+
+    #[test]
+    fn single_intra_chiplet_packet_arrives() {
+        let mut net = net();
+        let c = &net.topo().chiplets()[0];
+        let (src, dest) = (c.routers[0], c.routers[15]);
+        let id = net.try_send(src, dest, VnetId(0), 5).unwrap();
+        run_until_drained(&mut net, 200);
+        assert_eq!(net.stats().packets_ejected, 1);
+        assert_eq!(net.stats().flits_ejected, 5);
+        assert!(net.stats().avg_net_latency() > 0.0);
+        let _ = id;
+    }
+
+    #[test]
+    fn single_inter_chiplet_packet_arrives() {
+        let mut net = net();
+        let src = net.topo().chiplets()[0].routers[0];
+        let dest = net.topo().chiplets()[3].routers[15];
+        net.try_send(src, dest, VnetId(2), 5).unwrap();
+        run_until_drained(&mut net, 400);
+        assert_eq!(net.stats().packets_ejected, 1);
+    }
+
+    #[test]
+    fn zero_load_latency_matches_pipeline_model() {
+        // One-flit packet over a single hop: inject (1 cycle link) + BW ->
+        // SA (1) -> ST (1) -> LT (1) per hop + final NI link.
+        let mut net = net();
+        let c = &net.topo().chiplets()[0];
+        let (src, dest) = (c.routers[0], c.routers[1]);
+        net.try_send(src, dest, VnetId(0), 1).unwrap();
+        run_until_drained(&mut net, 100);
+        // 2 routers, each 3 cycles (BW->SA->ST) + 1 cycle link after each +
+        // injection link 1: measured as a small constant; assert a tight
+        // window so pipeline regressions are caught.
+        let lat = net.stats().avg_net_latency();
+        assert!((4.0..=12.0).contains(&lat), "unexpected zero-load latency {lat}");
+    }
+
+    #[test]
+    fn many_packets_all_drain_without_scheme_at_low_load() {
+        let mut net = net();
+        let nodes: Vec<NodeId> = net.topo().nodes().iter().map(|n| n.id).collect();
+        let mut sent = 0;
+        for (i, &s) in nodes.iter().enumerate() {
+            let d = nodes[(i * 13 + 7) % nodes.len()];
+            if s == d {
+                continue;
+            }
+            if net.try_send(s, d, VnetId((i % 3) as u8), if i % 3 == 2 { 5 } else { 1 }).is_some()
+            {
+                sent += 1;
+            }
+        }
+        run_until_drained(&mut net, 2_000);
+        assert_eq!(net.stats().packets_ejected, sent);
+        assert!(!net.stalled());
+    }
+
+    #[test]
+    fn wormhole_keeps_flit_order() {
+        // Flood one destination from many sources; NI assembly asserts
+        // per-packet ordering internally (debug_assert), so simply running
+        // in a debug test exercises the invariant.
+        let mut net = net();
+        let routers = net.topo().chiplets()[1].routers.clone();
+        let dest = routers[5];
+        for (i, &s) in routers.iter().enumerate() {
+            if s == dest {
+                continue;
+            }
+            net.try_send(s, dest, VnetId((i % 3) as u8), 5);
+        }
+        run_until_drained(&mut net, 5_000);
+        assert!(net.stats().packets_ejected >= 10);
+    }
+
+    #[test]
+    fn injection_queue_full_rejects() {
+        let mut net = net();
+        let c = &net.topo().chiplets()[0];
+        let (src, dest) = (c.routers[0], c.routers[1]);
+        let mut accepted = 0;
+        for _ in 0..64 {
+            if net.try_send(src, dest, VnetId(0), 5).is_some() {
+                accepted += 1;
+            }
+        }
+        assert_eq!(accepted, net.cfg().injection_queue_entries as u64);
+    }
+
+    #[test]
+    fn stats_reset_keeps_in_flight_packets() {
+        let mut net = net();
+        let c = &net.topo().chiplets()[0];
+        net.try_send(c.routers[0], c.routers[15], VnetId(0), 5).unwrap();
+        for _ in 0..3 {
+            net.step();
+        }
+        net.reset_stats();
+        run_until_drained(&mut net, 300);
+        assert_eq!(net.stats().packets_ejected, 1, "latency attributed to new window");
+    }
+}

@@ -1,0 +1,244 @@
+//! Packets, flits and route headers.
+
+use crate::ids::{Cycle, NodeId, PacketId, VnetId};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The class of a packet with respect to the chiplet/interposer boundary
+/// (Sec. V-D of the paper distinguishes these three transmission cases; we
+/// split the "crosses both ways" case out explicitly).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PacketClass {
+    /// Source and destination in the same chiplet, or both on the interposer.
+    Intra,
+    /// From a chiplet router down to an interposer node.
+    ChipletToInterposer,
+    /// From an interposer node up into a chiplet.
+    InterposerToChiplet,
+    /// From one chiplet through the interposer into another chiplet.
+    InterChiplet,
+}
+
+impl PacketClass {
+    /// True if the packet's route ever ascends a vertical link (and can
+    /// therefore be the paper's *upward packet*).
+    #[inline]
+    pub fn ascends(self) -> bool {
+        matches!(self, PacketClass::InterposerToChiplet | PacketClass::InterChiplet)
+    }
+
+    /// True if the packet's route ever descends a vertical link.
+    #[inline]
+    pub fn descends(self) -> bool {
+        matches!(self, PacketClass::ChipletToInterposer | PacketClass::InterChiplet)
+    }
+}
+
+impl fmt::Display for PacketClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            PacketClass::Intra => "intra",
+            PacketClass::ChipletToInterposer => "c2i",
+            PacketClass::InterposerToChiplet => "i2c",
+            PacketClass::InterChiplet => "c2c",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The route header carried by a packet's head flit.
+///
+/// Routing in chiplet-based systems is three-legged (Sec. V-D): source
+/// chiplet → exit boundary router → (down) → interposer → entry interposer
+/// router → (up) → destination chiplet router. The intermediate targets are
+/// chosen once, at injection time, by a [`crate::routing::RouteComputer`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct RouteInfo {
+    /// Final destination node.
+    pub dest: NodeId,
+    /// Packet class relative to the vertical boundary.
+    pub class: PacketClass,
+    /// The chiplet boundary router through which the packet leaves its source
+    /// chiplet (descending classes only).
+    pub exit_boundary: Option<NodeId>,
+    /// The interposer router whose `Up` port leads into the destination
+    /// chiplet (ascending classes only).
+    pub entry_interposer: Option<NodeId>,
+}
+
+impl RouteInfo {
+    /// A purely local route to `dest`.
+    pub fn intra(dest: NodeId) -> Self {
+        Self { dest, class: PacketClass::Intra, exit_boundary: None, entry_interposer: None }
+    }
+}
+
+/// Kind of a flit within its packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FlitKind {
+    /// First flit: carries the route header.
+    Head,
+    /// Middle flit.
+    Body,
+    /// Last flit: releases the VCs it traversed.
+    Tail,
+    /// Single-flit packet (head and tail at once).
+    HeadTail,
+}
+
+impl FlitKind {
+    /// True for `Head` and `HeadTail`.
+    #[inline]
+    pub fn is_head(self) -> bool {
+        matches!(self, FlitKind::Head | FlitKind::HeadTail)
+    }
+
+    /// True for `Tail` and `HeadTail`.
+    #[inline]
+    pub fn is_tail(self) -> bool {
+        matches!(self, FlitKind::Tail | FlitKind::HeadTail)
+    }
+}
+
+/// A flow-control unit travelling through the network.
+///
+/// For simplicity every flit carries the route header and class of its packet
+/// (hardware would keep these only on the head flit); body flits never read
+/// them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Flit {
+    /// Owning packet.
+    pub packet: PacketId,
+    /// Position of this flit in the packet.
+    pub kind: FlitKind,
+    /// Sequence number within the packet (head is 0).
+    pub seq: u16,
+    /// Total packet length in flits (virtual cut-through allocates whole
+    /// packets at once).
+    pub pkt_len: u16,
+    /// Virtual network of the packet.
+    pub vnet: VnetId,
+    /// Source node of the packet.
+    pub src: NodeId,
+    /// Route header.
+    pub route: RouteInfo,
+    /// Cycle at which the packet's head flit entered the network.
+    pub injected_at: Cycle,
+    /// Set while the flit travels as a popped-up *upward flit*: it bypasses
+    /// VC buffers and crosses routers in a single switch-traversal stage
+    /// (Sec. V-C).
+    pub upward: bool,
+    /// Set on flits of a packet currently being recovered: they receive top
+    /// switch-allocation priority so the worm drains (wormhole support,
+    /// Sec. V-B3).
+    pub popup_priority: bool,
+}
+
+impl Flit {
+    /// Builds the `i`-th flit (of `len`) of a packet.
+    pub fn new(
+        packet: PacketId,
+        seq: u16,
+        len: u16,
+        vnet: VnetId,
+        src: NodeId,
+        route: RouteInfo,
+        injected_at: Cycle,
+    ) -> Self {
+        debug_assert!(len > 0 && seq < len);
+        let kind = match (seq, len) {
+            (0, 1) => FlitKind::HeadTail,
+            (0, _) => FlitKind::Head,
+            (s, l) if s + 1 == l => FlitKind::Tail,
+            _ => FlitKind::Body,
+        };
+        Self {
+            packet,
+            kind,
+            seq,
+            pkt_len: len,
+            vnet,
+            src,
+            route,
+            injected_at,
+            upward: false,
+            popup_priority: false,
+        }
+    }
+}
+
+/// A whole packet, as seen by NIs and traffic generators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Packet {
+    /// Globally-unique id.
+    pub id: PacketId,
+    /// Source node.
+    pub src: NodeId,
+    /// Destination node.
+    pub dest: NodeId,
+    /// Virtual network (message class).
+    pub vnet: VnetId,
+    /// Length in flits.
+    pub len_flits: u16,
+    /// Cycle the packet was created (enqueued at the source NI).
+    pub created_at: Cycle,
+}
+
+impl Packet {
+    /// Constructs a packet description.
+    pub fn new(
+        id: PacketId,
+        src: NodeId,
+        dest: NodeId,
+        vnet: VnetId,
+        len_flits: u16,
+        created_at: Cycle,
+    ) -> Self {
+        debug_assert!(len_flits > 0);
+        Self { id, src, dest, vnet, len_flits, created_at }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn route() -> RouteInfo {
+        RouteInfo::intra(NodeId(5))
+    }
+
+    #[test]
+    fn flit_kinds_by_position() {
+        let p = PacketId(1);
+        let v = VnetId(0);
+        let single = Flit::new(p, 0, 1, v, NodeId(0), route(), 0);
+        assert_eq!(single.kind, FlitKind::HeadTail);
+        assert!(single.kind.is_head() && single.kind.is_tail());
+
+        let head = Flit::new(p, 0, 5, v, NodeId(0), route(), 0);
+        let body = Flit::new(p, 2, 5, v, NodeId(0), route(), 0);
+        let tail = Flit::new(p, 4, 5, v, NodeId(0), route(), 0);
+        assert_eq!(head.kind, FlitKind::Head);
+        assert_eq!(body.kind, FlitKind::Body);
+        assert_eq!(tail.kind, FlitKind::Tail);
+        assert!(!body.kind.is_head() && !body.kind.is_tail());
+    }
+
+    #[test]
+    fn class_ascent_descent() {
+        assert!(!PacketClass::Intra.ascends());
+        assert!(!PacketClass::Intra.descends());
+        assert!(PacketClass::InterChiplet.ascends() && PacketClass::InterChiplet.descends());
+        assert!(PacketClass::InterposerToChiplet.ascends());
+        assert!(!PacketClass::InterposerToChiplet.descends());
+        assert!(PacketClass::ChipletToInterposer.descends());
+        assert!(!PacketClass::ChipletToInterposer.ascends());
+    }
+
+    #[test]
+    fn intra_route_has_no_intermediates() {
+        let r = RouteInfo::intra(NodeId(3));
+        assert_eq!(r.dest, NodeId(3));
+        assert!(r.exit_boundary.is_none() && r.entry_interposer.is_none());
+    }
+}

@@ -1,0 +1,220 @@
+//! Whole-system channel-dependency analysis.
+//!
+//! While [`super::turns::ExtendedCdg`] analyses one chiplet against a
+//! conservative virtual node (the composable-routing design tool), this
+//! module builds the *actual-use* CDG of the entire system under a concrete
+//! routing function: channels are all directed links (including vertical
+//! ones), and an edge `c1 -> c2` exists iff some `(src, dest)` pair's route
+//! holds `c1` and then requests `c2`.
+//!
+//! This is the formal backbone of the reproduction's honesty story:
+//!
+//! * under unrestricted three-leg routing the global CDG **is cyclic** —
+//!   integration-induced deadlocks are reachable, which is why the
+//!   unprotected system wedges and why UPP exists;
+//! * under composable routing's restriction-respecting selections the global
+//!   CDG **is acyclic** — the baseline's avoidance guarantee is structural,
+//!   not an accident of the traffic we happened to run.
+
+use crate::ids::{NodeId, Port};
+use crate::routing::RouteComputer;
+use crate::topology::Topology;
+use std::collections::{HashMap, HashSet};
+
+/// A directed physical channel: the link leaving `from` through `out`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct GlobalChannel {
+    /// Source node of the directed link.
+    pub from: NodeId,
+    /// Port the link leaves through.
+    pub out: Port,
+}
+
+/// The actual-use channel dependency graph of a routed system.
+#[derive(Debug, Clone)]
+pub struct GlobalCdg {
+    channels: Vec<GlobalChannel>,
+    index: HashMap<GlobalChannel, usize>,
+    edges: Vec<HashSet<usize>>,
+}
+
+impl GlobalCdg {
+    /// Builds the CDG by tracing every ordered `(src, dest)` pair under
+    /// `routing`.
+    ///
+    /// Cost is `O(n^2 * path length)` — fine for the paper's system sizes
+    /// (80–192 nodes); intended for validation and tests, not inner loops.
+    pub fn build(topo: &Topology, routing: &dyn RouteComputer) -> Self {
+        let mut channels = Vec::new();
+        let mut index = HashMap::new();
+        for n in topo.nodes() {
+            for (p, _) in n.links() {
+                if topo.is_link_faulty(n.id, p) {
+                    continue;
+                }
+                let ch = GlobalChannel { from: n.id, out: p };
+                index.insert(ch, channels.len());
+                channels.push(ch);
+            }
+        }
+        let mut edges: Vec<HashSet<usize>> = vec![HashSet::new(); channels.len()];
+
+        let nodes: Vec<NodeId> = topo.nodes().iter().map(|n| n.id).collect();
+        for &src in &nodes {
+            for &dest in &nodes {
+                if src == dest {
+                    continue;
+                }
+                let plan = routing.plan(topo, src, dest);
+                let mut cur = src;
+                let mut in_port = Port::Local;
+                let mut prev: Option<usize> = None;
+                let mut hops = 0;
+                while cur != dest {
+                    let p = routing.route(topo, cur, in_port, &plan);
+                    debug_assert_ne!(p, Port::Local);
+                    let ch = index[&GlobalChannel { from: cur, out: p }];
+                    if let Some(prev) = prev {
+                        edges[prev].insert(ch);
+                    }
+                    prev = Some(ch);
+                    cur = topo
+                        .neighbor(cur, p)
+                        .unwrap_or_else(|| panic!("route uses missing link {cur}:{p}"));
+                    in_port = p.opposite();
+                    hops += 1;
+                    assert!(hops <= 4 * topo.num_nodes(), "routing livelock {src}->{dest}");
+                }
+            }
+        }
+        Self { channels, index, edges }
+    }
+
+    /// Number of channels.
+    pub fn num_channels(&self) -> usize {
+        self.channels.len()
+    }
+
+    /// Number of dependency edges.
+    pub fn num_edges(&self) -> usize {
+        self.edges.iter().map(HashSet::len).sum()
+    }
+
+    /// Finds one dependency cycle as a channel sequence, or `None` when the
+    /// graph is acyclic.
+    pub fn find_cycle(&self) -> Option<Vec<GlobalChannel>> {
+        #[derive(Clone, Copy, PartialEq)]
+        enum Color {
+            White,
+            Grey,
+            Black,
+        }
+        let n = self.channels.len();
+        let mut color = vec![Color::White; n];
+        let mut parent: Vec<Option<usize>> = vec![None; n];
+        let adj: Vec<Vec<usize>> = self
+            .edges
+            .iter()
+            .map(|s| {
+                let mut v: Vec<usize> = s.iter().copied().collect();
+                v.sort_unstable();
+                v
+            })
+            .collect();
+        for start in 0..n {
+            if color[start] != Color::White {
+                continue;
+            }
+            let mut stack: Vec<(usize, usize)> = vec![(start, 0)];
+            color[start] = Color::Grey;
+            while let Some(&(u, ei)) = stack.last() {
+                if ei < adj[u].len() {
+                    let v = adj[u][ei];
+                    stack.last_mut().expect("non-empty").1 += 1;
+                    match color[v] {
+                        Color::White => {
+                            color[v] = Color::Grey;
+                            parent[v] = Some(u);
+                            stack.push((v, 0));
+                        }
+                        Color::Grey => {
+                            let mut cycle = vec![self.channels[u]];
+                            let mut cur = u;
+                            while cur != v {
+                                cur = parent[cur].expect("grey chain");
+                                cycle.push(self.channels[cur]);
+                            }
+                            cycle.reverse();
+                            return Some(cycle);
+                        }
+                        Color::Black => {}
+                    }
+                } else {
+                    color[u] = Color::Black;
+                    stack.pop();
+                }
+            }
+        }
+        None
+    }
+
+    /// True when no dependency cycle exists (the routed system cannot
+    /// deadlock, whatever the traffic).
+    pub fn is_acyclic(&self) -> bool {
+        self.find_cycle().is_none()
+    }
+
+    /// True if channel `ch` participates in the graph.
+    pub fn contains(&self, ch: GlobalChannel) -> bool {
+        self.index.contains_key(&ch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::routing::ChipletRouting;
+    use crate::topology::ChipletSystemSpec;
+
+    #[test]
+    fn unrestricted_three_leg_routing_is_globally_cyclic() {
+        // The reproduction's premise, stated formally: the actually-used
+        // dependency graph of XY + static binding over the baseline system
+        // contains cycles, and every cycle crosses a vertical link.
+        let topo = ChipletSystemSpec::baseline().build(0).unwrap();
+        let cdg = GlobalCdg::build(&topo, &ChipletRouting::xy());
+        let cycle = cdg.find_cycle().expect("integration must induce cycles");
+        assert!(
+            cycle.iter().any(|c| c.out.is_vertical()),
+            "every integration-induced cycle crosses a vertical link: {cycle:?}"
+        );
+        // And specifically, some channel in the cycle is an upward link —
+        // the upward-packet insight of Sec. IV-A.
+        assert!(
+            cycle.iter().any(|c| c.out == Port::Up),
+            "the cycle must contain an upward vertical channel: {cycle:?}"
+        );
+    }
+
+    #[test]
+    fn large_system_is_also_cyclic() {
+        let topo = ChipletSystemSpec::large().build(0).unwrap();
+        let cdg = GlobalCdg::build(&topo, &ChipletRouting::xy());
+        assert!(!cdg.is_acyclic());
+    }
+
+    #[test]
+    fn cdg_counts_are_sane() {
+        let topo = ChipletSystemSpec::baseline().build(0).unwrap();
+        let cdg = GlobalCdg::build(&topo, &ChipletRouting::xy());
+        // 4 chiplets x 48 + interposer 48 internal mesh channels...
+        // just sanity-bound the totals.
+        assert!(cdg.num_channels() > 200);
+        assert!(cdg.num_edges() > cdg.num_channels());
+        let some = GlobalChannel {
+            from: topo.chiplets()[0].boundary_routers[0],
+            out: Port::Down,
+        };
+        assert!(cdg.contains(some));
+    }
+}

@@ -1,0 +1,298 @@
+//! Table-based routing for irregular (faulty) regions.
+//!
+//! When links fail (Fig. 11), XY no longer connects every pair. Each region
+//! then falls back to shortest-path routing over the surviving links, made
+//! locally deadlock-free with up*/down* turn legality derived from a BFS
+//! spanning tree (the reconfiguration style of ARIADNE and up*/down*
+//! routing, which the paper names as the locally-optimised routing of
+//! irregular chiplets).
+
+use crate::ids::{NodeId, Port};
+use crate::topology::{Region, Topology};
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, VecDeque};
+
+/// Direction of a directed link relative to the region's BFS spanning tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+enum LinkDir {
+    /// Toward the root (lower BFS level, ties broken by lower node id).
+    Up,
+    /// Away from the root.
+    Down,
+}
+
+/// Per-region routing tables with up*/down* legality.
+///
+/// Lookup is `next_port(node, in_port, target)` where `target` lies in the
+/// same region as `node`. Tables are rebuilt whenever the fault set changes.
+///
+/// # Examples
+///
+/// ```
+/// use upp_noc::topology::{ChipletSystemSpec, Region};
+/// use upp_noc::routing::table::RouteTables;
+/// use upp_noc::ids::Port;
+///
+/// let topo = ChipletSystemSpec::baseline().build(0).expect("valid spec");
+/// let tables = RouteTables::build(&topo);
+/// let c = &topo.chiplets()[0];
+/// let port = tables
+///     .next_port(c.routers[0], Port::Local, c.routers[15])
+///     .expect("connected region");
+/// assert!(port.is_mesh());
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RouteTables {
+    /// `(node, in_port, target) -> out_port` for every reachable combination.
+    next: HashMap<(NodeId, Port, NodeId), Port>,
+    /// BFS level of each node within its region (diagnostics / tests).
+    level: HashMap<NodeId, u32>,
+}
+
+impl RouteTables {
+    /// Builds tables for every region of `topo`, honouring its current fault
+    /// set.
+    pub fn build(topo: &Topology) -> Self {
+        let mut regions: Vec<Region> =
+            topo.chiplets().iter().map(|c| Region::Chiplet(c.id)).collect();
+        regions.push(Region::Interposer);
+
+        let mut next = HashMap::new();
+        let mut level = HashMap::new();
+        for r in regions {
+            Self::build_region(topo, r, &mut next, &mut level);
+        }
+        Self { next, level }
+    }
+
+    fn build_region(
+        topo: &Topology,
+        region: Region,
+        next: &mut HashMap<(NodeId, Port, NodeId), Port>,
+        level_out: &mut HashMap<NodeId, u32>,
+    ) {
+        let members = topo.region_nodes(region).to_vec();
+        let member_set: HashMap<NodeId, ()> = members.iter().map(|&n| (n, ())).collect();
+        let in_region = |n: NodeId| member_set.contains_key(&n);
+
+        // BFS levels from the lowest-id root over surviving links.
+        let root = *members.iter().min().expect("regions are non-empty");
+        let mut level: HashMap<NodeId, u32> = HashMap::new();
+        level.insert(root, 0);
+        let mut q = VecDeque::from([root]);
+        while let Some(n) = q.pop_front() {
+            let l = level[&n];
+            for p in Port::ALL {
+                if !p.is_mesh() {
+                    continue;
+                }
+                if let Some(m) = topo.neighbor(n, p) {
+                    if in_region(m) && !level.contains_key(&m) {
+                        level.insert(m, l + 1);
+                        q.push_back(m);
+                    }
+                }
+            }
+        }
+        level_out.extend(level.iter().map(|(&n, &l)| (n, l)));
+
+        // Direction of a traversal n -> m.
+        let dir = |n: NodeId, m: NodeId| -> LinkDir {
+            let (ln, lm) = (level[&n], level[&m]);
+            if lm < ln || (lm == ln && m < n) {
+                LinkDir::Up
+            } else {
+                LinkDir::Down
+            }
+        };
+
+        // A turn at node n (arrived via in_port, leaving via out) is legal if
+        // it does not go Up after having gone Down. Arrivals from Local, Up
+        // or Down ports (injection / vertical links) may depart anywhere.
+        let turn_legal = |n: NodeId, in_port: Port, out: Port, m: NodeId| -> bool {
+            if in_port == out {
+                return false; // no U-turns
+            }
+            if !in_port.is_mesh() {
+                return true;
+            }
+            let prev = topo
+                .neighbor(n, in_port)
+                .expect("in_port arrivals come over existing links");
+            let d_in = dir(prev, n);
+            let d_out = dir(n, m);
+            !(d_in == LinkDir::Down && d_out == LinkDir::Up)
+        };
+
+        // Reverse BFS per target over (node, in_port) states.
+        for &target in &members {
+            let mut dist: HashMap<(NodeId, Port), u32> = HashMap::new();
+            let mut q: VecDeque<(NodeId, Port)> = VecDeque::new();
+            for p in Port::ALL {
+                dist.insert((target, p), 0);
+                q.push_back((target, p));
+            }
+            while let Some((m, ip_m)) = q.pop_front() {
+                let d = dist[&(m, ip_m)];
+                // Predecessor n reaches (m, ip_m) by leaving through
+                // p = ip_m.opposite().
+                let p = ip_m.opposite();
+                if !p.is_mesh() {
+                    continue;
+                }
+                let Some(n) = topo.neighbor(m, ip_m) else { continue };
+                if !in_region(n) {
+                    continue;
+                }
+                for inp in Port::ALL {
+                    if inp.is_mesh() && topo.neighbor(n, inp).is_none_or(|x| !in_region(x)) {
+                        continue; // no such arrival possible
+                    }
+                    if !turn_legal(n, inp, p, m) {
+                        continue;
+                    }
+                    let key = (n, inp);
+                    if let std::collections::hash_map::Entry::Vacant(e) = dist.entry(key) {
+                        e.insert(d + 1);
+                        next.insert((n, inp, target), p);
+                        q.push_back(key);
+                    }
+                }
+            }
+        }
+    }
+
+    /// The next output port at `node` (arrived via `in_port`) toward
+    /// `target`, or `None` if no legal path exists.
+    #[inline]
+    pub fn next_port(&self, node: NodeId, in_port: Port, target: NodeId) -> Option<Port> {
+        if node == target {
+            return Some(Port::Local);
+        }
+        self.next.get(&(node, in_port, target)).copied()
+    }
+
+    /// BFS level of a node within its region.
+    pub fn level(&self, node: NodeId) -> Option<u32> {
+        self.level.get(&node).copied()
+    }
+
+    /// Verifies that every ordered pair within every region is routable from
+    /// every feasible arrival port.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first unroutable `(node, in_port, target)` combination.
+    pub fn verify_full_connectivity(&self, topo: &Topology) -> Result<(), String> {
+        let mut regions: Vec<Region> =
+            topo.chiplets().iter().map(|c| Region::Chiplet(c.id)).collect();
+        regions.push(Region::Interposer);
+        for r in regions {
+            let members = topo.region_nodes(r);
+            for &n in members {
+                for &t in members {
+                    if n == t {
+                        continue;
+                    }
+                    for inp in [Port::Local, Port::Up, Port::Down] {
+                        // Non-mesh arrivals are always feasible entry points
+                        // (injection and vertical links).
+                        if inp != Port::Local && topo.raw_neighbor(n, inp).is_none() {
+                            continue;
+                        }
+                        if self.next_port(n, inp, t).is_none() {
+                            return Err(format!("no legal route {n} (in {inp}) -> {t}"));
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::chiplet::inject_random_faults;
+    use crate::topology::ChipletSystemSpec;
+
+    #[test]
+    fn healthy_mesh_routes_everything() {
+        let topo = ChipletSystemSpec::baseline().build(0).unwrap();
+        let tables = RouteTables::build(&topo);
+        tables.verify_full_connectivity(&topo).unwrap();
+    }
+
+    #[test]
+    fn faulty_mesh_still_routes_everything() {
+        for seed in 0..4 {
+            let mut topo = ChipletSystemSpec::baseline().build(0).unwrap();
+            inject_random_faults(&mut topo, 12, seed).unwrap();
+            let tables = RouteTables::build(&topo);
+            tables.verify_full_connectivity(&topo).unwrap();
+        }
+    }
+
+    #[test]
+    fn routes_avoid_faulty_links() {
+        let mut topo = ChipletSystemSpec::baseline().build(0).unwrap();
+        let failed = inject_random_faults(&mut topo, 8, 5).unwrap();
+        let tables = RouteTables::build(&topo);
+        let c = &topo.chiplets()[0];
+        for &src in &c.routers {
+            for &dst in &c.routers {
+                if src == dst {
+                    continue;
+                }
+                // Walk the tables and assert no faulty link is used.
+                let mut cur = src;
+                let mut inp = Port::Local;
+                let mut hops = 0;
+                while cur != dst {
+                    let p = tables.next_port(cur, inp, dst).unwrap();
+                    assert!(
+                        !topo.is_link_faulty(cur, p),
+                        "route {src}->{dst} uses faulty link {cur}:{p} (failed: {failed:?})"
+                    );
+                    let nxt = topo.neighbor(cur, p).unwrap();
+                    inp = p.opposite();
+                    cur = nxt;
+                    hops += 1;
+                    assert!(hops < 64, "route {src}->{dst} does not terminate");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn updown_walks_terminate_from_vertical_arrivals() {
+        let mut topo = ChipletSystemSpec::baseline().build(0).unwrap();
+        inject_random_faults(&mut topo, 10, 11).unwrap();
+        let tables = RouteTables::build(&topo);
+        let c = &topo.chiplets()[1];
+        for &b in &c.boundary_routers {
+            for &dst in &c.routers {
+                let mut cur = b;
+                let mut inp = Port::Down; // entering from the vertical link
+                let mut hops = 0;
+                while cur != dst {
+                    let p = tables.next_port(cur, inp, dst).unwrap();
+                    cur = topo.neighbor(cur, p).unwrap();
+                    inp = p.opposite();
+                    hops += 1;
+                    assert!(hops < 64);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn levels_cover_all_nodes() {
+        let topo = ChipletSystemSpec::baseline().build(0).unwrap();
+        let tables = RouteTables::build(&topo);
+        for n in topo.nodes() {
+            assert!(tables.level(n.id).is_some());
+        }
+    }
+}

@@ -1,0 +1,151 @@
+//! Dimension-ordered (XY) routing within one mesh region.
+
+use crate::ids::{NodeId, Port};
+use crate::topology::Topology;
+
+/// The port an XY-routed packet takes at `node` toward `target`.
+///
+/// Both nodes must belong to the same region. X is fully resolved before Y,
+/// which makes the intra-region channel dependency graph acyclic.
+///
+/// # Panics
+///
+/// Panics if the nodes are in different regions or if `node == target`.
+pub fn xy_step(topo: &Topology, node: NodeId, target: NodeId) -> Port {
+    let (n, t) = (topo.node(node), topo.node(target));
+    assert_eq!(n.region, t.region, "xy_step routes within one region");
+    assert_ne!(node, target, "xy_step needs a remote target");
+    if t.x > n.x {
+        Port::East
+    } else if t.x < n.x {
+        Port::West
+    } else if t.y > n.y {
+        Port::North
+    } else {
+        Port::South
+    }
+}
+
+/// The port through which an XY-routed packet from `src` *arrives* at
+/// `target` (i.e. the input port of the final hop), or `Port::Local` when
+/// `src == target`.
+///
+/// Used by turn-legality analyses: the arrival direction determines which
+/// turn a packet would take into a vertical link at a boundary router.
+pub fn xy_arrival_port(topo: &Topology, src: NodeId, target: NodeId) -> Port {
+    if src == target {
+        return Port::Local;
+    }
+    let (s, t) = (topo.node(src), topo.node(target));
+    assert_eq!(s.region, t.region, "xy_arrival_port routes within one region");
+    if s.y != t.y {
+        // The last move is in Y.
+        if t.y > s.y {
+            Port::South // entered moving north, i.e. from the south side
+        } else {
+            Port::North
+        }
+    } else if t.x > s.x {
+        Port::West
+    } else {
+        Port::East
+    }
+}
+
+/// The first port an XY-routed packet takes when departing `src` toward
+/// `target`, or `Port::Local` when they coincide.
+pub fn xy_departure_port(topo: &Topology, src: NodeId, target: NodeId) -> Port {
+    if src == target {
+        Port::Local
+    } else {
+        xy_step(topo, src, target)
+    }
+}
+
+/// True if the mesh-to-mesh turn `(in_port, out_port)` is legal under XY
+/// dimension order (no U-turns, no Y-to-X turns).
+///
+/// Turns involving `Local`, `Up` or `Down` are outside XY's jurisdiction and
+/// are reported legal here; vertical-turn legality is governed by
+/// [`crate::routing::turns::TurnRestrictions`].
+pub fn xy_turn_legal(in_port: Port, out_port: Port) -> bool {
+    if !in_port.is_mesh() || !out_port.is_mesh() {
+        return true;
+    }
+    if in_port == out_port {
+        return false; // U-turn: leaving through the port it arrived on
+    }
+    // A packet arriving on an X-side port was moving in X; it may continue in
+    // X or turn to Y. A packet arriving on a Y-side port must stay in Y.
+    if in_port.is_y() && out_port.is_x() {
+        return false;
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::ChipletSystemSpec;
+
+    fn topo() -> Topology {
+        ChipletSystemSpec::baseline().build(0).unwrap()
+    }
+
+    #[test]
+    fn x_before_y() {
+        let t = topo();
+        let c = &t.chiplets()[0];
+        let at = |x: u16, y: u16| c.routers[(y * c.width + x) as usize];
+        assert_eq!(xy_step(&t, at(0, 0), at(3, 3)), Port::East);
+        assert_eq!(xy_step(&t, at(3, 0), at(3, 3)), Port::North);
+        assert_eq!(xy_step(&t, at(3, 3), at(0, 3)), Port::West);
+        assert_eq!(xy_step(&t, at(0, 3), at(0, 0)), Port::South);
+    }
+
+    #[test]
+    fn walk_terminates_at_target() {
+        let t = topo();
+        let c = &t.chiplets()[1];
+        for &src in &c.routers {
+            for &dst in &c.routers {
+                if src == dst {
+                    continue;
+                }
+                let mut cur = src;
+                let mut hops = 0;
+                while cur != dst {
+                    let p = xy_step(&t, cur, dst);
+                    cur = t.raw_neighbor(cur, p).expect("XY step must follow an existing link");
+                    hops += 1;
+                    assert!(hops <= 16, "XY must be minimal in a 4x4 mesh");
+                }
+                assert_eq!(hops, t.manhattan(src, dst));
+            }
+        }
+    }
+
+    #[test]
+    fn arrival_and_departure_ports() {
+        let t = topo();
+        let c = &t.chiplets()[0];
+        let at = |x: u16, y: u16| c.routers[(y * c.width + x) as usize];
+        // Moving north overall: final hop enters from the south.
+        assert_eq!(xy_arrival_port(&t, at(0, 0), at(2, 2)), Port::South);
+        // Same row: pure X; arrives from the west when moving east.
+        assert_eq!(xy_arrival_port(&t, at(0, 1), at(3, 1)), Port::West);
+        assert_eq!(xy_arrival_port(&t, at(2, 2), at(2, 2)), Port::Local);
+        assert_eq!(xy_departure_port(&t, at(0, 0), at(2, 0)), Port::East);
+        assert_eq!(xy_departure_port(&t, at(1, 1), at(1, 1)), Port::Local);
+    }
+
+    #[test]
+    fn turn_legality_is_xy() {
+        assert!(xy_turn_legal(Port::West, Port::North)); // X then Y
+        assert!(!xy_turn_legal(Port::North, Port::East)); // Y to X forbidden
+        assert!(!xy_turn_legal(Port::East, Port::East)); // U-turn (in from East = moving West)
+        assert!(xy_turn_legal(Port::West, Port::East)); // straight through
+        assert!(xy_turn_legal(Port::Local, Port::North));
+        assert!(xy_turn_legal(Port::Down, Port::East));
+    }
+}

@@ -1,0 +1,216 @@
+//! White-box tests of the control-plane datapath: forward signals record
+//! circuits and reach NI inboxes, reverse signals retrace the recorded path,
+//! and a manually-orchestrated popup moves a packet through the bypass path
+//! into a reserved ejection entry — i.e. the raw mechanisms `upp-core`
+//! drives, exercised without the UPP policy.
+
+use std::sync::Arc;
+use upp_noc::config::NocConfig;
+use upp_noc::control::{ControlClass, ControlMsg, ControlRoute};
+use upp_noc::ids::{NodeId, Port, VnetId};
+use upp_noc::network::Network;
+use upp_noc::ni::ConsumePolicy;
+use upp_noc::routing::ChipletRouting;
+use upp_noc::scheme::NoScheme;
+use upp_noc::sim::System;
+use upp_noc::topology::ChipletSystemSpec;
+
+fn sys() -> System {
+    let topo = ChipletSystemSpec::baseline().build(0).unwrap();
+    let net = Network::new(
+        NocConfig::default(),
+        topo,
+        Arc::new(ChipletRouting::xy()),
+        ConsumePolicy::Immediate { latency: 1 },
+        9,
+    );
+    System::new(net, Box::new(NoScheme))
+}
+
+/// An interposer router with an Up link and a destination inside the chiplet
+/// above it, plus the routing plan between them.
+fn popup_endpoints(sysm: &System) -> (NodeId, NodeId) {
+    let topo = sysm.net().topo();
+    let origin = topo
+        .interposer_routers()
+        .iter()
+        .copied()
+        .find(|&n| topo.above(n).is_some())
+        .expect("baseline has vertical links");
+    let boundary = topo.above(origin).unwrap();
+    let chiplet = topo.chiplet_of(boundary).unwrap();
+    // A destination bound to this boundary router, at distance > 0.
+    let dest = topo
+        .chiplet(chiplet)
+        .routers
+        .iter()
+        .copied()
+        .find(|&r| r != boundary && topo.bound_boundary(r) == boundary)
+        .expect("some router binds to this boundary");
+    (origin, dest)
+}
+
+fn req_msg(sysm: &System, origin: NodeId, dest: NodeId, vnet: VnetId) -> ControlMsg {
+    ControlMsg {
+        class: ControlClass::ReqLike,
+        bits: 0xABC,
+        vnet,
+        routing: ControlRoute::Forward,
+        route: sysm.net().plan_route(origin, dest),
+        origin,
+        circuit_key: dest,
+        record_circuit: true,
+        deliver_to_ni: true,
+    }
+}
+
+#[test]
+fn forward_signal_reaches_ni_and_records_circuits() {
+    let mut s = sys();
+    let (origin, dest) = popup_endpoints(&s);
+    let vnet = VnetId(1);
+    let msg = req_msg(&s, origin, dest, vnet);
+    s.net_mut().send_control(origin, msg);
+    // Let it traverse: a handful of hops at 3 cycles each.
+    s.run(40);
+    let inbox = s.net_mut().take_ni_inbox(dest);
+    assert_eq!(inbox.len(), 1, "req must be delivered to the destination NI");
+    assert_eq!(inbox[0].msg.bits, 0xABC);
+    // Circuits recorded along the whole path from the boundary router to the
+    // destination (the origin's own hop is the Up link itself).
+    let topo = s.net().topo();
+    let routing = Arc::clone(s.net().routing());
+    let route = s.net().plan_route(origin, dest);
+    let mut cur = topo.above(origin).unwrap();
+    let mut in_port = Port::Down;
+    loop {
+        let entry = s
+            .net()
+            .router(cur)
+            .circuit(vnet, dest)
+            .unwrap_or_else(|| panic!("no circuit recorded at {cur}"));
+        assert_eq!(entry.in_port, in_port, "circuit input side at {cur}");
+        if cur == dest {
+            assert_eq!(entry.out_port, Port::Local, "destination circuit ends at the NI");
+            break;
+        }
+        let expected = routing.route(topo, cur, in_port, &route);
+        assert_eq!(entry.out_port, expected, "circuit output side at {cur}");
+        cur = topo.neighbor(cur, entry.out_port).unwrap();
+        in_port = entry.out_port.opposite();
+    }
+}
+
+#[test]
+fn reverse_signal_retraces_the_recorded_path() {
+    let mut s = sys();
+    let (origin, dest) = popup_endpoints(&s);
+    let vnet = VnetId(0);
+    let msg = req_msg(&s, origin, dest, vnet);
+    s.net_mut().send_control(origin, msg);
+    s.run(40);
+    assert_eq!(s.net_mut().take_ni_inbox(dest).len(), 1);
+    // Now send the ack back along the reverse path.
+    let ack = ControlMsg {
+        class: ControlClass::AckLike,
+        bits: 0x5,
+        vnet,
+        routing: ControlRoute::Reverse,
+        route: upp_noc::packet::RouteInfo::intra(origin),
+        origin: dest,
+        circuit_key: dest,
+        record_circuit: false,
+        deliver_to_ni: false,
+    };
+    s.net_mut().send_control(dest, ack);
+    s.run(40);
+    let inbox = s.net_mut().take_router_inbox(origin);
+    assert_eq!(inbox.len(), 1, "ack must terminate at the origin interposer router");
+    assert_eq!(inbox[0].msg.bits, 0x5);
+}
+
+#[test]
+fn reverse_signal_without_circuit_is_dropped() {
+    let mut s = sys();
+    let (origin, dest) = popup_endpoints(&s);
+    let ack = ControlMsg {
+        class: ControlClass::AckLike,
+        bits: 0x5,
+        vnet: VnetId(2),
+        routing: ControlRoute::Reverse,
+        route: upp_noc::packet::RouteInfo::intra(origin),
+        origin: dest,
+        circuit_key: dest,
+        record_circuit: false,
+        deliver_to_ni: false,
+    };
+    s.net_mut().send_control(dest, ack);
+    s.run(40);
+    assert!(s.net_mut().take_router_inbox(origin).is_empty(), "orphan acks are dropped");
+}
+
+#[test]
+fn manual_popup_delivers_through_bypass_into_reserved_entry() {
+    let mut s = sys();
+    let (origin, dest) = popup_endpoints(&s);
+    let vnet = VnetId(2);
+
+    // Inject a data packet from a remote chiplet so it ascends at `origin`.
+    let topo = s.net().topo();
+    let far_chiplet = topo
+        .chiplets()
+        .iter()
+        .find(|c| Some(c.id) != topo.chiplet_of(dest))
+        .unwrap();
+    let src = far_chiplet.routers[0];
+    s.send(src, dest, vnet, 5).unwrap();
+
+    // Walk it until its head flit is buffered at the origin interposer
+    // router wanting Up (freeze nothing yet; low load so it would normally
+    // just proceed — freeze the VC the moment we see it).
+    let mut cand = None;
+    for _ in 0..200 {
+        s.step();
+        let c = s.net().upward_candidates(origin, vnet);
+        if let Some(&c0) = c.first() {
+            s.net_mut().router_mut(origin).set_vc_frozen(c0.in_port, c0.vc_flat, true);
+            cand = Some(c0);
+            break;
+        }
+    }
+    let cand = cand.expect("packet must stall upward at the origin at least one cycle");
+    assert_eq!(cand.dest, dest);
+
+    // Protocol: req -> reservation -> pops through the bypass.
+    let msg = req_msg(&s, origin, dest, vnet);
+    s.net_mut().send_control(origin, msg);
+    s.run(40);
+    assert_eq!(s.net_mut().take_ni_inbox(dest).len(), 1);
+    assert!(s.net_mut().try_reserve_ejection(dest, vnet), "entry reserves");
+
+    let mut popped = 0;
+    for _ in 0..200 {
+        if s.net().bypass_pending(origin) <= 1 {
+            if let Some(f) = s.net_mut().pop_upward_flit(origin, cand.in_port, cand.vc_flat) {
+                popped += 1;
+                if f.kind.is_tail() {
+                    break;
+                }
+            }
+        }
+        s.step();
+    }
+    assert_eq!(popped, 5, "all five flits popped");
+    // Let the bypass deliver the tail.
+    for _ in 0..60 {
+        s.step();
+    }
+    let stats = s.net().stats();
+    assert_eq!(stats.packets_ejected, 1, "the popped packet is delivered");
+    assert!(stats.bypass_hops >= 5, "flits crossed via the bypass path");
+    assert_eq!(
+        s.net().ni(dest).reservations(vnet),
+        0,
+        "the upward head consumed the reservation"
+    );
+}

@@ -1,0 +1,110 @@
+//! Property tests over topologies and routing: every route terminates at its
+//! destination, never uses faulty links, crosses the vertical boundary the
+//! right number of times, and the static binding invariant of Sec. V-D holds
+//! for every seed.
+
+use proptest::prelude::*;
+use std::sync::Arc;
+use upp_noc::ids::Port;
+use upp_noc::routing::{trace_route, ChipletRouting, RouteComputer, RouteTables};
+use upp_noc::topology::{chiplet::inject_random_faults, ChipletSystemSpec, SystemKind};
+
+fn system_kind() -> impl Strategy<Value = SystemKind> {
+    prop_oneof![
+        Just(SystemKind::Baseline),
+        Just(SystemKind::Large),
+        Just(SystemKind::BoundaryCount(2)),
+        Just(SystemKind::BoundaryCount(8)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn topologies_validate_for_any_seed(kind in system_kind(), seed in 0u64..1_000) {
+        let topo = ChipletSystemSpec::of_kind(kind).build(seed).expect("spec builds");
+        topo.validate().expect("built topologies validate");
+        // Binding is minimal-distance for every router.
+        for c in topo.chiplets() {
+            for &r in &c.routers {
+                let d = topo.manhattan(r, topo.bound_boundary(r));
+                for &b in &c.boundary_routers {
+                    prop_assert!(topo.manhattan(r, b) >= d);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn xy_routes_terminate_and_cross_once(
+        kind in system_kind(),
+        seed in 0u64..100,
+        si in 0usize..4096,
+        di in 0usize..4096,
+    ) {
+        let topo = ChipletSystemSpec::of_kind(kind).build(seed).expect("spec builds");
+        let nodes: Vec<_> = topo.nodes().iter().map(|n| n.id).collect();
+        let (src, dest) = (nodes[si % nodes.len()], nodes[di % nodes.len()]);
+        prop_assume!(src != dest);
+        let routing = ChipletRouting::xy();
+        let hops = trace_route(&topo, &routing, src, dest);
+        prop_assert_eq!(hops.last().map(|&(n, _)| n), Some(dest));
+        let downs = hops.iter().filter(|&&(_, p)| p == Port::Down).count();
+        let ups = hops.iter().filter(|&&(_, p)| p == Port::Up).count();
+        let plan = routing.plan(&topo, src, dest);
+        prop_assert_eq!(downs, usize::from(plan.class.descends()));
+        prop_assert_eq!(ups, usize::from(plan.class.ascends()));
+    }
+
+    #[test]
+    fn faulty_routes_avoid_failed_links(
+        faults in 1usize..16,
+        fault_seed in 0u64..50,
+        si in 0usize..4096,
+        di in 0usize..4096,
+    ) {
+        let mut topo = ChipletSystemSpec::baseline().build(0).expect("spec builds");
+        prop_assume!(inject_random_faults(&mut topo, faults, fault_seed).is_ok());
+        let tables = Arc::new(RouteTables::build(&topo));
+        let routing = ChipletRouting::with_tables(tables);
+        let nodes: Vec<_> = topo.nodes().iter().map(|n| n.id).collect();
+        let (src, dest) = (nodes[si % nodes.len()], nodes[di % nodes.len()]);
+        prop_assume!(src != dest);
+        let hops = trace_route(&topo, &routing, src, dest);
+        for &(n, p) in &hops {
+            if p != Port::Local {
+                prop_assert!(!topo.is_link_faulty(n, p), "route uses faulty {n}:{p}");
+            }
+        }
+        prop_assert_eq!(hops.last().map(|&(n, _)| n), Some(dest));
+    }
+
+    #[test]
+    fn entry_binding_is_destination_determined(
+        seed in 0u64..100,
+        di in 0usize..64,
+        s1 in 0usize..64,
+        s2 in 0usize..64,
+    ) {
+        // Sec. V-D: all packets to one chiplet router enter its chiplet via
+        // the same interposer router, regardless of source.
+        let topo = ChipletSystemSpec::baseline().build(seed).expect("spec builds");
+        let cores: Vec<_> = topo
+            .chiplets()
+            .iter()
+            .flat_map(|c| c.routers.iter().copied())
+            .collect();
+        let dest = cores[di % cores.len()];
+        let routing = ChipletRouting::xy();
+        let mut entries = Vec::new();
+        for &src in &[cores[s1 % cores.len()], cores[s2 % cores.len()]] {
+            if topo.chiplet_of(src) == topo.chiplet_of(dest) {
+                continue;
+            }
+            entries.push(routing.plan(&topo, src, dest).entry_interposer);
+        }
+        entries.dedup();
+        prop_assert!(entries.len() <= 1, "entry interposer must be unique per destination");
+    }
+}

@@ -1,0 +1,389 @@
+//! Experiment infrastructure: system construction for every scheme, latency
+//! sweeps, and saturation-point extraction.
+
+use crate::synthetic::{Pattern, SyntheticTraffic};
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+use upp_baselines::composable::Composable;
+use upp_baselines::remote::{RemoteControl, RemoteControlConfig};
+use upp_core::{Upp, UppConfig, UppStatsHandle};
+use upp_noc::config::NocConfig;
+use upp_noc::ni::ConsumePolicy;
+use upp_noc::routing::{ChipletRouting, RouteTables};
+use upp_noc::sim::System;
+use upp_noc::topology::{chiplet::inject_random_faults, ChipletSystemSpec, Topology};
+use upp_noc::Network;
+
+/// Which deadlock-freedom scheme to instantiate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SchemeKind {
+    /// Unprotected reference (deadlocks under load).
+    None,
+    /// Upward Packet Popup.
+    Upp(UppConfig),
+    /// Composable routing (turn restrictions).
+    Composable,
+    /// Remote control (injection control).
+    RemoteControl,
+}
+
+impl SchemeKind {
+    /// The three schemes compared throughout the evaluation.
+    pub fn evaluated() -> Vec<SchemeKind> {
+        vec![SchemeKind::Composable, SchemeKind::RemoteControl, SchemeKind::Upp(UppConfig::default())]
+    }
+
+    /// Label used in experiment tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            SchemeKind::None => "none",
+            SchemeKind::Upp(_) => "UPP",
+            SchemeKind::Composable => "composable",
+            SchemeKind::RemoteControl => "remote-control",
+        }
+    }
+}
+
+/// A constructed system plus handles the harness needs.
+pub struct BuiltSystem {
+    /// The system.
+    pub sys: System,
+    /// UPP's recovery statistics, when the scheme is UPP.
+    pub upp_stats: Option<UppStatsHandle>,
+}
+
+/// Builds a system over `topo` for the given scheme.
+///
+/// `faults` marks that many random mesh links faulty (Fig. 11); faulty
+/// topologies switch region routing to up*/down* tables.
+///
+/// # Panics
+///
+/// Panics if the composable search fails or fault injection cannot keep the
+/// regions connected (not observed on the paper's system shapes).
+pub fn build_system(
+    spec: &ChipletSystemSpec,
+    cfg: NocConfig,
+    kind: &SchemeKind,
+    faults: usize,
+    seed: u64,
+    consume: ConsumePolicy,
+) -> BuiltSystem {
+    let mut topo = spec.build(seed).expect("valid system spec");
+    if faults > 0 {
+        inject_random_faults(&mut topo, faults, seed.wrapping_add(1))
+            .expect("fault injection keeps regions connected");
+    }
+    build_on_topology(topo, cfg, kind, seed, consume)
+}
+
+/// Builds a system over an existing topology (for callers that pre-shaped
+/// the fault set).
+pub fn build_on_topology(
+    topo: Topology,
+    cfg: NocConfig,
+    kind: &SchemeKind,
+    seed: u64,
+    consume: ConsumePolicy,
+) -> BuiltSystem {
+    let routing: ChipletRouting = if topo.num_faulty_links() > 0 {
+        ChipletRouting::with_tables(Arc::new(RouteTables::build(&topo)))
+    } else {
+        ChipletRouting::xy()
+    };
+    match kind {
+        SchemeKind::None => {
+            let net = Network::new(cfg, topo, Arc::new(routing), consume, seed);
+            BuiltSystem { sys: System::new(net, Box::new(upp_noc::NoScheme)), upp_stats: None }
+        }
+        SchemeKind::Upp(ucfg) => {
+            let net = Network::new(cfg, topo, Arc::new(routing), consume, seed);
+            let upp = Upp::new(*ucfg);
+            let stats = upp.stats_handle();
+            BuiltSystem { sys: System::new(net, Box::new(upp)), upp_stats: Some(stats) }
+        }
+        SchemeKind::Composable => {
+            assert_eq!(
+                topo.num_faulty_links(),
+                0,
+                "the composable search is impractical on faulty systems (Sec. VI-B)"
+            );
+            let (scheme, routing) = Composable::build(&topo).expect("composable search succeeds");
+            let net = Network::new(cfg, topo, Arc::new(routing), consume, seed);
+            BuiltSystem { sys: System::new(net, Box::new(scheme)), upp_stats: None }
+        }
+        SchemeKind::RemoteControl => {
+            let net = Network::new(cfg, topo, Arc::new(routing), consume, seed);
+            BuiltSystem {
+                sys: System::new(
+                    net,
+                    Box::new(RemoteControl::new(RemoteControlConfig::default())),
+                ),
+                upp_stats: None,
+            }
+        }
+    }
+}
+
+/// Warmup/measurement windows (Table II: 10K warmup, 100K measurement).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SweepWindows {
+    /// Warmup cycles (not measured).
+    pub warmup: u64,
+    /// Measured cycles.
+    pub measure: u64,
+}
+
+impl Default for SweepWindows {
+    fn default() -> Self {
+        Self { warmup: 10_000, measure: 100_000 }
+    }
+}
+
+impl SweepWindows {
+    /// Short windows for tests and criterion benches.
+    pub fn quick() -> Self {
+        Self { warmup: 1_000, measure: 5_000 }
+    }
+}
+
+/// One measured sweep point.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SweepPoint {
+    /// Offered load, flits/cycle/node.
+    pub rate: f64,
+    /// Mean network latency of packets finishing in the window.
+    pub net_latency: f64,
+    /// Mean source-queueing latency.
+    pub queue_latency: f64,
+    /// Mean total latency.
+    pub total_latency: f64,
+    /// Delivered throughput, flits/cycle/node.
+    pub throughput: f64,
+    /// Packets ejected in the window.
+    pub packets_ejected: u64,
+    /// Upward packets detected in the window (UPP only; 0 otherwise).
+    pub upward_packets: u64,
+    /// Control-signal link traversals in the window (popup bandwidth cost).
+    pub control_hops: u64,
+    /// True if the watchdog fired during the run (possible only for
+    /// `SchemeKind::None`).
+    pub deadlocked: bool,
+}
+
+/// Runs one `(pattern, rate)` point.
+#[allow(clippy::too_many_arguments)]
+pub fn run_point(
+    spec: &ChipletSystemSpec,
+    cfg: &NocConfig,
+    kind: &SchemeKind,
+    faults: usize,
+    pattern: Pattern,
+    rate: f64,
+    windows: SweepWindows,
+    seed: u64,
+) -> SweepPoint {
+    let mut built = build_system(
+        spec,
+        cfg.clone(),
+        kind,
+        faults,
+        seed,
+        ConsumePolicy::Immediate { latency: 1 },
+    );
+    let mut traffic = {
+        let topo = built.sys.net().topo();
+        SyntheticTraffic::new(topo, pattern, rate, seed)
+    };
+    for _ in 0..windows.warmup {
+        traffic.tick(&mut built.sys);
+        built.sys.step();
+    }
+    built.sys.net_mut().reset_stats();
+    let upward_before = built
+        .upp_stats
+        .as_ref()
+        .map(|h| h.lock().unwrap().upward_packets)
+        .unwrap_or(0);
+    let mut deadlocked = false;
+    for _ in 0..windows.measure {
+        traffic.tick(&mut built.sys);
+        built.sys.step();
+        if built.sys.net().stalled() {
+            deadlocked = true;
+            break;
+        }
+    }
+    let stats = built.sys.net().stats();
+    let nodes = built
+        .sys
+        .net()
+        .topo()
+        .chiplets()
+        .iter()
+        .map(|c| c.routers.len())
+        .sum::<usize>();
+    let upward_after = built
+        .upp_stats
+        .as_ref()
+        .map(|h| h.lock().unwrap().upward_packets)
+        .unwrap_or(0);
+    SweepPoint {
+        rate,
+        net_latency: stats.avg_net_latency(),
+        queue_latency: stats.avg_queue_latency(),
+        total_latency: stats.avg_total_latency(),
+        throughput: stats.throughput(windows.measure, nodes),
+        packets_ejected: stats.packets_ejected,
+        upward_packets: upward_after - upward_before,
+        control_hops: stats.control_hops,
+        deadlocked,
+    }
+}
+
+/// Runs a full latency-vs-injection sweep. Points are independent
+/// simulations and run on parallel threads; results are deterministic and
+/// ordered by rate regardless of scheduling.
+#[allow(clippy::too_many_arguments)]
+pub fn sweep(
+    spec: &ChipletSystemSpec,
+    cfg: &NocConfig,
+    kind: &SchemeKind,
+    faults: usize,
+    pattern: Pattern,
+    rates: &[f64],
+    windows: SweepWindows,
+    seed: u64,
+) -> Vec<SweepPoint> {
+    std::thread::scope(|s| {
+        let handles: Vec<_> = rates
+            .iter()
+            .map(|&r| {
+                s.spawn(move || run_point(spec, cfg, kind, faults, pattern, r, windows, seed))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("sweep point panicked")).collect()
+    })
+}
+
+/// Latency ceiling above which a point counts as saturated (the paper's
+/// plots clip at 100 cycles).
+pub const SATURATION_LATENCY: f64 = 100.0;
+
+/// Extracts the saturation throughput from a sweep: the highest delivered
+/// throughput among points whose total latency stays below
+/// [`SATURATION_LATENCY`] (falling back to the overall max).
+pub fn saturation_throughput(points: &[SweepPoint]) -> f64 {
+    let below: Vec<&SweepPoint> = points
+        .iter()
+        .filter(|p| p.total_latency < SATURATION_LATENCY && p.packets_ejected > 0)
+        .collect();
+    let pool: Box<dyn Iterator<Item = &SweepPoint>> = if below.is_empty() {
+        Box::new(points.iter())
+    } else {
+        Box::new(below.into_iter())
+    };
+    pool.map(|p| p.throughput).fold(0.0, f64::max)
+}
+
+/// Mean pre-saturation latency of a sweep (used for the paper's "reduces
+/// latency by N%" comparisons).
+pub fn presaturation_latency(points: &[SweepPoint]) -> f64 {
+    let sel: Vec<f64> = points
+        .iter()
+        .filter(|p| p.total_latency < SATURATION_LATENCY && p.packets_ejected > 0)
+        .map(|p| p.total_latency)
+        .collect();
+    if sel.is_empty() {
+        f64::NAN
+    } else {
+        sel.iter().sum::<f64>() / sel.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> ChipletSystemSpec {
+        ChipletSystemSpec::baseline()
+    }
+
+    #[test]
+    fn low_load_point_is_unsaturated_for_all_schemes() {
+        for kind in SchemeKind::evaluated() {
+            let p = run_point(
+                &spec(),
+                &NocConfig::default(),
+                &kind,
+                0,
+                Pattern::UniformRandom,
+                0.02,
+                SweepWindows::quick(),
+                1,
+            );
+            assert!(!p.deadlocked, "{}", kind.label());
+            assert!(p.packets_ejected > 100, "{} ejected {}", kind.label(), p.packets_ejected);
+            assert!(
+                p.total_latency < SATURATION_LATENCY,
+                "{} latency {}",
+                kind.label(),
+                p.total_latency
+            );
+        }
+    }
+
+    #[test]
+    fn throughput_tracks_offered_load_below_saturation() {
+        let p = run_point(
+            &spec(),
+            &NocConfig::default(),
+            &SchemeKind::Upp(UppConfig::default()),
+            0,
+            Pattern::UniformRandom,
+            0.04,
+            SweepWindows::quick(),
+            2,
+        );
+        assert!(
+            (p.throughput - 0.04).abs() < 0.012,
+            "delivered {} vs offered 0.04",
+            p.throughput
+        );
+    }
+
+    #[test]
+    fn saturation_extraction() {
+        let mk = |rate, lat, thr| SweepPoint {
+            rate,
+            net_latency: lat,
+            queue_latency: 0.0,
+            total_latency: lat,
+            throughput: thr,
+            packets_ejected: 100,
+            upward_packets: 0,
+            control_hops: 0,
+            deadlocked: false,
+        };
+        let pts = vec![mk(0.02, 30.0, 0.02), mk(0.06, 45.0, 0.06), mk(0.1, 250.0, 0.07)];
+        assert!((saturation_throughput(&pts) - 0.06).abs() < 1e-12);
+        let lat = presaturation_latency(&pts);
+        assert!((lat - 37.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn faulty_builds_use_table_routing_and_run() {
+        let p = run_point(
+            &spec(),
+            &NocConfig::default(),
+            &SchemeKind::Upp(UppConfig::default()),
+            5,
+            Pattern::UniformRandom,
+            0.02,
+            SweepWindows::quick(),
+            3,
+        );
+        assert!(!p.deadlocked);
+        assert!(p.packets_ejected > 50);
+    }
+}

@@ -1,0 +1,48 @@
+//! A Fig. 7-style latency sweep printed as CSV: three schemes, uniform
+//! random traffic, 1 VC per VNet on the baseline system.
+//!
+//! ```text
+//! cargo run --release --example latency_sweep > sweep.csv
+//! ```
+
+use upp::noc::config::NocConfig;
+use upp::noc::topology::ChipletSystemSpec;
+use upp::workloads::runner::{run_point, SchemeKind, SweepWindows};
+use upp::workloads::synthetic::Pattern;
+
+fn main() {
+    let spec = ChipletSystemSpec::baseline();
+    let cfg = NocConfig::default();
+    // Short-ish windows so the example finishes in seconds; the full
+    // reproduction (`repro fig7`) uses the paper's 10K/100K windows.
+    let windows = SweepWindows { warmup: 2_000, measure: 20_000 };
+    let rates = [0.01, 0.02, 0.04, 0.06, 0.08, 0.09, 0.10, 0.11, 0.12];
+
+    println!("scheme,rate,net_latency,queue_latency,total_latency,throughput,upward_packets");
+    for kind in SchemeKind::evaluated() {
+        for &rate in &rates {
+            let p = run_point(
+                &spec,
+                &cfg,
+                &kind,
+                0,
+                Pattern::UniformRandom,
+                rate,
+                windows,
+                7,
+            );
+            println!(
+                "{},{:.3},{:.2},{:.2},{:.2},{:.4},{}",
+                kind.label(),
+                p.rate,
+                p.net_latency,
+                p.queue_latency,
+                p.total_latency,
+                p.throughput,
+                p.upward_packets
+            );
+        }
+        eprintln!("{} swept", kind.label());
+    }
+    eprintln!("done; pipe stdout into your plotter of choice.");
+}
