@@ -42,7 +42,10 @@ impl std::fmt::Display for ComposableError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             Self::NoSolution { chiplet } => {
-                write!(f, "no acyclic connected turn-restriction set for chiplet {chiplet}")
+                write!(
+                    f,
+                    "no acyclic connected turn-restriction set for chiplet {chiplet}"
+                )
             }
         }
     }
@@ -111,7 +114,6 @@ impl ComposableConfig {
     }
 
     fn finish(topo: &Topology, restrictions: TurnRestrictions) -> Result<Self, ComposableError> {
-
         // Verify acyclicity of every chiplet's extended CDG (defence in
         // depth: both constructions guarantee it).
         for c in topo.chiplets() {
@@ -126,13 +128,11 @@ impl ComposableConfig {
         let mut entry_of = HashMap::new();
         for (ci, c) in topo.chiplets().iter().enumerate() {
             for &r in &c.routers {
-                let Some(exit) =
-                    pick_boundary(topo, &restrictions, &c.boundary_routers, r, true)
+                let Some(exit) = pick_boundary(topo, &restrictions, &c.boundary_routers, r, true)
                 else {
                     return Err(ComposableError::NoSolution { chiplet: ci });
                 };
-                let Some(entry) =
-                    pick_boundary(topo, &restrictions, &c.boundary_routers, r, false)
+                let Some(entry) = pick_boundary(topo, &restrictions, &c.boundary_routers, r, false)
                 else {
                     return Err(ComposableError::NoSolution { chiplet: ci });
                 };
@@ -140,7 +140,11 @@ impl ComposableConfig {
                 entry_of.insert(r, entry);
             }
         }
-        Ok(Self { restrictions, exit_of, entry_of })
+        Ok(Self {
+            restrictions,
+            exit_of,
+            entry_of,
+        })
     }
 
     /// The restriction set (for analyses, Table I style reporting and
@@ -151,7 +155,9 @@ impl ComposableConfig {
 
     /// The chiplet routing object to install into the network.
     pub fn routing(self: &Arc<Self>) -> ChipletRouting {
-        ChipletRouting::with_selector(Arc::new(ComposableSelector { cfg: Arc::clone(self) }))
+        ChipletRouting::with_selector(Arc::new(ComposableSelector {
+            cfg: Arc::clone(self),
+        }))
     }
 
     /// The exit boundary chosen for packets injected at `src`.
@@ -190,9 +196,13 @@ fn entry_allowed(topo: &Topology, r: &TurnRestrictions, b: NodeId, d: NodeId) ->
 fn connectivity_ok(topo: &Topology, chiplet: usize, r: &TurnRestrictions) -> bool {
     let c = &topo.chiplets()[chiplet];
     c.routers.iter().all(|&s| {
-        c.boundary_routers.iter().any(|&b| exit_allowed(topo, r, s, b))
+        c.boundary_routers
+            .iter()
+            .any(|&b| exit_allowed(topo, r, s, b))
     }) && c.routers.iter().all(|&d| {
-        c.boundary_routers.iter().any(|&b| entry_allowed(topo, r, b, d))
+        c.boundary_routers
+            .iter()
+            .any(|&b| entry_allowed(topo, r, b, d))
     })
 }
 
@@ -209,9 +219,10 @@ fn cycle_turns(topo: &Topology, cycle: &[Channel]) -> Vec<(NodeId, Port, Port)> 
                 out.push((boundary, Port::Down, q));
             }
             (Channel::Internal { from, out: p }, Channel::ExtOut { boundary })
-                if topo.neighbor(from, p) == Some(boundary) => {
-                    out.push((boundary, p.opposite(), Port::Down));
-                }
+                if topo.neighbor(from, p) == Some(boundary) =>
+            {
+                out.push((boundary, p.opposite(), Port::Down));
+            }
             _ => {}
         }
     }
@@ -246,7 +257,14 @@ fn funneled_restrictions(topo: &Topology, chiplet: usize) -> Option<TurnRestrict
             .copied()
             .filter(|b| !entries.contains(b))
             .max_by_key(|&b| {
-                (entries.iter().map(|&e| topo.manhattan(e, b)).min().unwrap_or(0), std::cmp::Reverse(b))
+                (
+                    entries
+                        .iter()
+                        .map(|&e| topo.manhattan(e, b))
+                        .min()
+                        .unwrap_or(0),
+                    std::cmp::Reverse(b),
+                )
             })?;
         entries.push(next);
     }
@@ -278,20 +296,23 @@ fn funneled_restrictions(topo: &Topology, chiplet: usize) -> Option<TurnRestrict
             if !p.is_mesh() {
                 continue;
             }
-            let Some(peer) = topo.neighbor(b, p) else { continue };
+            let Some(peer) = topo.neighbor(b, p) else {
+                continue;
+            };
             if topo.chiplet_of(peer) != Some(cid) {
                 continue;
             }
-            let arrival = Channel::Internal { from: peer, out: p.opposite() };
+            let arrival = Channel::Internal {
+                from: peer,
+                out: p.opposite(),
+            };
             if reachable.contains(&arrival) {
                 r.forbid(b, p, Port::Down);
             }
         }
     }
 
-    if connectivity_ok(topo, chiplet, &r)
-        && ExtendedCdg::build(topo, cid, &r).is_acyclic()
-    {
+    if connectivity_ok(topo, chiplet, &r) && ExtendedCdg::build(topo, cid, &r).is_acyclic() {
         Some(r)
     } else {
         None
@@ -417,9 +438,16 @@ mod tests {
         let cfg = ComposableConfig::build(&topo).unwrap();
         for c in topo.chiplets() {
             let cdg = ExtendedCdg::build(&topo, c.id, cfg.restrictions());
-            assert!(cdg.is_acyclic(), "chiplet {} extended CDG must be acyclic", c.id);
+            assert!(
+                cdg.is_acyclic(),
+                "chiplet {} extended CDG must be acyclic",
+                c.id
+            );
         }
-        assert!(!cfg.restrictions().is_empty(), "some turns must be restricted");
+        assert!(
+            !cfg.restrictions().is_empty(),
+            "some turns must be restricted"
+        );
     }
 
     #[test]
@@ -431,8 +459,7 @@ mod tests {
             SystemKind::BoundaryCount(8),
         ] {
             let topo = ChipletSystemSpec::of_kind(kind).build(0).unwrap();
-            let cfg = ComposableConfig::build(&topo)
-                .unwrap_or_else(|e| panic!("{kind:?}: {e}"));
+            let cfg = ComposableConfig::build(&topo).unwrap_or_else(|e| panic!("{kind:?}: {e}"));
             for c in topo.chiplets() {
                 assert!(ExtendedCdg::build(&topo, c.id, cfg.restrictions()).is_acyclic());
             }

@@ -33,7 +33,10 @@ pub struct RemoteControlConfig {
 
 impl Default for RemoteControlConfig {
     fn default() -> Self {
-        Self { slots_per_boundary_per_vc: 4, permission_rtt: 2 }
+        Self {
+            slots_per_boundary_per_vc: 4,
+            permission_rtt: 2,
+        }
     }
 }
 
@@ -66,14 +69,21 @@ pub struct RemoteControl {
 
 impl std::fmt::Debug for RemoteControl {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("RemoteControl").field("cfg", &self.cfg).finish_non_exhaustive()
+        f.debug_struct("RemoteControl")
+            .field("cfg", &self.cfg)
+            .finish_non_exhaustive()
     }
 }
 
 impl RemoteControl {
     /// Creates the scheme.
     pub fn new(cfg: RemoteControlConfig) -> Self {
-        Self { cfg, queues: HashMap::new(), stats: RemoteControlStats::default(), initialized: false }
+        Self {
+            cfg,
+            queues: HashMap::new(),
+            stats: RemoteControlStats::default(),
+            initialized: false,
+        }
     }
 
     /// Run counters.
@@ -120,7 +130,7 @@ impl Scheme for RemoteControl {
             vc_modularity: true,
             flow_control_modularity: true,
             full_path_diversity: true,
-            no_injection_control: false, // the whole point
+            no_injection_control: false,  // the whole point
             topology_independence: false, // hard-wired permission subnetwork
         }
     }
@@ -163,13 +173,22 @@ impl Scheme for RemoteControl {
         if !plan.class.ascends() {
             return;
         }
-        let entry = plan.entry_interposer.expect("ascending packets have an entry");
-        let boundary = net.topo().above(entry).expect("entry interposers sit below boundaries");
+        let entry = plan
+            .entry_interposer
+            .expect("ascending packets have an entry");
+        let boundary = net
+            .topo()
+            .above(entry)
+            .expect("entry interposers sit below boundaries");
         net.set_injection_permit(src, id, PermitState::Waiting);
         self.queues
             .get_mut(&boundary)
             .expect("all boundaries have permission queues")
-            .push_back(PermitRequest { packet: id, src, requested_at: net.cycle() });
+            .push_back(PermitRequest {
+                packet: id,
+                src,
+                requested_at: net.cycle(),
+            });
         self.stats.requests += 1;
     }
 }
@@ -195,7 +214,10 @@ mod tests {
             ConsumePolicy::Immediate { latency: 1 },
             5,
         );
-        System::new(net, Box::new(RemoteControl::new(RemoteControlConfig::default())))
+        System::new(
+            net,
+            Box::new(RemoteControl::new(RemoteControlConfig::default())),
+        )
     }
 
     #[test]
@@ -206,8 +228,15 @@ mod tests {
         sys.send(src, dest, VnetId(0), 5).unwrap();
         // For the first two cycles the permit is pending and nothing injects.
         sys.run(2);
-        assert_eq!(sys.net().stats().packets_injected, 0, "held by injection control");
-        assert!(matches!(sys.run_until_drained(2_000), RunOutcome::Drained { .. }));
+        assert_eq!(
+            sys.net().stats().packets_injected,
+            0,
+            "held by injection control"
+        );
+        assert!(matches!(
+            sys.run_until_drained(2_000),
+            RunOutcome::Drained { .. }
+        ));
         assert_eq!(sys.net().stats().packets_ejected, 1);
     }
 
@@ -219,7 +248,10 @@ mod tests {
         sys.send(src, dest, VnetId(0), 1).unwrap();
         sys.run(3);
         assert_eq!(sys.net().stats().packets_injected, 1, "no permit needed");
-        assert!(matches!(sys.run_until_drained(1_000), RunOutcome::Drained { .. }));
+        assert!(matches!(
+            sys.run_until_drained(1_000),
+            RunOutcome::Drained { .. }
+        ));
     }
 
     #[test]
@@ -256,7 +288,9 @@ mod tests {
                 if s == d {
                     continue;
                 }
-                if sys.send(s, d, VnetId((i % 3) as u8), if i % 2 == 0 { 5 } else { 1 }).is_some()
+                if sys
+                    .send(s, d, VnetId((i % 3) as u8), if i % 2 == 0 { 5 } else { 1 })
+                    .is_some()
                 {
                     sent += 1;
                 }

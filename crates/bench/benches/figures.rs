@@ -11,7 +11,10 @@ use upp_workloads::runner::{run_point, SchemeKind, SweepWindows};
 use upp_workloads::synthetic::Pattern;
 
 fn tiny_windows() -> SweepWindows {
-    SweepWindows { warmup: 200, measure: 1_500 }
+    SweepWindows {
+        warmup: 200,
+        measure: 1_500,
+    }
 }
 
 fn bench_tables(c: &mut Criterion) {

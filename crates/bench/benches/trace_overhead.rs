@@ -1,0 +1,81 @@
+//! Tracer overhead benches: the flight recorder's promise is that a
+//! disabled tracer costs nothing. Three configurations run the identical
+//! simulation — no tracer call sites would even be a fourth, but the
+//! default `Tracer::disabled()` *is* the no-tracer configuration, so the
+//! comparison of interest is `disabled` vs the recording sinks.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::sync::Arc;
+use upp_core::{Upp, UppConfig};
+use upp_noc::config::NocConfig;
+use upp_noc::ids::{NodeId, VnetId};
+use upp_noc::network::Network;
+use upp_noc::ni::ConsumePolicy;
+use upp_noc::routing::ChipletRouting;
+use upp_noc::sim::System;
+use upp_noc::topology::ChipletSystemSpec;
+use upp_noc::trace::Tracer;
+
+const CYCLES: u64 = 1_500;
+const RATE_NUM: u64 = 1; // inject on 1 of every 5 (node, cycle) slots
+const RATE_DEN: u64 = 5;
+
+/// A deterministic, RNG-free traffic pattern so every configuration
+/// simulates the identical workload.
+fn run_once(tracer: Tracer) -> u64 {
+    let topo = ChipletSystemSpec::baseline().build(0).expect("valid spec");
+    let net = Network::new(
+        NocConfig::default(),
+        topo,
+        Arc::new(ChipletRouting::xy()),
+        ConsumePolicy::Immediate { latency: 1 },
+        1,
+    );
+    let mut sys = System::new(net, Box::new(Upp::new(UppConfig::default())));
+    sys.net_mut().set_tracer(tracer);
+    let nodes: Vec<NodeId> = sys
+        .net()
+        .topo()
+        .chiplets()
+        .iter()
+        .flat_map(|c| c.routers.iter().copied())
+        .collect();
+    let n = nodes.len() as u64;
+    for cycle in 0..CYCLES {
+        for (i, &src) in nodes.iter().enumerate() {
+            let slot = cycle * n + i as u64;
+            if slot % RATE_DEN >= RATE_NUM {
+                continue;
+            }
+            let dest = nodes[((i as u64 + 7 * cycle + 13) % n) as usize];
+            if dest == src {
+                continue;
+            }
+            let _ = sys.send(src, dest, VnetId((slot % 3) as u8), 3);
+        }
+        sys.step();
+    }
+    let _ = sys.run_until_drained(50_000);
+    sys.net().stats().flits_ejected
+}
+
+fn bench_trace_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trace_overhead");
+    group.sample_size(10);
+    group.bench_function("disabled", |b| {
+        b.iter(|| black_box(run_once(Tracer::disabled())))
+    });
+    group.bench_function("ring_64k", |b| {
+        b.iter(|| black_box(run_once(Tracer::ring(1 << 16))))
+    });
+    group.bench_function("chrome_buffered", |b| {
+        b.iter(|| black_box(run_once(Tracer::chrome())))
+    });
+    group.bench_function("jsonl_sink", |b| {
+        b.iter(|| black_box(run_once(Tracer::jsonl(Box::new(std::io::sink())))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_trace_overhead);
+criterion_main!(benches);

@@ -1,19 +1,24 @@
 //! A generic command-line driver for the simulator: pick a system, scheme,
 //! traffic pattern, load and duration; get latency/throughput/recovery
-//! statistics (and optionally an occupancy SVG).
+//! statistics (and optionally an occupancy SVG, a flight-recorder trace,
+//! an epoch-metrics time series, or post-mortem deadlock forensics).
 //!
 //! ```text
 //! simulate --scheme upp --pattern uniform_random --rate 0.08 --cycles 50000
-//! simulate --scheme none --rate 0.2 --svg wedge.svg     # watch it deadlock
-//! simulate --system large --scheme composable --vcs 4
+//! simulate --scheme none --rate 0.2 --stall-report   # watch it deadlock
+//! simulate --scheme upp --chrome-trace trace.json    # open in Perfetto
+//! simulate --scheme upp --metrics-every 500 --metrics-out metrics.csv
+//! simulate --system large --scheme composable --vcs 4 --json out.json
 //! ```
 
+use std::io::Write as _;
 use std::process::exit;
 use upp_core::UppConfig;
 use upp_noc::config::NocConfig;
 use upp_noc::ni::ConsumePolicy;
 use upp_noc::topology::{ChipletSystemSpec, SystemKind};
-use upp_noc::viz::topology_svg;
+use upp_noc::trace::{MetricsSampler, Tracer};
+use upp_noc::viz::{stall_svg, topology_svg};
 use upp_workloads::runner::{build_system, SchemeKind};
 use upp_workloads::synthetic::{Pattern, SyntheticTraffic};
 
@@ -28,6 +33,13 @@ struct Args {
     seed: u64,
     threshold: u64,
     svg: Option<String>,
+    trace: Option<String>,
+    chrome_trace: Option<String>,
+    metrics_every: Option<u64>,
+    metrics_out: Option<String>,
+    stall_report: bool,
+    stall_svg_path: Option<String>,
+    json: Option<String>,
 }
 
 fn usage() -> ! {
@@ -42,7 +54,15 @@ fn usage() -> ! {
          --faults N                          random faulty links (default 0)\n\
          --threshold N                       UPP detection threshold (default 20)\n\
          --seed N                            (default 1)\n\
-         --svg PATH                          write final occupancy heat map"
+         --svg PATH                          write final occupancy heat map\n\
+         --trace PATH                        stream trace events as JSONL\n\
+         --chrome-trace PATH                 write a Chrome/Perfetto trace JSON\n\
+         --metrics-every N                   sample epoch metrics every N cycles\n\
+         --metrics-out PATH                  write the metrics time series (CSV;\n\
+                                             stdout when omitted)\n\
+         --stall-report                      print deadlock forensics after the run\n\
+         --stall-svg PATH                    write the annotated stall diagram\n\
+         --json PATH                         dump final NetStats/UppStats as JSON"
     );
     exit(2);
 }
@@ -59,6 +79,13 @@ fn parse() -> Args {
         seed: 1,
         threshold: 20,
         svg: None,
+        trace: None,
+        chrome_trace: None,
+        metrics_every: None,
+        metrics_out: None,
+        stall_report: false,
+        stall_svg_path: None,
+        json: None,
     };
     let mut scheme_name = "upp".to_string();
     let mut it = std::env::args().skip(1);
@@ -90,6 +117,13 @@ fn parse() -> Args {
             "--threshold" => a.threshold = val().parse().unwrap_or_else(|_| usage()),
             "--seed" => a.seed = val().parse().unwrap_or_else(|_| usage()),
             "--svg" => a.svg = Some(val()),
+            "--trace" => a.trace = Some(val()),
+            "--chrome-trace" => a.chrome_trace = Some(val()),
+            "--metrics-every" => a.metrics_every = Some(val().parse().unwrap_or_else(|_| usage())),
+            "--metrics-out" => a.metrics_out = Some(val()),
+            "--stall-report" => a.stall_report = true,
+            "--stall-svg" => a.stall_svg_path = Some(val()),
+            "--json" => a.json = Some(val()),
             "--help" | "-h" => usage(),
             _ => usage(),
         }
@@ -117,8 +151,27 @@ fn main() {
         ConsumePolicy::Immediate { latency: 1 },
     );
     let mut sys = built.sys;
-    let mut traffic =
-        SyntheticTraffic::new(sys.net().topo(), args.pattern, args.rate, args.seed);
+
+    // Flight recorder: a Chrome trace buffers in memory; a JSONL trace
+    // streams straight to disk.
+    if args.chrome_trace.is_some() {
+        if args.trace.is_some() {
+            eprintln!("--chrome-trace takes precedence over --trace; JSONL output disabled");
+        }
+        sys.net_mut().set_tracer(Tracer::chrome());
+    } else if let Some(path) = &args.trace {
+        let file = std::fs::File::create(path).unwrap_or_else(|e| {
+            eprintln!("could not create {path}: {e}");
+            exit(1);
+        });
+        sys.net_mut()
+            .set_tracer(Tracer::jsonl(Box::new(std::io::BufWriter::new(file))));
+    }
+    let mut sampler = args
+        .metrics_every
+        .map(|n| MetricsSampler::new(n.max(1), sys.net().topo().num_endpoints()));
+
+    let mut traffic = SyntheticTraffic::new(sys.net().topo(), args.pattern, args.rate, args.seed);
     eprintln!(
         "system {:?} | scheme {} | pattern {} | rate {} | {} cycles | {} VCs | {} faults",
         args.system,
@@ -132,25 +185,42 @@ fn main() {
     for cycle in 0..args.cycles {
         traffic.tick(&mut sys);
         sys.step();
+        if let Some(s) = sampler.as_mut() {
+            s.maybe_sample(sys.net());
+        }
         if sys.net().stalled() {
             eprintln!("network stalled (deadlock) at cycle {cycle}");
             break;
         }
     }
-    let outcome = sys.run_until_drained(args.cycles);
-    let stats = sys.net().stats();
-    let nodes = sys
-        .net()
-        .topo()
-        .chiplets()
-        .iter()
-        .map(|c| c.routers.len())
-        .sum::<usize>();
+    let outcome = if let Some(s) = sampler.as_mut() {
+        // Manual drain loop so epoch sampling continues to the end; the
+        // zero-budget call afterwards just classifies the final state.
+        for _ in 0..args.cycles {
+            if sys.net().in_flight() == 0 || sys.net().stalled() {
+                break;
+            }
+            sys.step();
+            s.maybe_sample(sys.net());
+        }
+        sys.run_until_drained(0)
+    } else {
+        sys.run_until_drained(args.cycles)
+    };
+
+    let stats = sys.net().stats().clone();
+    let nodes = sys.net().topo().num_endpoints();
     println!("outcome:            {outcome:?}");
-    println!("packets delivered:  {} / {} created", stats.packets_ejected, stats.packets_created);
+    println!(
+        "packets delivered:  {} / {} created",
+        stats.packets_ejected, stats.packets_created
+    );
     println!("flits delivered:    {}", stats.flits_ejected);
     println!("network latency:    {:.2} cycles", stats.avg_net_latency());
-    println!("queueing latency:   {:.2} cycles", stats.avg_queue_latency());
+    println!(
+        "queueing latency:   {:.2} cycles",
+        stats.avg_queue_latency()
+    );
     println!("worst latency:      {} cycles", stats.max_latency);
     println!(
         "throughput:         {:.4} flits/cycle/node",
@@ -158,16 +228,88 @@ fn main() {
     );
     println!("control-signal hops: {}", stats.control_hops);
     println!("bypass (popup) hops: {}", stats.bypass_hops);
-    if let Some(h) = &built.upp_stats {
-        let s = *h.lock().expect("single-threaded");
+    let upp_stats = built
+        .upp_stats
+        .as_ref()
+        .map(|h| *h.lock().expect("single-threaded"));
+    if let Some(s) = upp_stats {
         println!(
             "UPP: {} upward packets, {} popups ({} partial), {} stops, {} acks dropped",
             s.upward_packets, s.popups_completed, s.partial_popups, s.stops_sent, s.acks_dropped
         );
         if s.popups_completed > 0 {
-            println!("UPP mean recovery:  {:.1} cycles (detection -> delivered)", s.avg_recovery_latency());
+            let n = s.popups_completed as f64;
+            println!(
+                "UPP mean recovery:  {:.1} cycles (detection -> delivered)",
+                s.avg_recovery_latency()
+            );
+            println!(
+                "UPP stage split:    wait-ack {:.1} | locate {:.1} | pop {:.1} cycles",
+                s.wait_ack_cycles as f64 / n,
+                s.locate_cycles as f64 / n,
+                s.pop_cycles as f64 / n
+            );
         }
     }
+
+    // Deadlock forensics.
+    if args.stall_report || args.stall_svg_path.is_some() {
+        let report = sys.stall_report();
+        if args.stall_report {
+            print!("{}", report.render_text());
+        }
+        if let Some(path) = &args.stall_svg_path {
+            match std::fs::write(path, stall_svg(sys.net().topo(), &report)) {
+                Ok(()) => eprintln!("wrote {path}"),
+                Err(e) => eprintln!("could not write {path}: {e}"),
+            }
+        }
+    }
+
+    // Drain the tracer: flush JSONL, or render the buffered Chrome trace.
+    let mut tracer = sys.net_mut().set_tracer(Tracer::disabled());
+    if let Some(path) = &args.chrome_trace {
+        match std::fs::write(path, tracer.chrome_trace_json()) {
+            Ok(()) => eprintln!("wrote {path} ({} events)", tracer.len()),
+            Err(e) => eprintln!("could not write {path}: {e}"),
+        }
+    } else if args.trace.is_some() {
+        tracer.flush();
+    }
+
+    // Epoch-metrics time series.
+    if let Some(s) = &sampler {
+        let csv = s.to_csv();
+        match &args.metrics_out {
+            Some(path) => match std::fs::write(path, &csv) {
+                Ok(()) => eprintln!("wrote {path} ({} samples)", s.history().len()),
+                Err(e) => eprintln!("could not write {path}: {e}"),
+            },
+            None => {
+                let mut stdout = std::io::stdout().lock();
+                let _ = stdout.write_all(csv.as_bytes());
+            }
+        }
+    }
+
+    // Machine-readable final stats.
+    if let Some(path) = &args.json {
+        let net_json =
+            serde_json::to_string_pretty(&stats).expect("stats serialization is infallible");
+        let upp_json = match &upp_stats {
+            Some(s) => serde_json::to_string_pretty(s).expect("stats serialization is infallible"),
+            None => "null".to_string(),
+        };
+        let payload = format!(
+            "{{\n  \"outcome\": \"{outcome:?}\",\n  \"cycles\": {},\n  \"endpoints\": {nodes},\n  \"net\": {net_json},\n  \"upp\": {upp_json}\n}}\n",
+            sys.net().cycle()
+        );
+        match std::fs::write(path, payload) {
+            Ok(()) => eprintln!("wrote {path}"),
+            Err(e) => eprintln!("could not write {path}: {e}"),
+        }
+    }
+
     if let Some(path) = args.svg {
         let occ = sys.net().occupancy();
         match std::fs::write(&path, topology_svg(sys.net().topo(), &occ)) {

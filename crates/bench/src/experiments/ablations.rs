@@ -74,7 +74,7 @@ fn sweep_custom(
                 net_latency: stats.avg_net_latency(),
                 queue_latency: stats.avg_queue_latency(),
                 total_latency: stats.avg_total_latency(),
-                throughput: stats.throughput(w.measure, 64),
+                throughput: stats.throughput(w.measure, sys.net().topo().num_endpoints()),
                 packets_ejected: stats.packets_ejected,
                 upward_packets: 0,
                 control_hops: stats.control_hops,
@@ -92,13 +92,25 @@ pub fn collect(quick: bool) -> Vec<Row> {
     let mut rows = Vec::new();
 
     // --- Study 1: composable structure ---------------------------------
-    let pts = sweep(&spec, &cfg(1), &SchemeKind::Composable, 0, Pattern::UniformRandom, &rates, w, SEED);
-    rows.push(measure_points(&pts, "composable-structure", "funneled (published)"));
+    let pts = sweep(
+        &spec,
+        &cfg(1),
+        &SchemeKind::Composable,
+        0,
+        Pattern::UniformRandom,
+        &rates,
+        w,
+        SEED,
+    );
+    rows.push(measure_points(
+        &pts,
+        "composable-structure",
+        "funneled (published)",
+    ));
     {
         let topo = spec.build(SEED).expect("baseline builds");
-        let balanced = Arc::new(
-            ComposableConfig::build_balanced(&topo).expect("balanced search succeeds"),
-        );
+        let balanced =
+            Arc::new(ComposableConfig::build_balanced(&topo).expect("balanced search succeeds"));
         let routing = balanced.routing();
         let spec2 = spec.clone();
         let build = move |seed: u64| {
@@ -115,7 +127,11 @@ pub fn collect(quick: bool) -> Vec<Row> {
             System::new(net, Box::new(upp_noc::NoScheme))
         };
         let pts = sweep_custom(build, &rates, w);
-        rows.push(measure_points(&pts, "composable-structure", "balanced (minimal search)"));
+        rows.push(measure_points(
+            &pts,
+            "composable-structure",
+            "balanced (minimal search)",
+        ));
     }
     let pts = sweep(
         &spec,
@@ -127,14 +143,21 @@ pub fn collect(quick: bool) -> Vec<Row> {
         w,
         SEED,
     );
-    rows.push(measure_points(&pts, "composable-structure", "UPP (reference)"));
+    rows.push(measure_points(
+        &pts,
+        "composable-structure",
+        "UPP (reference)",
+    ));
 
     // --- Study 2: popup concurrency ------------------------------------
     for (label, ucfg) in [
         ("destination-keyed circuits (default)", UppConfig::default()),
         (
             "serialized per chiplet (Sec. V-B5 alternative)",
-            UppConfig { serialize_per_chiplet: true, ..UppConfig::default() },
+            UppConfig {
+                serialize_per_chiplet: true,
+                ..UppConfig::default()
+            },
         ),
     ] {
         let pts = sweep(
@@ -152,8 +175,14 @@ pub fn collect(quick: bool) -> Vec<Row> {
 
     // --- Study 3: flow control -----------------------------------------
     for (label, base) in [
-        ("wormhole (depth 5)", NocConfig::default().with_vc_buffer_depth(5)),
-        ("virtual cut-through (depth 5)", NocConfig::default().with_virtual_cut_through()),
+        (
+            "wormhole (depth 5)",
+            NocConfig::default().with_vc_buffer_depth(5),
+        ),
+        (
+            "virtual cut-through (depth 5)",
+            NocConfig::default().with_virtual_cut_through(),
+        ),
     ] {
         let build = {
             let base = base.clone();
@@ -183,7 +212,12 @@ pub fn run(quick: bool) -> ExperimentResult {
     out.push_str("### Ablations — quantifying the design choices (uniform random, 1 VC)\n\n");
     let mut t = MarkdownTable::new(["study", "variant", "saturation", "pre-sat latency"]);
     for r in &rows {
-        t.row([r.study.clone(), r.variant.clone(), f3(r.saturation), f1(r.presat_latency)]);
+        t.row([
+            r.study.clone(),
+            r.variant.clone(),
+            f3(r.saturation),
+            f1(r.presat_latency),
+        ]);
     }
     out.push_str(&t.render());
     out.push_str(

@@ -5,9 +5,7 @@ use super::{cfg, rates_1vc, rates_4vc, windows, SEED};
 use crate::report::{f3, ExperimentResult, MarkdownTable};
 use serde::Serialize;
 use upp_noc::topology::{ChipletSystemSpec, SystemKind};
-use upp_workloads::runner::{
-    presaturation_latency, saturation_throughput, sweep, SchemeKind,
-};
+use upp_workloads::runner::{presaturation_latency, saturation_throughput, sweep, SchemeKind};
 use upp_workloads::synthetic::Pattern;
 
 /// One measured configuration.
@@ -37,12 +35,29 @@ pub fn collect(quick: bool) -> Vec<Point> {
     for &n in counts {
         let spec = ChipletSystemSpec::of_kind(SystemKind::BoundaryCount(n));
         for vcs in [1usize, 4] {
-            let rates = if vcs == 1 { rates_1vc(quick) } else { rates_4vc(quick) };
+            let rates = if vcs == 1 {
+                rates_1vc(quick)
+            } else {
+                rates_4vc(quick)
+            };
             for kind in SchemeKind::evaluated() {
-                let pts =
-                    sweep(&spec, &cfg(vcs), &kind, 0, Pattern::UniformRandom, &rates, w, SEED);
-                raw.push((n, kind.label().to_string(), vcs, saturation_throughput(&pts),
-                    presaturation_latency(&pts)));
+                let pts = sweep(
+                    &spec,
+                    &cfg(vcs),
+                    &kind,
+                    0,
+                    Pattern::UniformRandom,
+                    &rates,
+                    w,
+                    SEED,
+                );
+                raw.push((
+                    n,
+                    kind.label().to_string(),
+                    vcs,
+                    saturation_throughput(&pts),
+                    presaturation_latency(&pts),
+                ));
             }
         }
     }
@@ -93,7 +108,12 @@ pub fn run(quick: bool) -> ExperimentResult {
         "\nPaper: more boundary routers raise throughput and cut latency for every scheme, \
          with UPP best throughout.\n",
     );
-    ExperimentResult::new("fig10", "Fig. 10: boundary-router sensitivity", out, &points)
+    ExperimentResult::new(
+        "fig10",
+        "Fig. 10: boundary-router sensitivity",
+        out,
+        &points,
+    )
 }
 
 #[cfg(test)]
@@ -116,6 +136,11 @@ mod tests {
                 .unwrap()
                 .saturation
         };
-        assert!(upp(4) >= upp(2) * 0.95, "4 boundaries >= 2 boundaries: {} vs {}", upp(4), upp(2));
+        assert!(
+            upp(4) >= upp(2) * 0.95,
+            "4 boundaries >= 2 boundaries: {} vs {}",
+            upp(4),
+            upp(2)
+        );
     }
 }

@@ -10,9 +10,7 @@ use crate::report::{f1, f3, ExperimentResult, MarkdownTable};
 use serde::Serialize;
 use upp_core::UppConfig;
 use upp_noc::topology::ChipletSystemSpec;
-use upp_workloads::runner::{
-    presaturation_latency, saturation_throughput, sweep, SchemeKind,
-};
+use upp_workloads::runner::{presaturation_latency, saturation_throughput, sweep, SchemeKind};
 use upp_workloads::synthetic::Pattern;
 
 /// One (fault count, VC count) series, averaged over fault seeds.
@@ -39,19 +37,40 @@ pub struct Series {
 pub fn collect(quick: bool) -> Vec<Series> {
     let spec = ChipletSystemSpec::baseline();
     let w = windows(quick);
-    let fault_counts: &[usize] = if quick { &[0, 5, 15] } else { &[0, 1, 5, 10, 15, 20] };
-    let seeds: &[u64] = if quick { &[SEED] } else { &[SEED, SEED + 1, SEED + 2] };
+    let fault_counts: &[usize] = if quick {
+        &[0, 5, 15]
+    } else {
+        &[0, 1, 5, 10, 15, 20]
+    };
+    let seeds: &[u64] = if quick {
+        &[SEED]
+    } else {
+        &[SEED, SEED + 1, SEED + 2]
+    };
     let kind = SchemeKind::Upp(UppConfig::default());
     let mut out = Vec::new();
     for vcs in [1usize, 4] {
-        let rates = if vcs == 1 { rates_1vc(quick) } else { rates_4vc(quick) };
+        let rates = if vcs == 1 {
+            rates_1vc(quick)
+        } else {
+            rates_4vc(quick)
+        };
         for &faults in fault_counts {
             let mut latency = vec![0.0; rates.len()];
             let mut saturation = 0.0;
             let mut presat = 0.0;
             let mut any_deadlock = false;
             for &seed in seeds {
-                let pts = sweep(&spec, &cfg(vcs), &kind, faults, Pattern::UniformRandom, &rates, w, seed);
+                let pts = sweep(
+                    &spec,
+                    &cfg(vcs),
+                    &kind,
+                    faults,
+                    Pattern::UniformRandom,
+                    &rates,
+                    w,
+                    seed,
+                );
                 for (i, p) in pts.iter().enumerate() {
                     latency[i] += p.total_latency.min(999.0);
                     any_deadlock |= p.deadlocked;
@@ -78,10 +97,21 @@ pub fn collect(quick: bool) -> Vec<Series> {
 pub fn run(quick: bool) -> ExperimentResult {
     let series = collect(quick);
     let mut out = String::new();
-    out.push_str("### Fig. 11 — UPP in faulty systems (up*/down* local routing, random link faults)\n\n");
+    out.push_str(
+        "### Fig. 11 — UPP in faulty systems (up*/down* local routing, random link faults)\n\n",
+    );
     for vcs in [1usize, 4] {
-        out.push_str(&format!("\n**({}) {} VC(s) per VNet**\n\n", if vcs == 1 { "a" } else { "b" }, vcs));
-        let mut t = MarkdownTable::new(["faulty links", "saturation", "pre-sat latency", "deadlock-free"]);
+        out.push_str(&format!(
+            "\n**({}) {} VC(s) per VNet**\n\n",
+            if vcs == 1 { "a" } else { "b" },
+            vcs
+        ));
+        let mut t = MarkdownTable::new([
+            "faulty links",
+            "saturation",
+            "pre-sat latency",
+            "deadlock-free",
+        ]);
         for s in series.iter().filter(|s| s.vcs == vcs) {
             t.row([
                 s.faults.to_string(),
@@ -104,17 +134,28 @@ mod tests {
     fn quick_fig11_degrades_gracefully_and_never_deadlocks() {
         let series = collect(true);
         for s in &series {
-            assert!(!s.any_deadlock, "UPP must recover in faulty systems ({} faults)", s.faults);
+            assert!(
+                !s.any_deadlock,
+                "UPP must recover in faulty systems ({} faults)",
+                s.faults
+            );
             assert!(s.saturation > 0.0);
         }
         // Graceful degradation at 1 VC: heavy faults may cost throughput but
         // must not collapse it.
         let sat = |f: usize| {
-            series.iter().find(|s| s.vcs == 1 && s.faults == f).unwrap().saturation
+            series
+                .iter()
+                .find(|s| s.vcs == 1 && s.faults == f)
+                .unwrap()
+                .saturation
         };
         // Our up*/down* fallback concentrates traffic near the spanning-tree
         // root, so it degrades harder than the paper's reconfiguration;
         // the requirement is graceful (non-collapsing) degradation.
-        assert!(sat(15) > 0.15 * sat(0), "15 faults keep >15% of fault-free saturation");
+        assert!(
+            sat(15) > 0.15 * sat(0),
+            "15 faults keep >15% of fault-free saturation"
+        );
     }
 }

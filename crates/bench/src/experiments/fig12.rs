@@ -84,11 +84,18 @@ mod tests {
         assert!(!rows.is_empty());
         let total_1: u64 = rows.iter().map(|r| r.upward_1vc).sum();
         let total_4: u64 = rows.iter().map(|r| r.upward_4vc).sum();
-        assert!(total_4 <= total_1, "4 VCs must not detect more upward packets ({total_4} vs {total_1})");
+        assert!(
+            total_4 <= total_1,
+            "4 VCs must not detect more upward packets ({total_4} vs {total_1})"
+        );
         for r in &rows {
             if r.total_packets_1vc > 0 {
                 let share = r.upward_1vc as f64 / r.total_packets_1vc as f64;
-                assert!(share < 0.05, "{}: upward share {share} too high", r.benchmark);
+                assert!(
+                    share < 0.05,
+                    "{}: upward share {share} too high",
+                    r.benchmark
+                );
             }
         }
     }

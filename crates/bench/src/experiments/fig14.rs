@@ -28,9 +28,11 @@ pub fn collect() -> Vec<Bar> {
         let comp = model.composable(&cfg);
         let upp = model.upp(&cfg);
         let remote = model.remote_control(&cfg, 4, 16);
-        for (scheme, o) in
-            [("composable", comp), ("remote-control", remote), ("UPP", upp)]
-        {
+        for (scheme, o) in [
+            ("composable", comp),
+            ("remote-control", remote),
+            ("UPP", upp),
+        ] {
             bars.push(Bar {
                 scheme: scheme.into(),
                 location: "chiplet router".into(),

@@ -57,9 +57,15 @@ pub fn collect(quick: bool) -> Vec<Row> {
         benches.sort();
         benches.dedup();
         for b in &benches {
-            let Some(comp) = energy_of("composable", b) else { continue };
-            let Some(rem) = energy_of("remote-control", b) else { continue };
-            let Some(upp) = energy_of("UPP", b) else { continue };
+            let Some(comp) = energy_of("composable", b) else {
+                continue;
+            };
+            let Some(rem) = energy_of("remote-control", b) else {
+                continue;
+            };
+            let Some(upp) = energy_of("UPP", b) else {
+                continue;
+            };
             rows.push(Row {
                 benchmark: b.clone(),
                 vcs,
@@ -77,9 +83,15 @@ pub fn collect(quick: bool) -> Vec<Row> {
 pub fn run(quick: bool) -> ExperimentResult {
     let rows = collect(quick);
     let mut out = String::new();
-    out.push_str("### Fig. 15 — normalized network energy (DSENT-substitute, normalized to composable)\n\n");
+    out.push_str(
+        "### Fig. 15 — normalized network energy (DSENT-substitute, normalized to composable)\n\n",
+    );
     for vcs in [1usize, 4] {
-        out.push_str(&format!("\n**({}) {} VC(s) per VNet**\n\n", if vcs == 1 { "a" } else { "b" }, vcs));
+        out.push_str(&format!(
+            "\n**({}) {} VC(s) per VNet**\n\n",
+            if vcs == 1 { "a" } else { "b" },
+            vcs
+        ));
         let mut t = MarkdownTable::new([
             "benchmark",
             "composable",
@@ -122,10 +134,17 @@ mod tests {
         let rows = collect(true);
         assert!(!rows.is_empty());
         for r in &rows {
-            assert!(r.upp_static_share > 0.5, "{}: static must dominate", r.benchmark);
+            assert!(
+                r.upp_static_share > 0.5,
+                "{}: static must dominate",
+                r.benchmark
+            );
             assert!(r.upp > 0.0 && r.remote > 0.0);
         }
         let geo: f64 = rows.iter().map(|r| r.upp.ln()).sum::<f64>() / rows.len() as f64;
-        assert!(geo.exp() < 1.05, "UPP geomean energy must not exceed composable by >5%");
+        assert!(
+            geo.exp() < 1.05,
+            "UPP geomean energy must not exceed composable by >5%"
+        );
     }
 }

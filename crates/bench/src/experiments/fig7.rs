@@ -57,15 +57,21 @@ pub struct Fig7 {
 pub fn collect(quick: bool) -> Fig7 {
     let spec = ChipletSystemSpec::baseline();
     let w = windows(quick);
-    let patterns: &[Pattern] =
-        if quick { &[Pattern::UniformRandom, Pattern::Transpose] } else { &Pattern::ALL };
+    let patterns: &[Pattern] = if quick {
+        &[Pattern::UniformRandom, Pattern::Transpose]
+    } else {
+        &Pattern::ALL
+    };
     let mut curves = Vec::new();
     for &pattern in patterns {
         for vcs in [1usize, 4] {
-            let rates = if vcs == 1 { rates_1vc(quick) } else { rates_4vc(quick) };
+            let rates = if vcs == 1 {
+                rates_1vc(quick)
+            } else {
+                rates_4vc(quick)
+            };
             for kind in SchemeKind::evaluated() {
-                let pts =
-                    sweep(&spec, &cfg(vcs), &kind, 0, pattern, &rates, w, SEED);
+                let pts = sweep(&spec, &cfg(vcs), &kind, 0, pattern, &rates, w, SEED);
                 curves.push(Curve {
                     scheme: kind.label().to_string(),
                     vcs,
@@ -83,9 +89,7 @@ pub fn collect(quick: bool) -> Fig7 {
             let find = |scheme: &str| {
                 curves
                     .iter()
-                    .find(|c| {
-                        c.scheme == scheme && c.vcs == vcs && c.pattern == pattern.label()
-                    })
+                    .find(|c| c.scheme == scheme && c.vcs == vcs && c.pattern == pattern.label())
                     .expect("curve exists")
             };
             let (upp, comp, rem) = (find("UPP"), find("composable"), find("remote-control"));
@@ -123,7 +127,10 @@ fn common_presat_latency(curves: [&Curve; 3]) -> [f64; 3] {
         return out;
     }
     for (k, c) in curves.iter().enumerate() {
-        out[k] = common.iter().map(|&i| c.points[i].total_latency).sum::<f64>()
+        out[k] = common
+            .iter()
+            .map(|&i| c.points[i].total_latency)
+            .sum::<f64>()
             / common.len() as f64;
     }
     out
@@ -142,12 +149,21 @@ pub fn run(quick: bool) -> ExperimentResult {
             last_key = key;
         }
         let rates: Vec<String> = c.points.iter().map(|p| f3(p.rate)).collect();
-        let lats: Vec<String> =
-            c.points.iter().map(|p| f1(p.total_latency.min(999.0))).collect();
+        let lats: Vec<String> = c
+            .points
+            .iter()
+            .map(|p| f1(p.total_latency.min(999.0)))
+            .collect();
         let mut t = MarkdownTable::new(
-            std::iter::once("rate ->".to_string()).chain(rates).collect::<Vec<_>>(),
+            std::iter::once("rate ->".to_string())
+                .chain(rates)
+                .collect::<Vec<_>>(),
         );
-        t.row(std::iter::once(format!("{} latency", c.scheme)).chain(lats).collect::<Vec<_>>());
+        t.row(
+            std::iter::once(format!("{} latency", c.scheme))
+                .chain(lats)
+                .collect::<Vec<_>>(),
+        );
         out.push_str(&t.render());
     }
     out.push_str("\n**Summary (paper: UPP +18-72% saturation and -4.5-6.6% latency vs composable; -5.7-8.2% latency vs remote control)**\n\n");
@@ -198,8 +214,11 @@ mod tests {
             );
         }
         // Saturation ordering on uniform random: UPP >= composable.
-        let ur: Vec<_> =
-            data.summaries.iter().filter(|s| s.pattern == "uniform_random").collect();
+        let ur: Vec<_> = data
+            .summaries
+            .iter()
+            .filter(|s| s.pattern == "uniform_random")
+            .collect();
         for s in ur {
             assert!(
                 s.upp_sat_gain_vs_composable > -0.05,

@@ -82,7 +82,11 @@ fn collect(quick: bool) -> Fig8Data {
     let spec = ChipletSystemSpec::baseline();
     let scale = transactions_scale(quick);
     let benchmarks = all_benchmarks();
-    let benchmarks: Vec<_> = if quick { benchmarks[..4].to_vec() } else { benchmarks };
+    let benchmarks: Vec<_> = if quick {
+        benchmarks[..4].to_vec()
+    } else {
+        benchmarks
+    };
     // Every (vcs, scheme, benchmark) run is an independent simulation; run
     // them on parallel threads (results stay deterministic per run).
     let mut jobs = Vec::new();
@@ -101,16 +105,9 @@ fn collect(quick: bool) -> Fig8Data {
                 let spec = &spec;
                 s.spawn(move || {
                     let mut profile = *bench;
-                    profile.transactions =
-                        ((profile.transactions as f64 * scale) as u64).max(10);
-                    let built = build_system(
-                        spec,
-                        cfg(*vcs),
-                        kind,
-                        0,
-                        SEED,
-                        ConsumePolicy::External,
-                    );
+                    profile.transactions = ((profile.transactions as f64 * scale) as u64).max(10);
+                    let built =
+                        build_system(spec, cfg(*vcs), kind, 0, SEED, ConsumePolicy::External);
                     let mut sys = built.sys;
                     let r = run_benchmark(&mut sys, profile, SEED, 20_000_000);
                     let stats = sys.net().stats();
@@ -138,13 +135,25 @@ fn collect(quick: bool) -> Fig8Data {
         for (i, h) in handles.into_iter().enumerate() {
             out[i] = Some(h.join().expect("coherence run panicked"));
         }
-        out.into_iter().map(|r| r.expect("all runs joined")).collect()
+        out.into_iter()
+            .map(|r| r.expect("all runs joined"))
+            .collect()
     });
     let topo = spec.build(SEED).expect("baseline builds");
     let routers = topo.num_nodes();
-    let links = topo.nodes().iter().map(|n| n.links().count()).sum::<usize>() / 2;
+    let links = topo
+        .nodes()
+        .iter()
+        .map(|n| n.links().count())
+        .sum::<usize>()
+        / 2;
     let geomean = geomeans(&runs);
-    Fig8Data { runs, routers, links, geomean }
+    Fig8Data {
+        runs,
+        routers,
+        links,
+        geomean,
+    }
 }
 
 /// Runtime of `(benchmark, scheme, vcs)`.
@@ -182,9 +191,12 @@ pub fn run(quick: bool) -> ExperimentResult {
         "### Fig. 8 — normalized full-system runtime (coherence engine, normalized to composable)\n\n",
     );
     for vcs in [1usize, 4] {
-        out.push_str(&format!("\n**({}) {} VC(s) per VNet**\n\n", if vcs == 1 { "a" } else { "b" }, vcs));
-        let mut t =
-            MarkdownTable::new(["benchmark", "composable", "remote-control", "UPP"]);
+        out.push_str(&format!(
+            "\n**({}) {} VC(s) per VNet**\n\n",
+            if vcs == 1 { "a" } else { "b" },
+            vcs
+        ));
+        let mut t = MarkdownTable::new(["benchmark", "composable", "remote-control", "UPP"]);
         let mut benches: Vec<String> = d
             .runs
             .iter()
@@ -201,7 +213,12 @@ pub fn run(quick: bool) -> ExperimentResult {
                     .map(|c| f3(c as f64 / base as f64))
                     .unwrap_or_else(|| "-".into())
             };
-            t.row([b.clone(), norm("composable"), norm("remote-control"), norm("UPP")]);
+            t.row([
+                b.clone(),
+                norm("composable"),
+                norm("remote-control"),
+                norm("UPP"),
+            ]);
         }
         let gm = |s: &str| {
             d.geomean

@@ -31,9 +31,22 @@ pub fn collect(quick: bool) -> Vec<Curve> {
     let w = windows(quick);
     let mut curves = Vec::new();
     for vcs in [1usize, 4] {
-        let rates = if vcs == 1 { rates_1vc(quick) } else { rates_4vc(quick) };
+        let rates = if vcs == 1 {
+            rates_1vc(quick)
+        } else {
+            rates_4vc(quick)
+        };
         for kind in SchemeKind::evaluated() {
-            let pts = sweep(&spec, &cfg(vcs), &kind, 0, Pattern::UniformRandom, &rates, w, SEED);
+            let pts = sweep(
+                &spec,
+                &cfg(vcs),
+                &kind,
+                0,
+                Pattern::UniformRandom,
+                &rates,
+                w,
+                SEED,
+            );
             curves.push(Curve {
                 scheme: kind.label().to_string(),
                 vcs,
@@ -51,13 +64,26 @@ pub fn run(quick: bool) -> ExperimentResult {
     let curves = collect(quick);
     let mut out = String::new();
     out.push_str("### Fig. 9 — 128-node system (4x8 interposer, 8 chiplets), uniform random\n\n");
-    let mut t = MarkdownTable::new(["scheme", "VCs", "saturation (flits/cyc/node)", "pre-sat latency"]);
+    let mut t = MarkdownTable::new([
+        "scheme",
+        "VCs",
+        "saturation (flits/cyc/node)",
+        "pre-sat latency",
+    ]);
     for c in &curves {
-        t.row([c.scheme.clone(), c.vcs.to_string(), f3(c.saturation), f1(c.presat_latency)]);
+        t.row([
+            c.scheme.clone(),
+            c.vcs.to_string(),
+            f3(c.saturation),
+            f1(c.presat_latency),
+        ]);
     }
     out.push_str(&t.render());
     let find = |s: &str, v: usize| {
-        curves.iter().find(|c| c.scheme == s && c.vcs == v).expect("curve exists")
+        curves
+            .iter()
+            .find(|c| c.scheme == s && c.vcs == v)
+            .expect("curve exists")
     };
     for vcs in [1usize, 4] {
         let (u, c) = (find("UPP", vcs), find("composable", vcs));
@@ -81,7 +107,12 @@ mod tests {
         let curves = collect(true);
         assert_eq!(curves.len(), 6);
         for c in &curves {
-            assert!(c.saturation > 0.0, "{} {}VC saturates above zero", c.scheme, c.vcs);
+            assert!(
+                c.saturation > 0.0,
+                "{} {}VC saturates above zero",
+                c.scheme,
+                c.vcs
+            );
             assert!(c.presat_latency.is_finite());
         }
     }

@@ -18,8 +18,18 @@ use upp_workloads::runner::SweepWindows;
 
 /// All experiment ids, in paper order.
 pub const ALL_IDS: [&str; 12] = [
-    "table1", "table2", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14",
-    "fig15", "ablations",
+    "table1",
+    "table2",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig13",
+    "fig14",
+    "fig15",
+    "ablations",
 ];
 
 /// Runs one experiment by id. `quick` trades fidelity for speed (short
@@ -45,7 +55,10 @@ pub fn run(id: &str, quick: bool) -> Option<ExperimentResult> {
 /// Measurement windows for the mode.
 pub fn windows(quick: bool) -> SweepWindows {
     if quick {
-        SweepWindows { warmup: 1_000, measure: 6_000 }
+        SweepWindows {
+            warmup: 1_000,
+            measure: 6_000,
+        }
     } else {
         SweepWindows::default()
     }

@@ -24,7 +24,9 @@ struct Table1Row {
 /// Table I: the modular schemes' qualitative attributes, read directly from
 /// each scheme's [`Scheme::properties`] implementation.
 pub fn table1() -> ExperimentResult {
-    let topo = ChipletSystemSpec::baseline().build(0).expect("baseline builds");
+    let topo = ChipletSystemSpec::baseline()
+        .build(0)
+        .expect("baseline builds");
     let (composable, _) = Composable::build(&topo).expect("composable search succeeds");
     let schemes: Vec<Box<dyn Scheme>> = vec![
         Box::new(composable),
@@ -81,31 +83,57 @@ struct Table2Data {
 /// Table II: the simulated configuration, read from the default config.
 pub fn table2() -> ExperimentResult {
     let cfg = NocConfig::default();
-    let topo = ChipletSystemSpec::baseline().build(0).expect("baseline builds");
+    let topo = ChipletSystemSpec::baseline()
+        .build(0)
+        .expect("baseline builds");
     let mut md = MarkdownTable::new(["parameter", "value"]);
     md.row([
         "topology".to_string(),
         format!(
             "1 4x4 mesh interposer, {} 4x4 mesh chiplets, {} vertical links",
             topo.chiplets().len(),
-            topo.chiplets().iter().map(|c| c.boundary_routers.len()).sum::<usize>()
+            topo.chiplets()
+                .iter()
+                .map(|c| c.boundary_routers.len())
+                .sum::<usize>()
         ),
     ]);
     md.row(["VNets".to_string(), cfg.num_vnets.to_string()]);
-    md.row(["VCs per VNet".to_string(), format!("{} or 4", cfg.vcs_per_vnet)]);
-    md.row(["VC buffer depth (flits)".to_string(), cfg.vc_buffer_depth.to_string()]);
-    md.row(["router pipeline".to_string(), "3 stages (BW+RC / SA+VCS / ST) + LT".to_string()]);
+    md.row([
+        "VCs per VNet".to_string(),
+        format!("{} or 4", cfg.vcs_per_vnet),
+    ]);
+    md.row([
+        "VC buffer depth (flits)".to_string(),
+        cfg.vc_buffer_depth.to_string(),
+    ]);
+    md.row([
+        "router pipeline".to_string(),
+        "3 stages (BW+RC / SA+VCS / ST) + LT".to_string(),
+    ]);
     md.row([
         "link".to_string(),
-        format!("latency {} cycle, width {} bits", cfg.link_latency, cfg.flit_width_bits),
+        format!(
+            "latency {} cycle, width {} bits",
+            cfg.link_latency, cfg.flit_width_bits
+        ),
     ]);
     md.row(["flow control".to_string(), "wormhole".to_string()]);
     md.row([
         "packet sizes".to_string(),
-        format!("data {} flits, control {} flit", cfg.data_packet_flits, cfg.control_packet_flits),
+        format!(
+            "data {} flits, control {} flit",
+            cfg.data_packet_flits, cfg.control_packet_flits
+        ),
     ]);
-    md.row(["directories".to_string(), "8, on the interposer".to_string()]);
-    md.row(["UPP detection threshold".to_string(), "20 cycles".to_string()]);
+    md.row([
+        "directories".to_string(),
+        "8, on the interposer".to_string(),
+    ]);
+    md.row([
+        "UPP detection threshold".to_string(),
+        "20 cycles".to_string(),
+    ]);
     let markdown = format!("### Table II — simulation configuration\n\n{}", md.render());
     let data = Table2Data {
         cfg,
@@ -113,7 +141,12 @@ pub fn table2() -> ExperimentResult {
         directories: 8,
         upp_detection_threshold: 20,
     };
-    ExperimentResult::new("table2", "Table II: simulation configuration", markdown, &data)
+    ExperimentResult::new(
+        "table2",
+        "Table II: simulation configuration",
+        markdown,
+        &data,
+    )
 }
 
 #[cfg(test)]

@@ -65,7 +65,10 @@ impl MarkdownTable {
         I: IntoIterator<Item = S>,
         S: Into<String>,
     {
-        Self { header: header.into_iter().map(Into::into).collect(), rows: Vec::new() }
+        Self {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Appends one row.
@@ -87,7 +90,11 @@ impl MarkdownTable {
         let _ = writeln!(
             out,
             "|{}|",
-            self.header.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+            self.header
+                .iter()
+                .map(|_| "---")
+                .collect::<Vec<_>>()
+                .join("|")
         );
         for r in &self.rows {
             let _ = writeln!(out, "| {} |", r.join(" | "));

@@ -110,7 +110,11 @@ mod tests {
         assert_eq!(c.tick(true, false), 1);
         assert_eq!(c.tick(true, false), 2);
         assert_eq!(c.tick(true, true), 0, "a departing flit resets the counter");
-        assert_eq!(c.tick(false, false), 0, "no stalled packet resets the counter");
+        assert_eq!(
+            c.tick(false, false),
+            0,
+            "no stalled packet resets the counter"
+        );
         for _ in 0..20 {
             c.tick(true, false);
         }
@@ -124,8 +128,7 @@ mod tests {
     fn arbiter_rotates_across_candidates() {
         let mut a = UpwardArbiter::new();
         let cs = vec![cand(1), cand(2), cand(3)];
-        let picks: Vec<u64> =
-            (0..6).map(|_| a.pick(&cs).unwrap().packet.0).collect();
+        let picks: Vec<u64> = (0..6).map(|_| a.pick(&cs).unwrap().packet.0).collect();
         assert_eq!(picks, vec![1, 2, 3, 1, 2, 3]);
         assert!(a.pick(&[]).is_none());
     }

@@ -20,6 +20,7 @@ use upp_noc::ids::{ChipletId, Cycle, NodeId, PacketId, Port, VnetId};
 use upp_noc::network::{Network, UpwardCandidate};
 use upp_noc::packet::RouteInfo;
 use upp_noc::scheme::{Scheme, SchemeProperties};
+use upp_noc::trace::TraceEvent;
 
 /// UPP tuning knobs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -37,14 +38,21 @@ pub struct UppConfig {
 
 impl Default for UppConfig {
     fn default() -> Self {
-        Self { threshold: 20, signal_gap: None, serialize_per_chiplet: false }
+        Self {
+            threshold: 20,
+            signal_gap: None,
+            serialize_per_chiplet: false,
+        }
     }
 }
 
 impl UppConfig {
     /// Config with a custom detection threshold (Fig. 13 sweeps 20/100/1000).
     pub fn with_threshold(threshold: u64) -> Self {
-        Self { threshold, ..Self::default() }
+        Self {
+            threshold,
+            ..Self::default()
+        }
     }
 }
 
@@ -71,6 +79,15 @@ pub struct UppStats {
     /// summed over completed popups (divide by `popups_completed` for the
     /// mean recovery latency).
     pub recovery_cycles: u64,
+    /// Cycles spent between selection and the `UPP_ack` arriving, summed
+    /// over completed popups (the `WaitAck` stage of the recovery span).
+    pub wait_ack_cycles: u64,
+    /// Cycles spent searching for a partly-transmitted worm's head flit,
+    /// summed over completed popups (zero for full popups).
+    pub locate_cycles: u64,
+    /// Cycles spent actually popping flits through the bypass path, summed
+    /// over completed popups.
+    pub pop_cycles: u64,
 }
 
 impl UppStats {
@@ -91,13 +108,24 @@ pub type UppStatsHandle = Arc<Mutex<UppStats>>;
 enum Stage {
     Idle,
     /// Req queued/sent; waiting for the ack.
-    WaitAck { cand: UpwardCandidate, selected_at: Cycle },
+    WaitAck {
+        cand: UpwardCandidate,
+        selected_at: Cycle,
+    },
     /// Ack received, head still at the interposer: popping flits up the
     /// bypass path.
-    PopInterposer { cand: UpwardCandidate, selected_at: Cycle },
+    PopInterposer {
+        cand: UpwardCandidate,
+        selected_at: Cycle,
+        acked_at: Cycle,
+    },
     /// Ack received for a partly-transmitted worm: searching for the router
     /// currently holding the head flit.
-    LocateHead { cand: UpwardCandidate, selected_at: Cycle },
+    LocateHead {
+        cand: UpwardCandidate,
+        selected_at: Cycle,
+        acked_at: Cycle,
+    },
     /// Popping from the chiplet router that holds the head flit.
     PopChiplet {
         packet: PacketId,
@@ -106,6 +134,8 @@ enum Stage {
         in_port: Port,
         vc_flat: usize,
         selected_at: Cycle,
+        acked_at: Cycle,
+        located_at: Cycle,
     },
 }
 
@@ -205,8 +235,13 @@ impl Upp {
             .unwrap_or(net.cfg().data_packet_flits as u64 + 1);
         let num_vnets = net.cfg().num_vnets;
         for &ir in net.topo().interposer_routers() {
-            let Some(above) = net.topo().above(ir) else { continue };
-            let chiplet = net.topo().chiplet_of(above).expect("boundary routers sit in chiplets");
+            let Some(above) = net.topo().above(ir) else {
+                continue;
+            };
+            let chiplet = net
+                .topo()
+                .chiplet_of(above)
+                .expect("boundary routers sit in chiplets");
             self.up_nodes.push(ir);
             self.routers.insert(
                 ir,
@@ -263,8 +298,9 @@ impl Upp {
     }
 
     fn make_ack(origin_interposer: NodeId, dest_router: NodeId, vnet: VnetId) -> ControlMsg {
-        let bits =
-            UppSignal::Ack { vnet, started: 0 }.encode().expect("ack encoding is total");
+        let bits = UppSignal::Ack { vnet, started: 0 }
+            .encode()
+            .expect("ack encoding is total");
         ControlMsg {
             class: ControlClass::AckLike,
             bits,
@@ -278,6 +314,77 @@ impl Upp {
         }
     }
 
+    /// Records a popup stage transition in the network's tracer, when one
+    /// is attached and enabled.
+    fn trace_stage(
+        net: &mut Network,
+        node: NodeId,
+        vnet: VnetId,
+        packet: Option<PacketId>,
+        from: &'static str,
+        to: &'static str,
+    ) {
+        if net.tracer().enabled() {
+            let at = net.cycle();
+            net.tracer_mut().record(TraceEvent::PopupStage {
+                at,
+                node,
+                vnet,
+                packet,
+                from,
+                to,
+            });
+        }
+    }
+
+    /// Final accounting for one completed popup: recovery-latency stats,
+    /// the per-stage latency decomposition, and the tracer's popup span.
+    #[allow(clippy::too_many_arguments)]
+    fn complete_popup(
+        &mut self,
+        net: &mut Network,
+        node: NodeId,
+        vnet: VnetId,
+        packet: PacketId,
+        selected_at: Cycle,
+        acked_at: Cycle,
+        located_at: Cycle,
+        now: Cycle,
+        from_stage: &'static str,
+    ) {
+        let wait_ack = acked_at.saturating_sub(selected_at);
+        let locate = located_at.saturating_sub(acked_at);
+        let pop = now.saturating_sub(located_at);
+        {
+            let mut s = self.stats.lock().unwrap();
+            s.popups_completed += 1;
+            s.recovery_cycles += now.saturating_sub(selected_at);
+            s.wait_ack_cycles += wait_ack;
+            s.locate_cycles += locate;
+            s.pop_cycles += pop;
+        }
+        if net.tracer().enabled() {
+            net.tracer_mut().record(TraceEvent::PopupStage {
+                at: now,
+                node,
+                vnet,
+                packet: Some(packet),
+                from: from_stage,
+                to: "Idle",
+            });
+            net.tracer_mut().record(TraceEvent::PopupSpan {
+                node,
+                vnet,
+                packet,
+                detected_at: selected_at,
+                completed_at: now,
+                wait_ack,
+                locate,
+                pop,
+            });
+        }
+    }
+
     /// Marks popup priority for `packet` at every router currently holding
     /// its flits, so the worm drains ahead of ordinary traffic.
     fn mark_priority_everywhere(net: &mut Network, packet: PacketId) {
@@ -285,7 +392,8 @@ impl Upp {
         for n in nodes {
             let holds = {
                 let r = net.router(n);
-                r.input_vcs().any(|(p, f)| r.input_vc(p, f).owner == Some(packet))
+                r.input_vcs()
+                    .any(|(p, f)| r.input_vc(p, f).owner == Some(packet))
             };
             if holds {
                 net.router_mut(n).add_priority_packet(packet);
@@ -315,7 +423,8 @@ impl Upp {
     fn packet_gone(net: &Network, packet: PacketId) -> bool {
         net.topo().nodes().iter().all(|n| {
             let r = net.router(n.id);
-            r.input_vcs().all(|(p, f)| r.input_vc(p, f).owner != Some(packet))
+            r.input_vcs()
+                .all(|(p, f)| r.input_vc(p, f).owner != Some(packet))
         })
     }
 
@@ -326,8 +435,7 @@ impl Upp {
         self.up_nodes.iter().any(|&other| {
             other != node
                 && self.routers.get(&other).is_some_and(|r| {
-                    r.chiplet == chiplet
-                        && !matches!(r.vnets[vnet.index()].stage, Stage::Idle)
+                    r.chiplet == chiplet && !matches!(r.vnets[vnet.index()].stage, Stage::Idle)
                 })
         })
     }
@@ -341,10 +449,14 @@ impl Upp {
                         .ni_queues
                         .entry((node, vnet))
                         .or_default()
-                        .push_back(NiMsg::Req { origin: d.msg.origin }),
-                    Ok(UppSignal::Stop { vnet, .. }) => {
-                        self.ni_queues.entry((node, vnet)).or_default().push_back(NiMsg::Stop)
-                    }
+                        .push_back(NiMsg::Req {
+                            origin: d.msg.origin,
+                        }),
+                    Ok(UppSignal::Stop { vnet, .. }) => self
+                        .ni_queues
+                        .entry((node, vnet))
+                        .or_default()
+                        .push_back(NiMsg::Stop),
                     other => debug_assert!(false, "unexpected NI signal {other:?}"),
                 }
             }
@@ -361,7 +473,10 @@ impl Upp {
             .map(|(&k, _)| k)
             .collect();
         for (node, vnet) in keys {
-            let Some(front) = self.ni_queues.get(&(node, vnet)).and_then(|q| q.front().copied())
+            let Some(front) = self
+                .ni_queues
+                .get(&(node, vnet))
+                .and_then(|q| q.front().copied())
             else {
                 continue;
             };
@@ -439,25 +554,46 @@ impl Upp {
             let vc = r.input_vc(cand.in_port, cand.vc_flat);
             (vc.owner, vc.partly_transmitted())
         };
+        let acked_at = net.cycle();
         let st = self.routers.get_mut(&node).expect("router state exists");
         let vs = &mut st.vnets[vnet.index()];
         match vc_state {
             (Some(owner), partly) if owner == cand.packet => {
                 if partly {
-                    vs.stage = Stage::LocateHead { cand, selected_at };
+                    vs.stage = Stage::LocateHead {
+                        cand,
+                        selected_at,
+                        acked_at,
+                    };
+                    Self::trace_stage(net, node, vnet, Some(cand.packet), "WaitAck", "LocateHead");
                 } else {
-                    net.router_mut(node).set_vc_frozen(cand.in_port, cand.vc_flat, true);
+                    vs.stage = Stage::PopInterposer {
+                        cand,
+                        selected_at,
+                        acked_at,
+                    };
+                    net.router_mut(node)
+                        .set_vc_frozen(cand.in_port, cand.vc_flat, true);
                     net.router_mut(node).add_priority_packet(cand.packet);
-                    vs.stage = Stage::PopInterposer { cand, selected_at };
+                    Self::trace_stage(
+                        net,
+                        node,
+                        vnet,
+                        Some(cand.packet),
+                        "WaitAck",
+                        "PopInterposer",
+                    );
                 }
             }
             _ => {
                 // The packet proceeded normally between req and ack: recycle
                 // the reservation. The ack itself was just consumed, so no
                 // drop budget is added.
-                st.signal_q.push_back(Self::make_stop(net, node, cand.dest, vnet));
+                st.signal_q
+                    .push_back(Self::make_stop(net, node, cand.dest, vnet));
                 self.stats.lock().unwrap().stops_sent += 1;
                 vs.stage = Stage::Idle;
+                Self::trace_stage(net, node, vnet, Some(cand.packet), "WaitAck", "Idle");
             }
         }
     }
@@ -478,9 +614,15 @@ impl Upp {
                     vs.stage = Stage::Idle;
                     let mut s = self.stats.lock().unwrap();
                     s.stops_sent += 1;
+                    drop(s);
+                    Self::trace_stage(net, node, vnet, Some(cand.packet), "WaitAck", "Idle");
                 }
             }
-            Stage::PopInterposer { cand, selected_at } => {
+            Stage::PopInterposer {
+                cand,
+                selected_at,
+                acked_at,
+            } => {
                 Self::mark_priority_everywhere(net, cand.packet);
                 // Pops pipeline with bypass forwarding: one flit per cycle.
                 if net.bypass_pending(node) <= 1 {
@@ -489,25 +631,50 @@ impl Upp {
                             let now = net.cycle();
                             let st = self.routers.get_mut(&node).expect("router state exists");
                             st.vnets[vnet.index()].stage = Stage::Idle;
-                            let mut stats = self.stats.lock().unwrap();
-                            stats.popups_completed += 1;
-                            stats.recovery_cycles += now.saturating_sub(selected_at);
+                            self.complete_popup(
+                                net,
+                                node,
+                                vnet,
+                                cand.packet,
+                                selected_at,
+                                acked_at,
+                                acked_at,
+                                now,
+                                "PopInterposer",
+                            );
                         }
                     }
                 }
             }
-            Stage::LocateHead { cand, selected_at } => {
+            Stage::LocateHead {
+                cand,
+                selected_at,
+                acked_at,
+            } => {
                 match Self::locate_head(net, cand.packet) {
                     Some((r_star, in_port, vc_flat)) if r_star == node => {
                         // Head still here after all: full popup.
                         net.router_mut(node).set_vc_frozen(in_port, vc_flat, true);
                         net.router_mut(node).add_priority_packet(cand.packet);
                         let st = self.routers.get_mut(&node).expect("router state exists");
-                        st.vnets[vnet.index()].stage = Stage::PopInterposer { cand, selected_at };
+                        st.vnets[vnet.index()].stage = Stage::PopInterposer {
+                            cand,
+                            selected_at,
+                            acked_at,
+                        };
+                        Self::trace_stage(
+                            net,
+                            node,
+                            vnet,
+                            Some(cand.packet),
+                            "LocateHead",
+                            "PopInterposer",
+                        );
                     }
                     Some((r_star, in_port, vc_flat)) => {
                         net.router_mut(r_star).set_vc_frozen(in_port, vc_flat, true);
                         Self::mark_priority_everywhere(net, cand.packet);
+                        let located_at = net.cycle();
                         let st = self.routers.get_mut(&node).expect("router state exists");
                         st.vnets[vnet.index()].stage = Stage::PopChiplet {
                             packet: cand.packet,
@@ -516,26 +683,52 @@ impl Upp {
                             in_port,
                             vc_flat,
                             selected_at,
+                            acked_at,
+                            located_at,
                         };
                         self.stats.lock().unwrap().partial_popups += 1;
+                        Self::trace_stage(
+                            net,
+                            node,
+                            vnet,
+                            Some(cand.packet),
+                            "LocateHead",
+                            "PopChiplet",
+                        );
                     }
                     None => {
                         if Self::packet_gone(net, cand.packet) {
                             // Fully delivered through the normal path while
                             // we were looking: recycle the reservation.
                             let stop = Self::make_stop(net, node, cand.dest, vnet);
-                            let st =
-                                self.routers.get_mut(&node).expect("router state exists");
+                            let st = self.routers.get_mut(&node).expect("router state exists");
                             st.signal_q.push_back(stop);
                             st.vnets[vnet.index()].stage = Stage::Idle;
                             self.stats.lock().unwrap().stops_sent += 1;
+                            Self::trace_stage(
+                                net,
+                                node,
+                                vnet,
+                                Some(cand.packet),
+                                "LocateHead",
+                                "Idle",
+                            );
                         }
                         // Otherwise the head flit is on a link; retry next
                         // cycle.
                     }
                 }
             }
-            Stage::PopChiplet { packet, dest, r_star, in_port, vc_flat, selected_at } => {
+            Stage::PopChiplet {
+                packet,
+                dest,
+                r_star,
+                in_port,
+                vc_flat,
+                selected_at,
+                acked_at,
+                located_at,
+            } => {
                 Self::mark_priority_everywhere(net, packet);
                 if net.bypass_pending(r_star) <= 1 {
                     let out = net
@@ -553,9 +746,17 @@ impl Upp {
                             let now = net.cycle();
                             let st = self.routers.get_mut(&node).expect("router state exists");
                             st.vnets[vnet.index()].stage = Stage::Idle;
-                            let mut s = self.stats.lock().unwrap();
-                            s.popups_completed += 1;
-                            s.recovery_cycles += now.saturating_sub(selected_at);
+                            self.complete_popup(
+                                net,
+                                node,
+                                vnet,
+                                packet,
+                                selected_at,
+                                acked_at,
+                                located_at,
+                                now,
+                                "PopChiplet",
+                            );
                         }
                     }
                 }
@@ -585,12 +786,18 @@ impl Upp {
         }
         let st = self.routers.get_mut(&node).expect("router state exists");
         let vs = &mut st.vnets[vnet.index()];
-        let Some(cand) = vs.arbiter.pick(&candidates) else { return };
+        let Some(cand) = vs.arbiter.pick(&candidates) else {
+            return;
+        };
         vs.counter.reset();
-        vs.stage = Stage::WaitAck { cand, selected_at: now };
+        vs.stage = Stage::WaitAck {
+            cand,
+            selected_at: now,
+        };
         let req = Self::make_req(net, node, &cand);
         let st = self.routers.get_mut(&node).expect("router state exists");
         st.signal_q.push_back(req);
+        Self::trace_stage(net, node, vnet, Some(cand.packet), "Idle", "WaitAck");
         let mut s = self.stats.lock().unwrap();
         s.upward_packets += 1;
         s.reqs_sent += 1;
@@ -655,7 +862,10 @@ mod tests {
         let src = sys.net().topo().chiplets()[0].routers[0];
         let dest = sys.net().topo().chiplets()[1].routers[9];
         sys.send(src, dest, VnetId(0), 5).unwrap();
-        assert!(matches!(sys.run_until_drained(2_000), RunOutcome::Drained { .. }));
+        assert!(matches!(
+            sys.run_until_drained(2_000),
+            RunOutcome::Drained { .. }
+        ));
         assert_eq!(stats.lock().unwrap().upward_packets, 0);
     }
 
@@ -681,7 +891,10 @@ mod tests {
         assert!(matches!(out, RunOutcome::Drained { .. }), "got {out:?}");
         assert_eq!(sys.net().stats().packets_ejected, sent);
         let s = *stats.lock().unwrap();
-        assert!(s.upward_packets > 0, "expected detections under hotspot congestion: {s:?}");
+        assert!(
+            s.upward_packets > 0,
+            "expected detections under hotspot congestion: {s:?}"
+        );
         // Protocol conservation: every req is answered by exactly one ack
         // (possibly dropped), every stop matches an earlier req.
         assert!(s.acks_sent <= s.reqs_sent);

@@ -110,7 +110,11 @@ impl UppSignal {
     /// Returns [`SignalCodecError`] when a field does not fit its width.
     pub fn encode(&self) -> Result<u32, SignalCodecError> {
         match *self {
-            UppSignal::Req { dest, vnet, input_vc } => {
+            UppSignal::Req {
+                dest,
+                vnet,
+                input_vc,
+            } => {
                 let d = check_dest(dest)?;
                 let v = onehot(vnet)?;
                 if input_vc >= (1 << VC_BITS) {
@@ -131,9 +135,7 @@ impl UppSignal {
                 if started >= (1 << START_BITS) {
                     return Err(SignalCodecError::BadOneHot(started as u32));
                 }
-                Ok(TYPE_ACK
-                    | (v << TYPE_BITS)
-                    | ((started as u32) << (TYPE_BITS + VNET_BITS)))
+                Ok(TYPE_ACK | (v << TYPE_BITS) | ((started as u32) << (TYPE_BITS + VNET_BITS)))
             }
         }
     }
@@ -159,12 +161,18 @@ impl UppSignal {
             TYPE_STOP => {
                 let dest = (bits >> TYPE_BITS) & ((1 << DEST_BITS) - 1);
                 let v = (bits >> (TYPE_BITS + DEST_BITS)) & ((1 << VNET_BITS) - 1);
-                Ok(UppSignal::Stop { dest: NodeId(dest), vnet: from_onehot(v)? })
+                Ok(UppSignal::Stop {
+                    dest: NodeId(dest),
+                    vnet: from_onehot(v)?,
+                })
             }
             TYPE_ACK => {
                 let v = (bits >> TYPE_BITS) & ((1 << VNET_BITS) - 1);
                 let started = (bits >> (TYPE_BITS + VNET_BITS)) & ((1 << START_BITS) - 1);
-                Ok(UppSignal::Ack { vnet: from_onehot(v)?, started: started as u8 })
+                Ok(UppSignal::Ack {
+                    vnet: from_onehot(v)?,
+                    started: started as u8,
+                })
             }
             other => Err(SignalCodecError::BadType(other)),
         }
@@ -207,11 +215,28 @@ mod tests {
     #[test]
     fn roundtrip_all_signal_kinds() {
         let signals = [
-            UppSignal::Req { dest: NodeId(77), vnet: VnetId(0), input_vc: 11 },
-            UppSignal::Req { dest: NodeId(0), vnet: VnetId(2), input_vc: 0 },
-            UppSignal::Stop { dest: NodeId(255), vnet: VnetId(1) },
-            UppSignal::Ack { vnet: VnetId(1), started: 0b010 },
-            UppSignal::Ack { vnet: VnetId(0), started: 0 },
+            UppSignal::Req {
+                dest: NodeId(77),
+                vnet: VnetId(0),
+                input_vc: 11,
+            },
+            UppSignal::Req {
+                dest: NodeId(0),
+                vnet: VnetId(2),
+                input_vc: 0,
+            },
+            UppSignal::Stop {
+                dest: NodeId(255),
+                vnet: VnetId(1),
+            },
+            UppSignal::Ack {
+                vnet: VnetId(1),
+                started: 0b010,
+            },
+            UppSignal::Ack {
+                vnet: VnetId(0),
+                started: 0,
+            },
         ];
         for s in signals {
             let bits = s.encode().unwrap();
@@ -221,44 +246,88 @@ mod tests {
 
     #[test]
     fn encoded_words_respect_field_widths() {
-        let req =
-            UppSignal::Req { dest: NodeId(255), vnet: VnetId(2), input_vc: 15 }.encode().unwrap();
-        assert!(req < (1 << REQ_WIDTH), "req word uses at most {REQ_WIDTH} bits");
-        let ack = UppSignal::Ack { vnet: VnetId(2), started: 0b111 }.encode().unwrap();
-        assert!(ack < (1 << ACK_WIDTH), "ack word uses at most {ACK_WIDTH} bits");
+        let req = UppSignal::Req {
+            dest: NodeId(255),
+            vnet: VnetId(2),
+            input_vc: 15,
+        }
+        .encode()
+        .unwrap();
+        assert!(
+            req < (1 << REQ_WIDTH),
+            "req word uses at most {REQ_WIDTH} bits"
+        );
+        let ack = UppSignal::Ack {
+            vnet: VnetId(2),
+            started: 0b111,
+        }
+        .encode()
+        .unwrap();
+        assert!(
+            ack < (1 << ACK_WIDTH),
+            "ack word uses at most {ACK_WIDTH} bits"
+        );
     }
 
     #[test]
     fn oversized_fields_are_rejected() {
         assert!(matches!(
-            UppSignal::Req { dest: NodeId(256), vnet: VnetId(0), input_vc: 0 }.encode(),
+            UppSignal::Req {
+                dest: NodeId(256),
+                vnet: VnetId(0),
+                input_vc: 0
+            }
+            .encode(),
             Err(SignalCodecError::DestTooLarge(_))
         ));
         assert!(matches!(
-            UppSignal::Req { dest: NodeId(1), vnet: VnetId(3), input_vc: 0 }.encode(),
+            UppSignal::Req {
+                dest: NodeId(1),
+                vnet: VnetId(3),
+                input_vc: 0
+            }
+            .encode(),
             Err(SignalCodecError::VnetTooLarge(_))
         ));
         assert!(matches!(
-            UppSignal::Req { dest: NodeId(1), vnet: VnetId(0), input_vc: 16 }.encode(),
+            UppSignal::Req {
+                dest: NodeId(1),
+                vnet: VnetId(0),
+                input_vc: 16
+            }
+            .encode(),
             Err(SignalCodecError::VcTooLarge(16))
         ));
     }
 
     #[test]
     fn malformed_words_are_rejected() {
-        assert!(matches!(UppSignal::decode(0), Err(SignalCodecError::BadType(0))));
+        assert!(matches!(
+            UppSignal::decode(0),
+            Err(SignalCodecError::BadType(0))
+        ));
         // Type=Req but zero vnet one-hot bits.
-        assert!(matches!(UppSignal::decode(TYPE_REQ), Err(SignalCodecError::BadOneHot(0))));
+        assert!(matches!(
+            UppSignal::decode(TYPE_REQ),
+            Err(SignalCodecError::BadOneHot(0))
+        ));
         // Two vnet bits set.
         let bad = TYPE_REQ | (0b011 << (TYPE_BITS + DEST_BITS));
-        assert!(matches!(UppSignal::decode(bad), Err(SignalCodecError::BadOneHot(_))));
+        assert!(matches!(
+            UppSignal::decode(bad),
+            Err(SignalCodecError::BadOneHot(_))
+        ));
     }
 
     #[test]
     fn errors_are_displayable() {
-        let e = UppSignal::Req { dest: NodeId(999), vnet: VnetId(0), input_vc: 0 }
-            .encode()
-            .unwrap_err();
+        let e = UppSignal::Req {
+            dest: NodeId(999),
+            vnet: VnetId(0),
+            input_vc: 0,
+        }
+        .encode()
+        .unwrap_err();
         assert!(e.to_string().contains("8-bit"));
     }
 }

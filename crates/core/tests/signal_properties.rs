@@ -17,7 +17,10 @@ fn valid_signal() -> impl Strategy<Value = UppSignal> {
             dest: NodeId(d),
             vnet: VnetId(v),
         }),
-        (0u8..3, 0u8..8).prop_map(|(v, s)| UppSignal::Ack { vnet: VnetId(v), started: s }),
+        (0u8..3, 0u8..8).prop_map(|(v, s)| UppSignal::Ack {
+            vnet: VnetId(v),
+            started: s
+        }),
     ]
 }
 

@@ -127,9 +127,7 @@ impl NocConfig {
         if self.flow_control == FlowControl::VirtualCutThrough
             && self.vc_buffer_depth < self.max_packet_flits()
         {
-            return Err(
-                "virtual cut-through needs VC buffers at least one max packet deep".into(),
-            );
+            return Err("virtual cut-through needs VC buffers at least one max packet deep".into());
         }
         Ok(())
     }
@@ -173,7 +171,9 @@ mod tests {
 
     #[test]
     fn builder_style_setters() {
-        let cfg = NocConfig::default().with_vcs_per_vnet(4).with_vc_buffer_depth(8);
+        let cfg = NocConfig::default()
+            .with_vcs_per_vnet(4)
+            .with_vc_buffer_depth(8);
         assert_eq!(cfg.vcs_per_port(), 12);
         assert_eq!(cfg.vc_buffer_depth, 8);
     }
@@ -218,6 +218,9 @@ mod tests {
 
         let mut bad = NocConfig::default();
         bad.flow_control = FlowControl::VirtualCutThrough;
-        assert!(bad.validate().is_err(), "4-deep buffers cannot hold a 5-flit packet");
+        assert!(
+            bad.validate().is_err(),
+            "4-deep buffers cannot hold a 5-flit packet"
+        );
     }
 }

@@ -260,8 +260,10 @@ mod tests {
     #[test]
     fn port_classes_are_disjoint() {
         for p in Port::ALL {
-            let classes =
-                [p.is_mesh(), p.is_vertical(), p == Port::Local].iter().filter(|&&b| b).count();
+            let classes = [p.is_mesh(), p.is_vertical(), p == Port::Local]
+                .iter()
+                .filter(|&&b| b)
+                .count();
             assert_eq!(classes, 1, "{p:?} must belong to exactly one class");
         }
         assert!(Port::East.is_x() && !Port::East.is_y());

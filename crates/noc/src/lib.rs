@@ -65,6 +65,7 @@ pub mod scheme;
 pub mod sim;
 pub mod stats;
 pub mod topology;
+pub mod trace;
 pub mod viz;
 
 pub use config::NocConfig;
@@ -72,3 +73,4 @@ pub use ids::{ChipletId, Cycle, NodeId, PacketId, Port, VcId, VnetId};
 pub use network::Network;
 pub use scheme::{NoScheme, Scheme, SchemeProperties};
 pub use sim::{RunOutcome, System};
+pub use trace::{MetricsSampler, MetricsSnapshot, StallReport, TraceEvent, TraceSink, Tracer};

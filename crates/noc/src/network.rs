@@ -7,9 +7,10 @@ use crate::ids::{Cycle, NodeId, PacketId, Port, VnetId};
 use crate::ni::{ConsumePolicy, Delivered, Ni, PermitState};
 use crate::packet::{Flit, Packet, RouteInfo};
 use crate::router::{Router, RouterCtx};
-use crate::routing::RouteComputer;
+use crate::routing::{GlobalCdg, GlobalChannel, RouteComputer};
 use crate::stats::{NetStats, PacketRecord, PacketTracker};
 use crate::topology::Topology;
+use crate::trace::{StallReport, TraceEvent, Tracer, VcHold, WedgedPacket};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
@@ -48,6 +49,7 @@ pub struct Network {
     calendar: BTreeMap<Cycle, Vec<Event>>,
     stats: NetStats,
     tracker: PacketTracker,
+    tracer: Tracer,
 }
 
 impl std::fmt::Debug for Network {
@@ -80,8 +82,11 @@ impl Network {
             .iter()
             .map(|n| Router::new(n.id, &cfg, &topo, seed))
             .collect();
-        let nis: Vec<Ni> =
-            topo.nodes().iter().map(|n| Ni::new(n.id, &cfg, consume)).collect();
+        let nis: Vec<Ni> = topo
+            .nodes()
+            .iter()
+            .map(|n| Ni::new(n.id, &cfg, consume))
+            .collect();
         let stats = NetStats::new(cfg.num_vnets);
         Self {
             cfg,
@@ -93,7 +98,25 @@ impl Network {
             calendar: BTreeMap::new(),
             stats,
             tracker: PacketTracker::new(),
+            tracer: Tracer::disabled(),
         }
+    }
+
+    /// The flight recorder (disabled unless [`Network::set_tracer`] armed
+    /// one).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// Mutable tracer access (schemes record popup spans through this).
+    pub fn tracer_mut(&mut self) -> &mut Tracer {
+        &mut self.tracer
+    }
+
+    /// Installs a tracer, returning the previous one (with whatever it
+    /// recorded so far).
+    pub fn set_tracer(&mut self, tracer: Tracer) -> Tracer {
+        std::mem::replace(&mut self.tracer, tracer)
     }
 
     /// The configuration.
@@ -137,7 +160,8 @@ impl Network {
     /// watchdog threshold — the network is wedged (only possible without a
     /// deadlock-freedom scheme, or with a broken one).
     pub fn stalled(&self) -> bool {
-        self.tracker.stalled(self.cycle, self.cfg.watchdog_threshold)
+        self.tracker
+            .stalled(self.cycle, self.cfg.watchdog_threshold)
     }
 
     /// Cycle of the last observed flit movement.
@@ -200,6 +224,16 @@ impl Network {
             .enqueue(pkt, route)
             .expect("can_enqueue checked");
         self.stats.packets_created += 1;
+        if self.tracer.enabled() {
+            self.tracer.record(TraceEvent::PacketCreated {
+                at: self.cycle,
+                packet: id,
+                src,
+                dest,
+                vnet,
+                len_flits,
+            });
+        }
         Some(id)
     }
 
@@ -265,12 +299,7 @@ impl Network {
     /// Pops one flit of an input VC up into the bypass path (popup
     /// transmission at the interposer router). Returns the flit if one was
     /// eligible.
-    pub fn pop_upward_flit(
-        &mut self,
-        node: NodeId,
-        in_port: Port,
-        vc_flat: usize,
-    ) -> Option<Flit> {
+    pub fn pop_upward_flit(&mut self, node: NodeId, in_port: Port, vc_flat: usize) -> Option<Flit> {
         self.pop_bypass_flit(node, in_port, vc_flat, Port::Up)
     }
 
@@ -284,8 +313,19 @@ impl Network {
         vc_flat: usize,
         out_port: Port,
     ) -> Option<Flit> {
-        let Network { cfg, topo, routing, routers, nis, calendar, stats, tracker, cycle, .. } =
-            self;
+        let Network {
+            cfg,
+            topo,
+            routing,
+            routers,
+            nis,
+            calendar,
+            stats,
+            tracker,
+            tracer,
+            cycle,
+            ..
+        } = self;
         let mut emit = Vec::new();
         let flit = {
             let mut ctx = RouterCtx {
@@ -297,6 +337,7 @@ impl Network {
                 emit: &mut emit,
                 stats,
                 tracker,
+                tracer,
             };
             routers[node.index()].pop_bypass_flit(&mut ctx, in_port, vc_flat, out_port)
         };
@@ -333,13 +374,92 @@ impl Network {
             .iter()
             .map(|r| {
                 let n = r.node();
-                let flits: usize = r
-                    .input_vcs()
-                    .map(|(p, f)| r.input_vc(p, f).buf.len())
-                    .sum();
+                let flits: usize = r.input_vcs().map(|(p, f)| r.input_vc(p, f).buf.len()).sum();
                 (n, flits)
             })
             .collect()
+    }
+
+    /// Assembles a deadlock-forensics report for the current network state:
+    /// every in-flight packet with the input VCs it holds, what each held VC
+    /// waits on, and one circular wait over physical channels (extracted by
+    /// running [`GlobalCdg::find_cycle`] on the runtime hold/wait graph).
+    /// Meaningful any time, but intended for when [`Network::stalled`]
+    /// trips.
+    pub fn stall_report(&self) -> StallReport {
+        let mut wedged: Vec<WedgedPacket> = self
+            .tracker
+            .live_packets()
+            .map(|(id, rec)| WedgedPacket {
+                id,
+                src: rec.src,
+                dest: rec.dest,
+                vnet: rec.vnet,
+                len_flits: rec.len_flits,
+                age: self.cycle.saturating_sub(rec.created_at),
+                injected: rec.injected_at.is_some(),
+                holds: Vec::new(),
+            })
+            .collect();
+        wedged.sort_by_key(|w| w.id);
+
+        let mut edges: Vec<(GlobalChannel, GlobalChannel)> = Vec::new();
+        for w in &mut wedged {
+            for r in &self.routers {
+                let node = r.node();
+                for (p, f) in r.input_vcs() {
+                    let vc = r.input_vc(p, f);
+                    if vc.owner != Some(w.id) {
+                        continue;
+                    }
+                    let waits_out = vc.route_out;
+                    let waits_node = waits_out
+                        .filter(|&out| out != Port::Local)
+                        .and_then(|out| self.topo.neighbor(node, out));
+                    w.holds.push(VcHold {
+                        node,
+                        in_port: p,
+                        vc_flat: f,
+                        buffered: vc.buf.len(),
+                        head_of_line: vc.buf.front().is_some_and(|b| b.flit.kind.is_head()),
+                        waits_out,
+                        waits_node,
+                    });
+                    // Wait-for edge: the channel whose downstream buffer the
+                    // flits occupy depends on the channel the packet needs
+                    // next. Locally-injected flits hold no inter-router
+                    // channel; ejecting packets wait on none.
+                    if vc.buf.is_empty() || p == Port::Local {
+                        continue;
+                    }
+                    let (Some(out), Some(upstream)) = (waits_out, self.topo.neighbor(node, p))
+                    else {
+                        continue;
+                    };
+                    if out == Port::Local {
+                        continue;
+                    }
+                    edges.push((
+                        GlobalChannel {
+                            from: upstream,
+                            out: p.opposite(),
+                        },
+                        GlobalChannel { from: node, out },
+                    ));
+                }
+            }
+        }
+        let wait_cycle = GlobalCdg::from_edges(&edges)
+            .find_cycle()
+            .unwrap_or_default();
+        StallReport {
+            cycle: self.cycle,
+            last_progress: self.last_progress(),
+            in_flight: self.in_flight(),
+            wedged,
+            wait_cycle,
+            occupancy: self.occupancy(),
+        }
     }
 
     // ------------------------------------------------------- reconfiguration
@@ -382,12 +502,28 @@ impl Network {
     /// Schemes observe post-arrival state in their `pre_cycle` hook.
     pub fn begin_cycle(&mut self) {
         let events = self.calendar.remove(&self.cycle).unwrap_or_default();
-        let Network { cfg, topo, routing, routers, nis, stats, tracker, cycle, calendar, .. } =
-            self;
+        let Network {
+            cfg,
+            topo,
+            routing,
+            routers,
+            nis,
+            stats,
+            tracker,
+            tracer,
+            cycle,
+            calendar,
+            ..
+        } = self;
         let mut emit: Vec<(Cycle, Event)> = Vec::new();
         for ev in events {
             match ev {
-                Event::FlitArrive { node, in_port, vc_flat, flit } => {
+                Event::FlitArrive {
+                    node,
+                    in_port,
+                    vc_flat,
+                    flit,
+                } => {
                     let mut ctx = RouterCtx {
                         cfg,
                         topo,
@@ -397,23 +533,42 @@ impl Network {
                         emit: &mut emit,
                         stats,
                         tracker,
+                        tracer,
                     };
                     routers[node.index()].deliver_flit(&mut ctx, in_port, vc_flat, flit);
                 }
-                Event::CreditArrive { node, out_port, vc_flat, is_free } => {
+                Event::CreditArrive {
+                    node,
+                    out_port,
+                    vc_flat,
+                    is_free,
+                } => {
                     routers[node.index()].deliver_credit(out_port, vc_flat, is_free);
                 }
-                Event::NiCreditArrive { node, vc_flat, is_free } => {
+                Event::NiCreditArrive {
+                    node,
+                    vc_flat,
+                    is_free,
+                } => {
                     nis[node.index()].on_credit(vc_flat, is_free);
                 }
                 Event::NiFlitArrive { node, flit } => {
                     stats.flits_ejected += 1;
                     tracker.touch(*cycle);
-                    let done =
-                        nis[node.index()].accept_flit(flit, *cycle, flit.upward);
+                    let done = nis[node.index()].accept_flit(flit, *cycle, flit.upward);
                     if let Some(d) = done {
                         if let Some(rec) = tracker.on_ejected(d.pkt.id, *cycle) {
                             stats.record_ejection(&rec, *cycle);
+                            if tracer.enabled() {
+                                let injected = rec.injected_at.unwrap_or(rec.created_at);
+                                tracer.record(TraceEvent::PacketEjected {
+                                    at: *cycle,
+                                    packet: d.pkt.id,
+                                    node,
+                                    net_latency: cycle.saturating_sub(injected),
+                                    total_latency: cycle.saturating_sub(rec.created_at),
+                                });
+                            }
                         }
                     }
                 }
@@ -437,8 +592,19 @@ impl Network {
     /// Phase 2 of a cycle: NI injection, router allocation/commit, PE
     /// consumption; then the clock advances.
     pub fn finish_cycle(&mut self) {
-        let Network { cfg, topo, routing, routers, nis, stats, tracker, cycle, calendar, .. } =
-            self;
+        let Network {
+            cfg,
+            topo,
+            routing,
+            routers,
+            nis,
+            stats,
+            tracker,
+            tracer,
+            cycle,
+            calendar,
+            ..
+        } = self;
         let mut emit: Vec<(Cycle, Event)> = Vec::new();
         let now = *cycle;
 
@@ -449,6 +615,13 @@ impl Network {
                 if flit.kind.is_head() {
                     tracker.on_injected(flit.packet, now);
                     stats.packets_injected += 1;
+                    if tracer.enabled() {
+                        tracer.record(TraceEvent::PacketInjected {
+                            at: now,
+                            packet: flit.packet,
+                            node: ni.node(),
+                        });
+                    }
                 }
                 stats.flits_injected += 1;
                 tracker.touch(now);
@@ -475,6 +648,7 @@ impl Network {
                 emit: &mut emit,
                 stats,
                 tracker,
+                tracer,
             };
             routers[i].step(&mut ctx);
         }
@@ -526,7 +700,10 @@ mod tests {
         while net.in_flight() > 0 {
             net.step();
             guard += 1;
-            assert!(guard < max_cycles, "packets did not drain within {max_cycles} cycles");
+            assert!(
+                guard < max_cycles,
+                "packets did not drain within {max_cycles} cycles"
+            );
         }
     }
 
@@ -566,7 +743,10 @@ mod tests {
         // injection link 1: measured as a small constant; assert a tight
         // window so pipeline regressions are caught.
         let lat = net.stats().avg_net_latency();
-        assert!((4.0..=12.0).contains(&lat), "unexpected zero-load latency {lat}");
+        assert!(
+            (4.0..=12.0).contains(&lat),
+            "unexpected zero-load latency {lat}"
+        );
     }
 
     #[test]
@@ -579,7 +759,9 @@ mod tests {
             if s == d {
                 continue;
             }
-            if net.try_send(s, d, VnetId((i % 3) as u8), if i % 3 == 2 { 5 } else { 1 }).is_some()
+            if net
+                .try_send(s, d, VnetId((i % 3) as u8), if i % 3 == 2 { 5 } else { 1 })
+                .is_some()
             {
                 sent += 1;
             }
@@ -625,12 +807,17 @@ mod tests {
     fn stats_reset_keeps_in_flight_packets() {
         let mut net = net();
         let c = &net.topo().chiplets()[0];
-        net.try_send(c.routers[0], c.routers[15], VnetId(0), 5).unwrap();
+        net.try_send(c.routers[0], c.routers[15], VnetId(0), 5)
+            .unwrap();
         for _ in 0..3 {
             net.step();
         }
         net.reset_stats();
         run_until_drained(&mut net, 300);
-        assert_eq!(net.stats().packets_ejected, 1, "latency attributed to new window");
+        assert_eq!(
+            net.stats().packets_ejected,
+            1,
+            "latency attributed to new window"
+        );
     }
 }

@@ -56,7 +56,10 @@ pub struct OutVcState {
 impl OutVcState {
     /// Fresh state with `depth` credits.
     pub fn new(depth: usize) -> Self {
-        Self { credits: depth, busy: false }
+        Self {
+            credits: depth,
+            busy: false,
+        }
     }
 }
 
@@ -164,8 +167,7 @@ impl Ni {
 
     /// Occupancy of one injection queue.
     pub fn injection_backlog(&self, vnet: VnetId) -> usize {
-        self.inj_queues[vnet.index()].len()
-            + usize::from(self.active[vnet.index()].is_some())
+        self.inj_queues[vnet.index()].len() + usize::from(self.active[vnet.index()].is_some())
     }
 
     /// Enqueues a packet for injection.
@@ -242,7 +244,9 @@ impl Ni {
                 return Some((flit, vcf));
             }
             // Try to start the head-of-queue packet of this VNet.
-            let Some(head) = self.inj_queues[v].front() else { continue };
+            let Some(head) = self.inj_queues[v].front() else {
+                continue;
+            };
             if head.permit == PermitState::Waiting {
                 continue;
             }
@@ -305,7 +309,10 @@ impl Ni {
     /// Panics if no entry is free — the router must check
     /// [`Ni::free_entries`] before allocating the Local output VC.
     pub fn claim_entry(&mut self, vnet: VnetId) {
-        assert!(self.free_entries(vnet) > 0, "ejection entry claimed without availability");
+        assert!(
+            self.free_entries(vnet) > 0,
+            "ejection entry claimed without availability"
+        );
         self.in_use[vnet.index()] += 1;
     }
 
@@ -327,7 +334,10 @@ impl Ni {
     ///
     /// Panics if no reservation is outstanding for `vnet`.
     pub fn release_reservation(&mut self, vnet: VnetId) {
-        assert!(self.upp_reserved[vnet.index()] > 0, "releasing a reservation that was never made");
+        assert!(
+            self.upp_reserved[vnet.index()] > 0,
+            "releasing a reservation that was never made"
+        );
         self.upp_reserved[vnet.index()] -= 1;
     }
 
@@ -362,15 +372,23 @@ impl Ni {
             );
             let prev = self.assembly.insert(
                 flit.packet,
-                Assembly { received: 0, len: packet_len(&flit), head: flit, via_popup },
+                Assembly {
+                    received: 0,
+                    len: packet_len(&flit),
+                    head: flit,
+                    via_popup,
+                },
             );
             debug_assert!(prev.is_none(), "duplicate head flit for {}", flit.packet);
         }
-        let asm = self
-            .assembly
-            .get_mut(&flit.packet)
-            .unwrap_or_else(|| panic!("flit of unknown packet {} at NI {}", flit.packet, self.node));
-        debug_assert_eq!(asm.received, flit.seq, "out-of-order flit at NI {}", self.node);
+        let asm = self.assembly.get_mut(&flit.packet).unwrap_or_else(|| {
+            panic!("flit of unknown packet {} at NI {}", flit.packet, self.node)
+        });
+        debug_assert_eq!(
+            asm.received, flit.seq,
+            "out-of-order flit at NI {}",
+            self.node
+        );
         asm.received += 1;
         asm.via_popup |= via_popup;
         if flit.kind.is_tail() {
@@ -385,7 +403,11 @@ impl Ni {
                 len,
                 asm.head.injected_at,
             );
-            let d = Delivered { pkt, completed_at: now, via_popup: asm.via_popup };
+            let d = Delivered {
+                pkt,
+                completed_at: now,
+                via_popup: asm.via_popup,
+            };
             self.delivered[v].push_back(d);
             return Some(d);
         }
@@ -520,7 +542,10 @@ mod tests {
         // VC stays busy for a second packet of the same VNet until freed.
         let (p2, r2) = pkt(2, 0, 1);
         n.enqueue(p2, r2).unwrap();
-        assert!(n.inject_step(2, 1, false).is_none(), "tail sent but VC not yet freed");
+        assert!(
+            n.inject_step(2, 1, false).is_none(),
+            "tail sent but VC not yet freed"
+        );
         n.on_credit(0, true);
         for _ in 0..4 {
             n.on_credit(0, false);
@@ -538,7 +563,10 @@ mod tests {
         assert!(n.inject_step(0, 1, false).is_none());
         assert!(n.set_permit(PacketId(7), PermitState::Granted));
         assert!(n.inject_step(1, 1, false).is_some());
-        assert!(!n.set_permit(PacketId(7), PermitState::Granted), "no longer pending");
+        assert!(
+            !n.set_permit(PacketId(7), PermitState::Granted),
+            "no longer pending"
+        );
     }
 
     #[test]
@@ -599,7 +627,11 @@ mod tests {
         let d = deliver(&mut n, 9, 2, 5, true).unwrap();
         assert!(d.via_popup);
         assert_eq!(n.reservations(VnetId(2)), 0);
-        assert_eq!(n.free_entries(VnetId(2)), 3, "entry now claimed, not reserved");
+        assert_eq!(
+            n.free_entries(VnetId(2)),
+            3,
+            "entry now claimed, not reserved"
+        );
     }
 
     #[test]

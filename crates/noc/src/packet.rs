@@ -24,13 +24,19 @@ impl PacketClass {
     /// therefore be the paper's *upward packet*).
     #[inline]
     pub fn ascends(self) -> bool {
-        matches!(self, PacketClass::InterposerToChiplet | PacketClass::InterChiplet)
+        matches!(
+            self,
+            PacketClass::InterposerToChiplet | PacketClass::InterChiplet
+        )
     }
 
     /// True if the packet's route ever descends a vertical link.
     #[inline]
     pub fn descends(self) -> bool {
-        matches!(self, PacketClass::ChipletToInterposer | PacketClass::InterChiplet)
+        matches!(
+            self,
+            PacketClass::ChipletToInterposer | PacketClass::InterChiplet
+        )
     }
 }
 
@@ -69,7 +75,12 @@ pub struct RouteInfo {
 impl RouteInfo {
     /// A purely local route to `dest`.
     pub fn intra(dest: NodeId) -> Self {
-        Self { dest, class: PacketClass::Intra, exit_boundary: None, entry_interposer: None }
+        Self {
+            dest,
+            class: PacketClass::Intra,
+            exit_boundary: None,
+            entry_interposer: None,
+        }
     }
 }
 
@@ -195,7 +206,14 @@ impl Packet {
         created_at: Cycle,
     ) -> Self {
         debug_assert!(len_flits > 0);
-        Self { id, src, dest, vnet, len_flits, created_at }
+        Self {
+            id,
+            src,
+            dest,
+            vnet,
+            len_flits,
+            created_at,
+        }
     }
 }
 

@@ -28,6 +28,7 @@ use crate::packet::Flit;
 use crate::routing::RouteComputer;
 use crate::stats::{NetStats, PacketTracker};
 use crate::topology::Topology;
+use crate::trace::{BlockReason, TraceEvent, Tracer};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::collections::{HashMap, HashSet, VecDeque};
@@ -108,7 +109,10 @@ pub struct Absorber {
 impl Absorber {
     /// Creates an absorber with `slots` packet-sized slots.
     pub fn new(slots: usize) -> Self {
-        Self { slots: vec![AbsorbSlot::default(); slots], rr: 0 }
+        Self {
+            slots: vec![AbsorbSlot::default(); slots],
+            rr: 0,
+        }
     }
 
     /// Number of slots neither occupied nor reserved.
@@ -174,6 +178,7 @@ pub(crate) struct RouterCtx<'a> {
     pub emit: &'a mut Vec<(Cycle, Event)>,
     pub stats: &'a mut NetStats,
     pub tracker: &'a mut PacketTracker,
+    pub tracer: &'a mut Tracer,
 }
 
 /// One router.
@@ -233,8 +238,11 @@ impl Router {
         for p in Port::ALL {
             if has_link[p.index()] {
                 in_vcs.push(vec![InputVc::default(); vcs]);
-                let depth =
-                    if p == Port::Local { usize::MAX / 2 } else { cfg.vc_buffer_depth };
+                let depth = if p == Port::Local {
+                    usize::MAX / 2
+                } else {
+                    cfg.vc_buffer_depth
+                };
                 out_vcs.push(vec![OutVcState::new(depth); vcs]);
             } else {
                 in_vcs.push(Vec::new());
@@ -385,7 +393,13 @@ impl Router {
     // ------------------------------------------------------------ deliveries
 
     /// Handles an arriving flit (buffer write + route computation).
-    pub(crate) fn deliver_flit(&mut self, ctx: &mut RouterCtx<'_>, in_port: Port, vc_flat: usize, flit: Flit) {
+    pub(crate) fn deliver_flit(
+        &mut self,
+        ctx: &mut RouterCtx<'_>,
+        in_port: Port,
+        vc_flat: usize,
+        flit: Flit,
+    ) {
         if flit.upward {
             self.deliver_upward(ctx, in_port, flit);
             return;
@@ -404,13 +418,19 @@ impl Router {
         }
         let vc = &mut self.in_vcs[in_port.index()][vc_flat];
         if flit.kind.is_head() {
-            debug_assert!(vc.owner.is_none(), "VC collision at {} {in_port}", self.node);
+            debug_assert!(
+                vc.owner.is_none(),
+                "VC collision at {} {in_port}",
+                self.node
+            );
             vc.owner = Some(flit.packet);
-            vc.route_out =
-                Some(ctx.routing.route(ctx.topo, self.node, in_port, &flit.route));
+            vc.route_out = Some(ctx.routing.route(ctx.topo, self.node, in_port, &flit.route));
             vc.out_vc = None;
         }
-        vc.buf.push_back(BufferedFlit { flit, arrived: ctx.now });
+        vc.buf.push_back(BufferedFlit {
+            flit,
+            arrived: ctx.now,
+        });
     }
 
     /// Handles an arriving upward (bypass) flit: either it rejoins its worm
@@ -425,7 +445,10 @@ impl Router {
                     let mut f = flit;
                     f.upward = false;
                     f.popup_priority = true;
-                    vc.buf.push_back(BufferedFlit { flit: f, arrived: ctx.now });
+                    vc.buf.push_back(BufferedFlit {
+                        flit: f,
+                        arrived: ctx.now,
+                    });
                     self.priority_packets.insert(flit.packet);
                     return;
                 }
@@ -440,7 +463,12 @@ impl Router {
                 ctx.routing.route(ctx.topo, self.node, in_port, &flit.route)
             }
         };
-        self.bypass.push_back(BypassFlit { flit, in_port, out_port, arrived: ctx.now });
+        self.bypass.push_back(BypassFlit {
+            flit,
+            in_port,
+            out_port,
+            arrived: ctx.now,
+        });
     }
 
     /// Handles a returning credit.
@@ -498,13 +526,28 @@ impl Router {
             claimed_out[b.out_port.index()] = true;
             claimed_in[b.in_port.index()] = true;
             ctx.stats.bypass_hops += 1;
+            ctx.stats.bump_link(self.node, b.out_port);
             ctx.tracker.touch(ctx.now);
+            if ctx.tracer.enabled() {
+                ctx.tracer.record(TraceEvent::BypassHop {
+                    at: ctx.now,
+                    packet: b.flit.packet,
+                    node: self.node,
+                    out_port: b.out_port,
+                });
+            }
             if b.out_port == Port::Up {
                 self.up_last_sent[b.flit.vnet.index()] = ctx.now;
             }
             let arrival = ctx.now + ctx.cfg.link_latency;
             if b.out_port == Port::Local {
-                ctx.emit.push((arrival, Event::NiFlitArrive { node: self.node, flit: b.flit }));
+                ctx.emit.push((
+                    arrival,
+                    Event::NiFlitArrive {
+                        node: self.node,
+                        flit: b.flit,
+                    },
+                ));
             } else {
                 let peer = ctx
                     .topo
@@ -539,7 +582,9 @@ impl Router {
                 ControlClass::ReqLike => &mut self.req_buf,
                 ControlClass::AckLike => &mut self.ack_buf,
             };
-            let Some(&(msg, in_port, arrived)) = buf.front() else { continue };
+            let Some(&(msg, in_port, arrived)) = buf.front() else {
+                continue;
+            };
             if arrived >= ctx.now {
                 continue;
             }
@@ -549,7 +594,10 @@ impl Router {
                     if self.node == msg.route.dest {
                         (Port::Local, msg.deliver_to_ni)
                     } else {
-                        (ctx.routing.route(ctx.topo, self.node, in_port, &msg.route), false)
+                        (
+                            ctx.routing.route(ctx.topo, self.node, in_port, &msg.route),
+                            false,
+                        )
                     }
                 }
                 ControlRoute::Reverse => {
@@ -592,10 +640,26 @@ impl Router {
             claimed_out[out_port.index()] = true;
             ctx.stats.control_hops += 1;
             ctx.tracker.touch(ctx.now);
+            if ctx.tracer.enabled() {
+                ctx.tracer.record(TraceEvent::ControlHop {
+                    at: ctx.now,
+                    node: self.node,
+                    out_port,
+                    class: msg.class,
+                    bits: msg.bits,
+                    vnet: msg.vnet,
+                    origin: msg.origin,
+                    routing: msg.routing,
+                });
+            }
             if msg.record_circuit {
                 self.circuits.insert(
                     (msg.vnet, msg.circuit_key),
-                    CircuitEntry { in_port, out_port, set_at: ctx.now },
+                    CircuitEntry {
+                        in_port,
+                        out_port,
+                        set_at: ctx.now,
+                    },
                 );
             }
             let arrival = ctx.now + 1 + ctx.cfg.link_latency;
@@ -603,12 +667,20 @@ impl Router {
                 if terminate {
                     ctx.emit.push((
                         arrival,
-                        Event::NiControlArrive { node: self.node, in_port, msg },
+                        Event::NiControlArrive {
+                            node: self.node,
+                            in_port,
+                            msg,
+                        },
                     ));
                 } else {
                     // Forward message terminating at a router (not used by
                     // UPP, but keep the datapath total).
-                    self.control_inbox.push(DeliveredControl { msg, in_port, at: ctx.now });
+                    self.control_inbox.push(DeliveredControl {
+                        msg,
+                        in_port,
+                        at: ctx.now,
+                    });
                 }
             } else {
                 let peer = ctx
@@ -617,7 +689,11 @@ impl Router {
                     .unwrap_or_else(|| panic!("control over missing link at {}", self.node));
                 ctx.emit.push((
                     arrival,
-                    Event::ControlArrive { node: peer, in_port: out_port.opposite(), msg },
+                    Event::ControlArrive {
+                        node: peer,
+                        in_port: out_port.opposite(),
+                        msg,
+                    },
                 ));
             }
         }
@@ -659,10 +735,28 @@ impl Router {
             for off in 0..n {
                 let f = (start + off) % n;
                 if self.vc_request(p, f, ctx).is_none() {
+                    if ctx.tracer.enabled() {
+                        if let Some((packet, out, reason)) = self.classify_block(p, f, ctx) {
+                            ctx.tracer.record(TraceEvent::Blocked {
+                                at: ctx.now,
+                                packet,
+                                node: self.node,
+                                in_port: p,
+                                vc_flat: f,
+                                out_port: out,
+                                reason,
+                            });
+                        }
+                    }
                     continue;
                 }
                 let prio = self.priority_packets.contains(
-                    &vcs[f].buf.front().expect("request implies head flit").flit.packet,
+                    &vcs[f]
+                        .buf
+                        .front()
+                        .expect("request implies head flit")
+                        .flit
+                        .packet,
                 );
                 match chosen {
                     None => chosen = Some((f, prio)),
@@ -675,7 +769,12 @@ impl Router {
             }
             if let Some((f, prio)) = chosen {
                 let out = self.request_out_port(p, f);
-                bids.push(Bid { in_port: p, vc_flat: f, out_port: out, priority: prio });
+                bids.push(Bid {
+                    in_port: p,
+                    vc_flat: f,
+                    out_port: out,
+                    priority: prio,
+                });
             }
         }
         // Absorber re-injection bids on the Down "input".
@@ -691,12 +790,12 @@ impl Router {
         }
 
         // Phase 2: one winner per output port.
+        let mut winners: Vec<(Port, usize)> = Vec::new();
         for out in Port::ALL {
             if claimed_out[out.index()] {
                 continue;
             }
-            let mut contenders: Vec<&Bid> =
-                bids.iter().filter(|b| b.out_port == out).collect();
+            let mut contenders: Vec<&Bid> = bids.iter().filter(|b| b.out_port == out).collect();
             if contenders.is_empty() {
                 continue;
             }
@@ -710,14 +809,77 @@ impl Router {
             claimed_out[out.index()] = true;
             claimed_in[winner.in_port.index()] = true;
             self.rr_out[out.index()] = self.rr_out[out.index()].wrapping_add(1);
-            self.rr_in[winner.in_port.index()] =
-                self.rr_in[winner.in_port.index()].wrapping_add(1);
+            self.rr_in[winner.in_port.index()] = self.rr_in[winner.in_port.index()].wrapping_add(1);
+            if ctx.tracer.enabled() {
+                winners.push((winner.in_port, winner.vc_flat));
+            }
             if winner.vc_flat > usize::MAX / 2 {
                 let slot = usize::MAX - winner.vc_flat;
                 self.commit_absorber(ctx, slot, winner.out_port);
             } else {
                 self.commit_normal(ctx, winner.in_port, winner.vc_flat, winner.out_port);
             }
+        }
+        // Bids that did not win this cycle stalled on switch allocation.
+        if ctx.tracer.enabled() {
+            for b in bids.iter().filter(|b| b.vc_flat <= usize::MAX / 2) {
+                if winners.contains(&(b.in_port, b.vc_flat)) {
+                    continue;
+                }
+                let packet = self.in_vcs[b.in_port.index()][b.vc_flat]
+                    .buf
+                    .front()
+                    .expect("losing bid still holds its flit")
+                    .flit
+                    .packet;
+                ctx.tracer.record(TraceEvent::Blocked {
+                    at: ctx.now,
+                    packet,
+                    node: self.node,
+                    in_port: b.in_port,
+                    vc_flat: b.vc_flat,
+                    out_port: Some(b.out_port),
+                    reason: BlockReason::SwitchAlloc,
+                });
+            }
+        }
+    }
+
+    /// Diagnoses why a buffered head-of-line flit cannot bid this cycle
+    /// (tracing only; mirrors [`Router::vc_request`] without touching any
+    /// state). `None` when the VC is simply inactive (empty, frozen, flit
+    /// still in its buffer-write cycle, or no link on its route).
+    fn classify_block(
+        &self,
+        p: Port,
+        f: usize,
+        ctx: &RouterCtx<'_>,
+    ) -> Option<(PacketId, Option<Port>, BlockReason)> {
+        let vc = &self.in_vcs[p.index()][f];
+        if vc.frozen {
+            return None;
+        }
+        let head = vc.buf.front()?;
+        if head.arrived >= ctx.now {
+            return None;
+        }
+        let out = vc.route_out?;
+        if !self.has_link[out.index()] {
+            return None;
+        }
+        match vc.out_vc {
+            Some(ovc) if self.out_vcs[out.index()][ovc].credits == 0 => {
+                Some((head.flit.packet, Some(out), BlockReason::Credit))
+            }
+            None => {
+                let need = Self::alloc_credits_needed(ctx, &head.flit);
+                if !self.free_out_vc_exists(out, head.flit.vnet, need, ctx) {
+                    Some((head.flit.packet, Some(out), BlockReason::VcAlloc))
+                } else {
+                    None
+                }
+            }
+            _ => None,
         }
     }
 
@@ -742,7 +904,10 @@ impl Router {
                 }
             }
             None => {
-                debug_assert!(head.flit.kind.is_head(), "body flit without allocated out VC");
+                debug_assert!(
+                    head.flit.kind.is_head(),
+                    "body flit without allocated out VC"
+                );
                 let vnet = head.flit.vnet;
                 let need = Self::alloc_credits_needed(ctx, &head.flit);
                 if !self.free_out_vc_exists(out, vnet, need, ctx) {
@@ -763,10 +928,18 @@ impl Router {
     }
 
     fn request_out_port(&self, p: Port, f: usize) -> Port {
-        self.in_vcs[p.index()][f].route_out.expect("bidding VC has a route")
+        self.in_vcs[p.index()][f]
+            .route_out
+            .expect("bidding VC has a route")
     }
 
-    fn free_out_vc_exists(&self, out: Port, vnet: VnetId, need: usize, ctx: &RouterCtx<'_>) -> bool {
+    fn free_out_vc_exists(
+        &self,
+        out: Port,
+        vnet: VnetId,
+        need: usize,
+        ctx: &RouterCtx<'_>,
+    ) -> bool {
         if out == Port::Local && ctx.ni.free_entries(vnet) == 0 {
             return false;
         }
@@ -804,6 +977,17 @@ impl Router {
                 ctx.ni.claim_entry(flit.vnet);
             }
             self.in_vcs[in_port.index()][f].out_vc = Some(ovc);
+            if ctx.tracer.enabled() {
+                ctx.tracer.record(TraceEvent::VcAllocated {
+                    at: ctx.now,
+                    packet: flit.packet,
+                    node: self.node,
+                    in_port,
+                    vc_flat: f,
+                    out_port: out,
+                    out_vc: ovc,
+                });
+            }
             ovc
         } else {
             self.in_vcs[in_port.index()][f].out_vc.expect("allocated")
@@ -816,7 +1000,11 @@ impl Router {
         match in_port {
             Port::Local => ctx.emit.push((
                 credit_at,
-                Event::NiCreditArrive { node: self.node, vc_flat: f, is_free: is_tail },
+                Event::NiCreditArrive {
+                    node: self.node,
+                    vc_flat: f,
+                    is_free: is_tail,
+                },
             )),
             _ => {
                 let peer = ctx
@@ -855,7 +1043,9 @@ impl Router {
             if slot.packet.is_none() {
                 continue;
             }
-            let Some(head) = slot.buf.front() else { continue };
+            let Some(head) = slot.buf.front() else {
+                continue;
+            };
             // Extra +1 cycle models remote control's serialized VA/SA stages
             // at boundary crossings (Sec. III-B).
             if head.arrived + 1 >= ctx.now {
@@ -902,7 +1092,9 @@ impl Router {
             self.absorber.as_mut().expect("absorber").slots[slot].out_vc = Some(ovc);
             ovc
         } else {
-            self.absorber.as_ref().expect("absorber").slots[slot].out_vc.expect("allocated")
+            self.absorber.as_ref().expect("absorber").slots[slot]
+                .out_vc
+                .expect("allocated")
         };
         self.out_vcs[out.index()][ovc].credits -= 1;
         let is_tail = flit.kind.is_tail();
@@ -915,8 +1107,16 @@ impl Router {
         self.forward_flit(ctx, flit, out, ovc, is_tail);
     }
 
-    fn forward_flit(&mut self, ctx: &mut RouterCtx<'_>, flit: Flit, out: Port, ovc: usize, is_tail: bool) {
+    fn forward_flit(
+        &mut self,
+        ctx: &mut RouterCtx<'_>,
+        flit: Flit,
+        out: Port,
+        ovc: usize,
+        is_tail: bool,
+    ) {
         ctx.stats.flit_hops += 1;
+        ctx.stats.bump_link(self.node, out);
         ctx.tracker.touch(ctx.now);
         if out == Port::Up {
             self.up_last_sent[flit.vnet.index()] = ctx.now;
@@ -930,7 +1130,13 @@ impl Router {
         }
         let arrival = ctx.now + 1 + ctx.cfg.link_latency;
         if out == Port::Local {
-            ctx.emit.push((arrival, Event::NiFlitArrive { node: self.node, flit }));
+            ctx.emit.push((
+                arrival,
+                Event::NiFlitArrive {
+                    node: self.node,
+                    flit,
+                },
+            ));
         } else {
             let peer = ctx
                 .topo
@@ -974,6 +1180,16 @@ impl Router {
         }
         let mut flit = vc.buf.pop_front().expect("checked non-empty").flit;
         flit.upward = true;
+        if ctx.tracer.enabled() {
+            ctx.tracer.record(TraceEvent::BypassPop {
+                at: ctx.now,
+                packet: flit.packet,
+                node: self.node,
+                in_port,
+                vc_flat,
+                out_port,
+            });
+        }
         let is_tail = flit.kind.is_tail();
         if is_tail {
             vc.owner = None;
@@ -986,7 +1202,11 @@ impl Router {
         match in_port {
             Port::Local => ctx.emit.push((
                 credit_at,
-                Event::NiCreditArrive { node: self.node, vc_flat, is_free: is_tail },
+                Event::NiCreditArrive {
+                    node: self.node,
+                    vc_flat,
+                    is_free: is_tail,
+                },
             )),
             _ => {
                 let peer = ctx
@@ -1015,9 +1235,9 @@ impl Router {
 
     /// Iterates `(port, vc_flat)` over all existing input VCs.
     pub fn input_vcs(&self) -> impl Iterator<Item = (Port, usize)> + '_ {
-        Port::ALL.into_iter().flat_map(move |p| {
-            (0..self.in_vcs[p.index()].len()).map(move |f| (p, f))
-        })
+        Port::ALL
+            .into_iter()
+            .flat_map(move |p| (0..self.in_vcs[p.index()].len()).map(move |f| (p, f)))
     }
 
     /// Flat VC range of one VNet.
@@ -1050,6 +1270,7 @@ mod tests {
         emit: Vec<(Cycle, Event)>,
         stats: NetStats,
         tracker: PacketTracker,
+        tracer: Tracer,
     }
 
     impl Harness {
@@ -1064,6 +1285,7 @@ mod tests {
                 emit: Vec::new(),
                 stats: NetStats::new(3),
                 tracker: PacketTracker::new(),
+                tracer: Tracer::disabled(),
             }
         }
 
@@ -1077,6 +1299,7 @@ mod tests {
                 emit: &mut self.emit,
                 stats: &mut self.stats,
                 tracker: &mut self.tracker,
+                tracer: &mut self.tracer,
             }
         }
 
@@ -1087,7 +1310,15 @@ mod tests {
     }
 
     fn flit(seq: u16, len: u16, dest: NodeId) -> Flit {
-        Flit::new(PacketId(1), seq, len, VnetId(0), NodeId(0), RouteInfo::intra(dest), 0)
+        Flit::new(
+            PacketId(1),
+            seq,
+            len,
+            VnetId(0),
+            NodeId(0),
+            RouteInfo::intra(dest),
+            0,
+        )
     }
 
     #[test]
@@ -1116,7 +1347,10 @@ mod tests {
             let mut ctx = h.ctx(5);
             r.step(&mut ctx); // same cycle: BW only
         }
-        assert!(h.emit.is_empty(), "no flit may move in its buffer-write cycle");
+        assert!(
+            h.emit.is_empty(),
+            "no flit may move in its buffer-write cycle"
+        );
         {
             let mut ctx = h.ctx(6);
             r.step(&mut ctx); // SA one cycle later
@@ -1144,13 +1378,20 @@ mod tests {
         let mut saw_credit = false;
         for (at, ev) in &h.emit {
             match ev {
-                Event::FlitArrive { node: n, in_port, .. } => {
+                Event::FlitArrive {
+                    node: n, in_port, ..
+                } => {
                     assert_eq!(*n, east);
                     assert_eq!(*in_port, Port::West);
                     assert_eq!(*at, 1 + 1 + 1, "ST + LT after the SA cycle");
                     saw_flit = true;
                 }
-                Event::CreditArrive { node: n, out_port, is_free, .. } => {
+                Event::CreditArrive {
+                    node: n,
+                    out_port,
+                    is_free,
+                    ..
+                } => {
                     assert_eq!(*n, west);
                     assert_eq!(*out_port, Port::East);
                     assert!(*is_free, "single-flit packet frees the VC");
@@ -1206,8 +1447,15 @@ mod tests {
             let mut ctx = h.ctx(now);
             r.step(&mut ctx);
         }
-        let sent_before = h.emit.iter().filter(|(_, e)| matches!(e, Event::FlitArrive { .. })).count();
-        assert_eq!(sent_before, 4, "exactly the downstream buffer depth may be in flight");
+        let sent_before = h
+            .emit
+            .iter()
+            .filter(|(_, e)| matches!(e, Event::FlitArrive { .. }))
+            .count();
+        assert_eq!(
+            sent_before, 4,
+            "exactly the downstream buffer depth may be in flight"
+        );
         // Fifth flit arrives but no credits remain: it must stall.
         {
             let mut ctx = h.ctx(5);
@@ -1217,7 +1465,11 @@ mod tests {
             let mut ctx = h.ctx(6);
             r.step(&mut ctx);
         }
-        let sent_after = h.emit.iter().filter(|(_, e)| matches!(e, Event::FlitArrive { .. })).count();
+        let sent_after = h
+            .emit
+            .iter()
+            .filter(|(_, e)| matches!(e, Event::FlitArrive { .. }))
+            .count();
         assert_eq!(sent_after, 4, "no credit, no switch traversal");
         // A credit return unblocks it.
         r.deliver_credit(Port::East, 0, false);
@@ -1225,7 +1477,11 @@ mod tests {
             let mut ctx = h.ctx(7);
             r.step(&mut ctx);
         }
-        let sent_final = h.emit.iter().filter(|(_, e)| matches!(e, Event::FlitArrive { .. })).count();
+        let sent_final = h
+            .emit
+            .iter()
+            .filter(|(_, e)| matches!(e, Event::FlitArrive { .. }))
+            .count();
         assert_eq!(sent_final, 5);
     }
 
@@ -1282,10 +1538,24 @@ mod tests {
         assert!(a.reserve(PacketId(8)));
         assert!(!a.reserve(PacketId(9)), "no free slots left");
         assert_eq!(a.free_slots(), 0);
-        let f = Flit::new(PacketId(7), 0, 1, VnetId(0), NodeId(0), RouteInfo::intra(NodeId(1)), 0);
+        let f = Flit::new(
+            PacketId(7),
+            0,
+            1,
+            VnetId(0),
+            NodeId(0),
+            RouteInfo::intra(NodeId(1)),
+            0,
+        );
         a.accept(f, 0, Port::East);
         assert_eq!(a.free_slots(), 0, "occupied, not just reserved");
-        assert_eq!(a.slots.iter().filter(|s| s.packet == Some(PacketId(7))).count(), 1);
+        assert_eq!(
+            a.slots
+                .iter()
+                .filter(|s| s.packet == Some(PacketId(7)))
+                .count(),
+            1
+        );
     }
 
     #[test]

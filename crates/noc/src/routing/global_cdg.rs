@@ -19,10 +19,11 @@
 use crate::ids::{NodeId, Port};
 use crate::routing::RouteComputer;
 use crate::topology::Topology;
+use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, HashSet};
 
 /// A directed physical channel: the link leaving `from` through `out`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct GlobalChannel {
     /// Source node of the directed link.
     pub from: NodeId,
@@ -83,11 +84,50 @@ impl GlobalCdg {
                         .unwrap_or_else(|| panic!("route uses missing link {cur}:{p}"));
                     in_port = p.opposite();
                     hops += 1;
-                    assert!(hops <= 4 * topo.num_nodes(), "routing livelock {src}->{dest}");
+                    assert!(
+                        hops <= 4 * topo.num_nodes(),
+                        "routing livelock {src}->{dest}"
+                    );
                 }
             }
         }
-        Self { channels, index, edges }
+        Self {
+            channels,
+            index,
+            edges,
+        }
+    }
+
+    /// Builds a dependency graph from an explicit edge list (runtime
+    /// wait-for graphs, e.g. the hold/wait chains a
+    /// [`crate::trace::StallReport`] extracts from a wedged network).
+    /// Channels are registered in first-appearance order.
+    pub fn from_edges(pairs: &[(GlobalChannel, GlobalChannel)]) -> Self {
+        let mut channels = Vec::new();
+        let mut index: HashMap<GlobalChannel, usize> = HashMap::new();
+        let intern = |ch: GlobalChannel,
+                      channels: &mut Vec<GlobalChannel>,
+                      index: &mut HashMap<GlobalChannel, usize>| {
+            *index.entry(ch).or_insert_with(|| {
+                channels.push(ch);
+                channels.len() - 1
+            })
+        };
+        let mut edge_ids = Vec::with_capacity(pairs.len());
+        for &(a, b) in pairs {
+            let ia = intern(a, &mut channels, &mut index);
+            let ib = intern(b, &mut channels, &mut index);
+            edge_ids.push((ia, ib));
+        }
+        let mut edges: Vec<HashSet<usize>> = vec![HashSet::new(); channels.len()];
+        for (ia, ib) in edge_ids {
+            edges[ia].insert(ib);
+        }
+        Self {
+            channels,
+            index,
+            edges,
+        }
     }
 
     /// Number of channels.
@@ -201,6 +241,34 @@ mod tests {
         let topo = ChipletSystemSpec::large().build(0).unwrap();
         let cdg = GlobalCdg::build(&topo, &ChipletRouting::xy());
         assert!(!cdg.is_acyclic());
+    }
+
+    #[test]
+    fn from_edges_finds_planted_cycle() {
+        let a = GlobalChannel {
+            from: NodeId(0),
+            out: Port::East,
+        };
+        let b = GlobalChannel {
+            from: NodeId(1),
+            out: Port::Up,
+        };
+        let c = GlobalChannel {
+            from: NodeId(2),
+            out: Port::South,
+        };
+        let d = GlobalChannel {
+            from: NodeId(3),
+            out: Port::West,
+        };
+        let acyclic = GlobalCdg::from_edges(&[(a, b), (b, c), (a, c)]);
+        assert!(acyclic.is_acyclic());
+        let cyclic = GlobalCdg::from_edges(&[(a, b), (b, c), (c, a), (c, d)]);
+        let cycle = cyclic.find_cycle().expect("planted cycle found");
+        assert_eq!(cycle.len(), 3);
+        for ch in [a, b, c] {
+            assert!(cycle.contains(&ch), "{ch:?} missing from {cycle:?}");
+        }
     }
 
     #[test]

@@ -105,18 +105,27 @@ pub struct ChipletRouting {
 impl ChipletRouting {
     /// XY region routing with the static binding selector.
     pub fn xy() -> Self {
-        Self { selector: Arc::new(StaticBindingSelector), tables: None }
+        Self {
+            selector: Arc::new(StaticBindingSelector),
+            tables: None,
+        }
     }
 
     /// XY region routing with a custom boundary selector.
     pub fn with_selector(selector: Arc<dyn BoundarySelector>) -> Self {
-        Self { selector, tables: None }
+        Self {
+            selector,
+            tables: None,
+        }
     }
 
     /// Table-based (up*/down*) region routing for faulty topologies, with the
     /// static binding selector.
     pub fn with_tables(tables: Arc<RouteTables>) -> Self {
-        Self { selector: Arc::new(StaticBindingSelector), tables: Some(tables) }
+        Self {
+            selector: Arc::new(StaticBindingSelector),
+            tables: Some(tables),
+        }
     }
 
     /// Table-based region routing with a custom selector.
@@ -124,14 +133,17 @@ impl ChipletRouting {
         selector: Arc<dyn BoundarySelector>,
         tables: Arc<RouteTables>,
     ) -> Self {
-        Self { selector, tables: Some(tables) }
+        Self {
+            selector,
+            tables: Some(tables),
+        }
     }
 
     fn region_step(&self, topo: &Topology, node: NodeId, in_port: Port, target: NodeId) -> Port {
         match &self.tables {
-            Some(t) => t
-                .next_port(node, in_port, target)
-                .unwrap_or_else(|| panic!("no legal table route {node} (in {in_port}) -> {target}")),
+            Some(t) => t.next_port(node, in_port, target).unwrap_or_else(|| {
+                panic!("no legal table route {node} (in {in_port}) -> {target}")
+            }),
             None => xy::xy_step(topo, node, target),
         }
     }
@@ -151,7 +163,12 @@ impl RouteComputer for ChipletRouting {
         } else {
             None
         };
-        RouteInfo { dest, class, exit_boundary, entry_interposer }
+        RouteInfo {
+            dest,
+            class,
+            exit_boundary,
+            entry_interposer,
+        }
     }
 
     fn route(&self, topo: &Topology, node: NodeId, in_port: Port, route: &RouteInfo) -> Port {
@@ -217,7 +234,10 @@ pub fn trace_route(
             .neighbor(cur, p)
             .unwrap_or_else(|| panic!("route uses missing link {cur}:{p}"));
         in_port = p.opposite();
-        assert!(hops.len() <= 4 * topo.num_nodes(), "routing livelock {src}->{dest}");
+        assert!(
+            hops.len() <= 4 * topo.num_nodes(),
+            "routing livelock {src}->{dest}"
+        );
     }
     hops.push((dest, Port::Local));
     hops

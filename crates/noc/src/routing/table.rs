@@ -53,8 +53,11 @@ impl RouteTables {
     /// Builds tables for every region of `topo`, honouring its current fault
     /// set.
     pub fn build(topo: &Topology) -> Self {
-        let mut regions: Vec<Region> =
-            topo.chiplets().iter().map(|c| Region::Chiplet(c.id)).collect();
+        let mut regions: Vec<Region> = topo
+            .chiplets()
+            .iter()
+            .map(|c| Region::Chiplet(c.id))
+            .collect();
         regions.push(Region::Interposer);
 
         let mut next = HashMap::new();
@@ -140,7 +143,9 @@ impl RouteTables {
                 if !p.is_mesh() {
                     continue;
                 }
-                let Some(n) = topo.neighbor(m, ip_m) else { continue };
+                let Some(n) = topo.neighbor(m, ip_m) else {
+                    continue;
+                };
                 if !in_region(n) {
                     continue;
                 }
@@ -184,8 +189,11 @@ impl RouteTables {
     ///
     /// Returns the first unroutable `(node, in_port, target)` combination.
     pub fn verify_full_connectivity(&self, topo: &Topology) -> Result<(), String> {
-        let mut regions: Vec<Region> =
-            topo.chiplets().iter().map(|c| Region::Chiplet(c.id)).collect();
+        let mut regions: Vec<Region> = topo
+            .chiplets()
+            .iter()
+            .map(|c| Region::Chiplet(c.id))
+            .collect();
         regions.push(Region::Interposer);
         for r in regions {
             let members = topo.region_nodes(r);

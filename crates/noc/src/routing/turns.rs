@@ -105,11 +105,12 @@ impl ExtendedCdg {
 
         let mut channels = Vec::new();
         let mut index = HashMap::new();
-        let add = |ch: Channel, channels: &mut Vec<Channel>, index: &mut HashMap<Channel, usize>| {
-            let id = channels.len();
-            channels.push(ch);
-            index.insert(ch, id);
-        };
+        let add =
+            |ch: Channel, channels: &mut Vec<Channel>, index: &mut HashMap<Channel, usize>| {
+                let id = channels.len();
+                channels.push(ch);
+                index.insert(ch, id);
+            };
         for &r in &info.routers {
             for p in Port::ALL {
                 if !p.is_mesh() {
@@ -117,7 +118,11 @@ impl ExtendedCdg {
                 }
                 if let Some(peer) = topo.neighbor(r, p) {
                     if members.contains(&peer) {
-                        add(Channel::Internal { from: r, out: p }, &mut channels, &mut index);
+                        add(
+                            Channel::Internal { from: r, out: p },
+                            &mut channels,
+                            &mut index,
+                        );
                     }
                 }
             }
@@ -135,14 +140,18 @@ impl ExtendedCdg {
         for (ci, &ch) in channels.iter().enumerate() {
             match ch {
                 Channel::Internal { from, out } => {
-                    let n = topo.neighbor(from, out).expect("channel follows an existing link");
+                    let n = topo
+                        .neighbor(from, out)
+                        .expect("channel follows an existing link");
                     let inp = out.opposite();
                     // Continue internally.
                     for q in Port::ALL {
                         if !q.is_mesh() {
                             continue;
                         }
-                        if topo.neighbor(n, q).is_some_and(|peer| members.contains(&peer))
+                        if topo
+                            .neighbor(n, q)
+                            .is_some_and(|peer| members.contains(&peer))
                             && legal(n, inp, q)
                         {
                             let to = index[&Channel::Internal { from: n, out: q }];
@@ -167,7 +176,10 @@ impl ExtendedCdg {
                             .is_some_and(|peer| members.contains(&peer))
                             && legal(boundary, Port::Down, q)
                         {
-                            let to = index[&Channel::Internal { from: boundary, out: q }];
+                            let to = index[&Channel::Internal {
+                                from: boundary,
+                                out: q,
+                            }];
                             edges[ci].push(to);
                         }
                     }
@@ -185,7 +197,11 @@ impl ExtendedCdg {
             }
         }
 
-        Self { channels, index, edges }
+        Self {
+            channels,
+            index,
+            edges,
+        }
     }
 
     /// Number of channels.
@@ -340,6 +356,9 @@ mod tests {
         let b = t.chiplet(ChipletId(0)).boundary_routers[0];
         let reach = cdg.reachable(Channel::ExtIn { boundary: b });
         assert!(reach.contains(&Channel::ExtIn { boundary: b }));
-        assert!(reach.len() > 1, "entering traffic reaches internal channels");
+        assert!(
+            reach.len() > 1,
+            "entering traffic reaches internal channels"
+        );
     }
 }

@@ -37,7 +37,10 @@ pub fn xy_arrival_port(topo: &Topology, src: NodeId, target: NodeId) -> Port {
         return Port::Local;
     }
     let (s, t) = (topo.node(src), topo.node(target));
-    assert_eq!(s.region, t.region, "xy_arrival_port routes within one region");
+    assert_eq!(
+        s.region, t.region,
+        "xy_arrival_port routes within one region"
+    );
     if s.y != t.y {
         // The last move is in Y.
         if t.y > s.y {
@@ -116,7 +119,9 @@ mod tests {
                 let mut hops = 0;
                 while cur != dst {
                     let p = xy_step(&t, cur, dst);
-                    cur = t.raw_neighbor(cur, p).expect("XY step must follow an existing link");
+                    cur = t
+                        .raw_neighbor(cur, p)
+                        .expect("XY step must follow an existing link");
                     hops += 1;
                     assert!(hops <= 16, "XY must be minimal in a 4x4 mesh");
                 }

@@ -108,6 +108,12 @@ impl System {
         (&mut self.net, self.scheme.as_mut())
     }
 
+    /// Deadlock forensics for the current network state (see
+    /// [`Network::stall_report`]).
+    pub fn stall_report(&self) -> crate::trace::StallReport {
+        self.net.stall_report()
+    }
+
     /// Enqueues a packet and runs the scheme's creation hook.
     pub fn send(
         &mut self,
@@ -140,7 +146,9 @@ impl System {
     pub fn run_until_drained(&mut self, max_cycles: u64) -> RunOutcome {
         for _ in 0..max_cycles {
             if self.net.in_flight() == 0 {
-                return RunOutcome::Drained { at: self.net.cycle() };
+                return RunOutcome::Drained {
+                    at: self.net.cycle(),
+                };
             }
             if self.net.stalled() {
                 return RunOutcome::Deadlocked {
@@ -151,14 +159,18 @@ impl System {
             self.step();
         }
         if self.net.in_flight() == 0 {
-            RunOutcome::Drained { at: self.net.cycle() }
+            RunOutcome::Drained {
+                at: self.net.cycle(),
+            }
         } else if self.net.stalled() {
             RunOutcome::Deadlocked {
                 last_progress: self.net.last_progress(),
                 in_flight: self.net.in_flight(),
             }
         } else {
-            RunOutcome::Timeout { in_flight: self.net.in_flight() }
+            RunOutcome::Timeout {
+                in_flight: self.net.in_flight(),
+            }
         }
     }
 }

@@ -64,6 +64,11 @@ pub struct NetStats {
     /// `[intra, c2i, i2c, c2c]` (the paper's three routing cases of
     /// Sec. V-D, with inter-chiplet split out).
     pub per_class: [(u64, u64); 4],
+    /// Flits transmitted per directed link, flat-indexed
+    /// `node.index() * Port::COUNT + port.index()` and grown on demand
+    /// (`Local` counts ejections into the NI). Feeds the per-link
+    /// utilization columns of [`crate::trace::MetricsSampler`].
+    pub link_flits: Vec<u64>,
 }
 
 /// Dense index of a [`PacketClass`] into [`NetStats::per_class`].
@@ -137,6 +142,25 @@ impl NetStats {
         (n > 0).then(|| sum as f64 / n as f64)
     }
 
+    /// Counts one flit leaving `node` through `port`.
+    #[inline]
+    pub fn bump_link(&mut self, node: NodeId, port: crate::ids::Port) {
+        let idx = node.index() * crate::ids::Port::COUNT + port.index();
+        if self.link_flits.len() <= idx {
+            self.link_flits.resize(idx + 1, 0);
+        }
+        self.link_flits[idx] += 1;
+    }
+
+    /// Flits transmitted so far from `node` through `port`.
+    #[inline]
+    pub fn link_flit_count(&self, node: NodeId, port: crate::ids::Port) -> u64 {
+        self.link_flits
+            .get(node.index() * crate::ids::Port::COUNT + port.index())
+            .copied()
+            .unwrap_or(0)
+    }
+
     /// Delivered throughput in flits per cycle per node.
     pub fn throughput(&self, cycles: u64, nodes: usize) -> f64 {
         if cycles == 0 || nodes == 0 {
@@ -190,6 +214,13 @@ impl PacketTracker {
     /// Looks up an in-flight packet.
     pub fn get(&self, id: PacketId) -> Option<&PacketRecord> {
         self.live.get(&id)
+    }
+
+    /// Iterates all in-flight packets (unordered; callers needing a stable
+    /// order sort by id). Powers the deadlock forensics of
+    /// [`crate::trace::StallReport`].
+    pub fn live_packets(&self) -> impl Iterator<Item = (PacketId, &PacketRecord)> {
+        self.live.iter().map(|(&id, rec)| (id, rec))
     }
 
     /// Number of packets created but not yet fully ejected.
@@ -281,6 +312,19 @@ mod tests {
         t.touch(900);
         assert!(!t.stalled(1_000, 1_000));
         assert!(t.stalled(1_900, 1_000));
+    }
+
+    #[test]
+    fn link_counters_grow_on_demand() {
+        use crate::ids::Port;
+        let mut s = NetStats::new(1);
+        assert_eq!(s.link_flit_count(NodeId(9), Port::Up), 0);
+        s.bump_link(NodeId(9), Port::Up);
+        s.bump_link(NodeId(9), Port::Up);
+        s.bump_link(NodeId(2), Port::East);
+        assert_eq!(s.link_flit_count(NodeId(9), Port::Up), 2);
+        assert_eq!(s.link_flit_count(NodeId(2), Port::East), 1);
+        assert_eq!(s.link_flit_count(NodeId(2), Port::West), 0);
     }
 
     #[test]

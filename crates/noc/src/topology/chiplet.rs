@@ -108,7 +108,11 @@ impl ChipletSystemSpec {
                 });
             }
         }
-        Self { interposer_width, interposer_height, chiplets }
+        Self {
+            interposer_width,
+            interposer_height,
+            chiplets,
+        }
     }
 
     /// Boundary-router positions inside a 4x4 chiplet and their interposer
@@ -216,7 +220,12 @@ impl ChipletSystemSpec {
                 interposer_routers.push(id);
             }
         }
-        link_mesh(&mut nodes, ibase, self.interposer_width, self.interposer_height);
+        link_mesh(
+            &mut nodes,
+            ibase,
+            self.interposer_width,
+            self.interposer_height,
+        );
 
         // Vertical links.
         for (ci, cp) in self.chiplets.iter().enumerate() {
@@ -228,13 +237,14 @@ impl ChipletSystemSpec {
                     return Err(format!("chiplet {ci}: attach ({ix},{iy}) out of range"));
                 }
                 let b = chiplets[ci].routers[(cy * cp.width + cx) as usize];
-                let ir = interposer_routers
-                    [(iy * self.interposer_width + ix) as usize];
+                let ir = interposer_routers[(iy * self.interposer_width + ix) as usize];
                 if nodes[b.index()].neighbors[Port::Down.index()].is_some() {
                     return Err(format!("chiplet {ci}: duplicate boundary at ({cx},{cy})"));
                 }
                 if nodes[ir.index()].neighbors[Port::Up.index()].is_some() {
-                    return Err(format!("interposer router ({ix},{iy}) already has an Up link"));
+                    return Err(format!(
+                        "interposer router ({ix},{iy}) already has an Up link"
+                    ));
                 }
                 nodes[b.index()].neighbors[Port::Down.index()] = Some(ir);
                 nodes[b.index()].boundary = true;
@@ -260,9 +270,16 @@ impl ChipletSystemSpec {
                         (d, b)
                     })
                     .collect::<Vec<_>>();
-                let min = best.iter().map(|&(d, _)| d).min().expect("non-empty boundary set");
-                let ties: Vec<NodeId> =
-                    best.into_iter().filter(|&(d, _)| d == min).map(|(_, b)| b).collect();
+                let min = best
+                    .iter()
+                    .map(|&(d, _)| d)
+                    .min()
+                    .expect("non-empty boundary set");
+                let ties: Vec<NodeId> = best
+                    .into_iter()
+                    .filter(|&(d, _)| d == min)
+                    .map(|(_, b)| b)
+                    .collect();
                 binding[r.index()] = ties[rng.gen_range(0..ties.len())];
             }
         }
@@ -391,8 +408,9 @@ mod tests {
     #[test]
     fn boundary_count_variants() {
         for (n, expect_interposer) in [(2u16, 16), (4, 16), (8, 64)] {
-            let topo =
-                ChipletSystemSpec::of_kind(SystemKind::BoundaryCount(n)).build(0).unwrap();
+            let topo = ChipletSystemSpec::of_kind(SystemKind::BoundaryCount(n))
+                .build(0)
+                .unwrap();
             for c in topo.chiplets() {
                 assert_eq!(c.boundary_routers.len(), n as usize, "boundary count {n}");
             }
@@ -420,7 +438,10 @@ mod tests {
                 let bound = topo.bound_boundary(r);
                 let d = topo.manhattan(r, bound);
                 for &b in &c.boundary_routers {
-                    assert!(topo.manhattan(r, b) >= d, "binding must be minimal-distance");
+                    assert!(
+                        topo.manhattan(r, b) >= d,
+                        "binding must be minimal-distance"
+                    );
                 }
             }
         }
@@ -494,13 +515,21 @@ mod tests {
         };
         assert!(spec.build(0).is_err());
 
-        let spec = ChipletSystemSpec { interposer_width: 2, interposer_height: 2, chiplets: vec![] };
+        let spec = ChipletSystemSpec {
+            interposer_width: 2,
+            interposer_height: 2,
+            chiplets: vec![],
+        };
         assert!(spec.build(0).is_err());
 
         let spec = ChipletSystemSpec {
             interposer_width: 2,
             interposer_height: 2,
-            chiplets: vec![ChipletPlacement { width: 2, height: 2, vertical_links: vec![] }],
+            chiplets: vec![ChipletPlacement {
+                width: 2,
+                height: 2,
+                vertical_links: vec![],
+            }],
         };
         assert!(spec.build(0).is_err());
     }

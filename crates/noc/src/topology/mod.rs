@@ -116,6 +116,15 @@ impl Topology {
         self.nodes.len()
     }
 
+    /// Number of traffic endpoints: the chiplet routers, whose NIs source
+    /// and sink synthetic workloads. Interposer routers only forward. This
+    /// is the canonical denominator for injection/throughput rates
+    /// (flits/cycle/node) everywhere in the workspace.
+    #[inline]
+    pub fn num_endpoints(&self) -> usize {
+        self.chiplets.iter().map(|c| c.routers.len()).sum()
+    }
+
     /// All nodes.
     #[inline]
     pub fn nodes(&self) -> &[NodeInfo] {
@@ -269,7 +278,10 @@ impl Topology {
     /// Panics if the nodes live in different regions.
     pub fn manhattan(&self, a: NodeId, b: NodeId) -> u32 {
         let (na, nb) = (self.node(a), self.node(b));
-        assert_eq!(na.region, nb.region, "manhattan distance requires one region");
+        assert_eq!(
+            na.region, nb.region,
+            "manhattan distance requires one region"
+        );
         (na.x as i32 - nb.x as i32).unsigned_abs() + (na.y as i32 - nb.y as i32).unsigned_abs()
     }
 
@@ -294,8 +306,11 @@ impl Topology {
             }
         }
         // Region connectivity under faults.
-        let mut regions: Vec<Region> =
-            self.chiplets.iter().map(|c| Region::Chiplet(c.id)).collect();
+        let mut regions: Vec<Region> = self
+            .chiplets
+            .iter()
+            .map(|c| Region::Chiplet(c.id))
+            .collect();
         regions.push(Region::Interposer);
         for r in regions {
             let members = self.region_nodes(r);
@@ -341,7 +356,9 @@ impl Topology {
             let bset: HashSet<NodeId> = c.boundary_routers.iter().copied().collect();
             for &r in &c.routers {
                 if !bset.contains(&self.binding[r.index()]) {
-                    return Err(format!("router {r} bound outside its chiplet's boundary set"));
+                    return Err(format!(
+                        "router {r} bound outside its chiplet's boundary set"
+                    ));
                 }
             }
         }

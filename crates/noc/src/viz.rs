@@ -7,10 +7,14 @@
 //!   occupancy (white → dark red), which makes a wedged dependency chain
 //!   visible at a glance;
 //! * [`occupancy_ascii`] — the same occupancy as per-region digit grids for
-//!   terminal output.
+//!   terminal output;
+//! * [`stall_svg`] — the plan view annotated with a
+//!   [`crate::trace::StallReport`]: the circular-wait channels drawn as
+//!   thick red arrows and the wedged packets' held VCs ringed.
 
 use crate::ids::{NodeId, Port};
 use crate::topology::Topology;
+use crate::trace::StallReport;
 use std::collections::HashMap;
 use std::fmt::Write as _;
 
@@ -84,7 +88,10 @@ pub fn topology_svg(topo: &Topology, occupancy: &[(NodeId, usize)]) -> String {
         svg,
         r#"<svg xmlns="http://www.w3.org/2000/svg" width="{width:.0}" height="{height:.0}" viewBox="0 0 {width:.0} {height:.0}">"#
     );
-    let _ = writeln!(svg, r##"<rect width="100%" height="100%" fill="#fafafa"/>"##);
+    let _ = writeln!(
+        svg,
+        r##"<rect width="100%" height="100%" fill="#fafafa"/>"##
+    );
 
     // Links first (under the nodes).
     for n in topo.nodes() {
@@ -131,6 +138,74 @@ pub fn topology_svg(topo: &Topology, occupancy: &[(NodeId, usize)]) -> String {
     svg
 }
 
+/// Renders the plan view annotated with deadlock forensics: base occupancy
+/// heat from the report, thick red arrows over every channel of the
+/// detected circular wait, and orange rings around routers where wedged
+/// packets hold flits.
+pub fn stall_svg(topo: &Topology, report: &StallReport) -> String {
+    let base = topology_svg(topo, &report.occupancy);
+    let pos = layout(topo);
+    let mut overlay = String::new();
+    // Held VCs: ring the routers.
+    let mut ringed: Vec<NodeId> = report
+        .wedged
+        .iter()
+        .flat_map(|w| w.holds.iter())
+        .filter(|h| h.buffered > 0)
+        .map(|h| h.node)
+        .collect();
+    ringed.sort();
+    ringed.dedup();
+    for n in ringed {
+        let (x, y) = pos[&n];
+        let _ = writeln!(
+            overlay,
+            r##"<circle cx="{x:.0}" cy="{y:.0}" r="{:.0}" fill="none" stroke="#e08020" stroke-width="3"/>"##,
+            NODE * 0.75
+        );
+    }
+    // The circular wait: red arrows along each channel.
+    for ch in &report.wait_cycle {
+        let Some(peer) = topo.raw_neighbor(ch.from, ch.out) else {
+            continue;
+        };
+        let (x1, y1) = pos[&ch.from];
+        let (x2, y2) = pos[&peer];
+        // Shorten toward the head so the arrow tip is visible at the node
+        // edge.
+        let (dx, dy) = (x2 - x1, y2 - y1);
+        let len = (dx * dx + dy * dy).sqrt().max(1.0);
+        let (ux, uy) = (dx / len, dy / len);
+        let (hx, hy) = (x2 - ux * NODE * 0.7, y2 - uy * NODE * 0.7);
+        let _ = writeln!(
+            overlay,
+            r##"<line x1="{x1:.0}" y1="{y1:.0}" x2="{hx:.0}" y2="{hy:.0}" stroke="#d02020" stroke-width="4" opacity="0.8"/>"##
+        );
+        let _ = writeln!(
+            overlay,
+            r##"<polygon points="{:.0},{:.0} {:.0},{:.0} {:.0},{:.0}" fill="#d02020"/>"##,
+            hx + ux * 8.0,
+            hy + uy * 8.0,
+            hx - uy * 5.0,
+            hy + ux * 5.0,
+            hx + uy * 5.0,
+            hy - ux * 5.0,
+        );
+    }
+    let _ = writeln!(
+        overlay,
+        r#"<text x="{MARGIN:.0}" y="14" font-size="12" font-family="monospace">stall @ cycle {}: {} wedged, {}</text>"#,
+        report.cycle,
+        report.wedged.len(),
+        if report.is_deadlock() {
+            "circular wait in red"
+        } else {
+            "no channel cycle"
+        }
+    );
+    base.replace("</svg>\n", &format!("{overlay}</svg>\n"))
+}
+
 /// Renders occupancy as per-region digit grids (`.` for empty, `1`-`9`,
 /// then `#` for ten or more buffered flits).
 pub fn occupancy_ascii(topo: &Topology, occupancy: &[(NodeId, usize)]) -> String {
@@ -162,7 +237,11 @@ pub fn occupancy_ascii(topo: &Topology, occupancy: &[(NodeId, usize)]) -> String
         for x in 0..iw {
             let n = topo.interposer_routers()[(y * iw + x) as usize];
             out.push(glyph(n));
-            out.push(if topo.raw_neighbor(n, Port::Up).is_some() { '^' } else { ' ' });
+            out.push(if topo.raw_neighbor(n, Port::Up).is_some() {
+                '^'
+            } else {
+                ' '
+            });
         }
         out.push('\n');
     }
@@ -186,7 +265,11 @@ mod tests {
         assert!(svg.ends_with("</svg>\n"));
         assert_eq!(svg.matches("<rect x=").count(), t.num_nodes());
         // 16 vertical links drawn dashed blue.
-        assert_eq!(svg.matches(r##"stroke="#4060c0" stroke-width="2" stroke-dasharray"##).count(), 16);
+        assert_eq!(
+            svg.matches(r##"stroke="#4060c0" stroke-width="2" stroke-dasharray"##)
+                .count(),
+            16
+        );
     }
 
     #[test]
@@ -194,7 +277,10 @@ mod tests {
         let t = topo();
         let hot = t.chiplets()[0].routers[0];
         let svg = topology_svg(&t, &[(hot, 10)]);
-        assert!(svg.contains(r##"fill="#ff0000""##), "hottest node is pure red");
+        assert!(
+            svg.contains(r##"fill="#ff0000""##),
+            "hottest node is pure red"
+        );
         assert!(svg.contains(r##"fill="#ffffff""##), "cold nodes stay white");
     }
 
@@ -216,8 +302,14 @@ mod tests {
         assert!(text.contains("interposer:"));
         assert!(text.contains('#'), "saturated node renders as #");
         assert!(text.contains('*'), "boundary routers are starred");
-        assert!(text.contains('^'), "interposer routers with Up links are marked");
+        assert!(
+            text.contains('^'),
+            "interposer routers with Up links are marked"
+        );
         // 4 chiplet rows x 4 + 4 interposer rows.
-        assert_eq!(text.lines().filter(|l| l.starts_with("  ")).count(), 4 * 4 + 4);
+        assert_eq!(
+            text.lines().filter(|l| l.starts_with("  ")).count(),
+            4 * 4 + 4
+        );
     }
 }

@@ -74,7 +74,11 @@ fn forward_signal_reaches_ni_and_records_circuits() {
     // Let it traverse: a handful of hops at 3 cycles each.
     s.run(40);
     let inbox = s.net_mut().take_ni_inbox(dest);
-    assert_eq!(inbox.len(), 1, "req must be delivered to the destination NI");
+    assert_eq!(
+        inbox.len(),
+        1,
+        "req must be delivered to the destination NI"
+    );
     assert_eq!(inbox[0].msg.bits, 0xABC);
     // Circuits recorded along the whole path from the boundary router to the
     // destination (the origin's own hop is the Up link itself).
@@ -91,7 +95,11 @@ fn forward_signal_reaches_ni_and_records_circuits() {
             .unwrap_or_else(|| panic!("no circuit recorded at {cur}"));
         assert_eq!(entry.in_port, in_port, "circuit input side at {cur}");
         if cur == dest {
-            assert_eq!(entry.out_port, Port::Local, "destination circuit ends at the NI");
+            assert_eq!(
+                entry.out_port,
+                Port::Local,
+                "destination circuit ends at the NI"
+            );
             break;
         }
         let expected = routing.route(topo, cur, in_port, &route);
@@ -125,7 +133,11 @@ fn reverse_signal_retraces_the_recorded_path() {
     s.net_mut().send_control(dest, ack);
     s.run(40);
     let inbox = s.net_mut().take_router_inbox(origin);
-    assert_eq!(inbox.len(), 1, "ack must terminate at the origin interposer router");
+    assert_eq!(
+        inbox.len(),
+        1,
+        "ack must terminate at the origin interposer router"
+    );
     assert_eq!(inbox[0].msg.bits, 0x5);
 }
 
@@ -146,7 +158,10 @@ fn reverse_signal_without_circuit_is_dropped() {
     };
     s.net_mut().send_control(dest, ack);
     s.run(40);
-    assert!(s.net_mut().take_router_inbox(origin).is_empty(), "orphan acks are dropped");
+    assert!(
+        s.net_mut().take_router_inbox(origin).is_empty(),
+        "orphan acks are dropped"
+    );
 }
 
 #[test]
@@ -173,7 +188,9 @@ fn manual_popup_delivers_through_bypass_into_reserved_entry() {
         s.step();
         let c = s.net().upward_candidates(origin, vnet);
         if let Some(&c0) = c.first() {
-            s.net_mut().router_mut(origin).set_vc_frozen(c0.in_port, c0.vc_flat, true);
+            s.net_mut()
+                .router_mut(origin)
+                .set_vc_frozen(c0.in_port, c0.vc_flat, true);
             cand = Some(c0);
             break;
         }
@@ -186,12 +203,18 @@ fn manual_popup_delivers_through_bypass_into_reserved_entry() {
     s.net_mut().send_control(origin, msg);
     s.run(40);
     assert_eq!(s.net_mut().take_ni_inbox(dest).len(), 1);
-    assert!(s.net_mut().try_reserve_ejection(dest, vnet), "entry reserves");
+    assert!(
+        s.net_mut().try_reserve_ejection(dest, vnet),
+        "entry reserves"
+    );
 
     let mut popped = 0;
     for _ in 0..200 {
         if s.net().bypass_pending(origin) <= 1 {
-            if let Some(f) = s.net_mut().pop_upward_flit(origin, cand.in_port, cand.vc_flat) {
+            if let Some(f) = s
+                .net_mut()
+                .pop_upward_flit(origin, cand.in_port, cand.vc_flat)
+            {
                 popped += 1;
                 if f.kind.is_tail() {
                     break;

@@ -17,7 +17,9 @@ use upp_noc::topology::ChipletSystemSpec;
 
 fn sys(vcs: usize, depth: usize, seed: u64) -> System {
     let topo = ChipletSystemSpec::baseline().build(0).unwrap();
-    let cfg = NocConfig::default().with_vcs_per_vnet(vcs).with_vc_buffer_depth(depth);
+    let cfg = NocConfig::default()
+        .with_vcs_per_vnet(vcs)
+        .with_vc_buffer_depth(depth);
     let net = Network::new(
         cfg,
         topo,
@@ -143,5 +145,8 @@ fn saturating_one_link_bounds_throughput_at_one_flit_per_cycle() {
     }
     let flits = s.net().stats().flits_ejected;
     assert!(flits <= 4_000, "ejection exceeded link bandwidth: {flits}");
-    assert!(flits > 2_000, "pipelining should keep the link mostly busy: {flits}");
+    assert!(
+        flits > 2_000,
+        "pipelining should keep the link mostly busy: {flits}"
+    );
 }

@@ -85,7 +85,10 @@ impl AreaModel {
 
     /// Composable routing: turn restrictions only.
     pub fn composable(&self, _cfg: &NocConfig) -> AreaOverhead {
-        AreaOverhead { chiplet: 0.0, interposer: 0.0 }
+        AreaOverhead {
+            chiplet: 0.0,
+            interposer: 0.0,
+        }
     }
 
     /// UPP's overhead (Fig. 6 structures).
@@ -99,7 +102,10 @@ impl AreaModel {
             + self.upp_interposer_per_vc_um2 * (cfg.vcs_per_vnet as f64 - 1.0) * 3.0
             + 36.0 * self.um2_per_bit)
             / base;
-        AreaOverhead { chiplet, interposer }
+        AreaOverhead {
+            chiplet,
+            interposer,
+        }
     }
 
     /// Remote control's overhead: four data-packet side buffers per boundary
@@ -147,10 +153,26 @@ mod tests {
         let o1 = m.upp(&cfg1());
         let o4 = m.upp(&cfg4());
         // Paper: 3.77% / 1.50% chiplet, 2.62% / 1.47% interposer.
-        assert!((o1.chiplet - 0.0377).abs() < 0.004, "chiplet 1VC {}", o1.chiplet);
-        assert!((o4.chiplet - 0.0150).abs() < 0.003, "chiplet 4VC {}", o4.chiplet);
-        assert!((o1.interposer - 0.0262).abs() < 0.005, "interposer 1VC {}", o1.interposer);
-        assert!((o4.interposer - 0.0147).abs() < 0.004, "interposer 4VC {}", o4.interposer);
+        assert!(
+            (o1.chiplet - 0.0377).abs() < 0.004,
+            "chiplet 1VC {}",
+            o1.chiplet
+        );
+        assert!(
+            (o4.chiplet - 0.0150).abs() < 0.003,
+            "chiplet 4VC {}",
+            o4.chiplet
+        );
+        assert!(
+            (o1.interposer - 0.0262).abs() < 0.005,
+            "interposer 1VC {}",
+            o1.interposer
+        );
+        assert!(
+            (o4.interposer - 0.0147).abs() < 0.004,
+            "interposer 4VC {}",
+            o4.interposer
+        );
         // Headline claim: always under 4%.
         for o in [o1, o4] {
             assert!(o.chiplet < 0.04 && o.interposer < 0.04);
@@ -163,8 +185,16 @@ mod tests {
         let o1 = m.remote_control(&cfg1(), 4, 16);
         let o4 = m.remote_control(&cfg4(), 4, 16);
         // Paper: 4.14% / 1.65% chiplet, 0% interposer.
-        assert!((o1.chiplet - 0.0414).abs() < 0.005, "chiplet 1VC {}", o1.chiplet);
-        assert!((o4.chiplet - 0.0165).abs() < 0.003, "chiplet 4VC {}", o4.chiplet);
+        assert!(
+            (o1.chiplet - 0.0414).abs() < 0.005,
+            "chiplet 1VC {}",
+            o1.chiplet
+        );
+        assert!(
+            (o4.chiplet - 0.0165).abs() < 0.003,
+            "chiplet 4VC {}",
+            o4.chiplet
+        );
         assert_eq!(o1.interposer, 0.0);
         // Remote's chiplet-side overhead exceeds UPP's.
         assert!(o1.chiplet > m.upp(&cfg1()).chiplet);

@@ -176,14 +176,15 @@ impl CoherenceEngine {
             // (response or forward injection space), mirroring the paper's
             // PE rule so ejection entries always eventually free up.
             loop {
-                let can_reply = sys.net().ni(d).can_enqueue(VNET_RESP)
-                    && sys.net().ni(d).can_enqueue(VNET_FWD);
+                let can_reply =
+                    sys.net().ni(d).can_enqueue(VNET_RESP) && sys.net().ni(d).can_enqueue(VNET_FWD);
                 if !can_reply {
                     break;
                 }
-                let Some(del) = sys.net_mut().pop_delivered(d, VNET_REQ) else { break };
-                let Some(MsgKind::Request { requester }) = self.kinds.remove(&del.pkt.id)
-                else {
+                let Some(del) = sys.net_mut().pop_delivered(d, VNET_REQ) else {
+                    break;
+                };
+                let Some(MsgKind::Request { requester }) = self.kinds.remove(&del.pkt.id) else {
                     debug_assert!(false, "directory got a non-request on VNet 0");
                     continue;
                 };
@@ -222,13 +223,21 @@ impl CoherenceEngine {
             }
             // Forwards: consumed when the data response can be buffered.
             while sys.net().ni(c).can_enqueue(VNET_RESP) {
-                let Some(del) = sys.net_mut().pop_delivered(c, VNET_FWD) else { break };
-                let Some(MsgKind::Forward { requester }) = self.kinds.remove(&del.pkt.id)
-                else {
+                let Some(del) = sys.net_mut().pop_delivered(c, VNET_FWD) else {
+                    break;
+                };
+                let Some(MsgKind::Forward { requester }) = self.kinds.remove(&del.pkt.id) else {
                     debug_assert!(false, "core got a non-forward on VNet 1");
                     continue;
                 };
-                self.send(sys, c, requester, VNET_RESP, self.data_flits, MsgKind::Response);
+                self.send(
+                    sys,
+                    c,
+                    requester,
+                    VNET_RESP,
+                    self.data_flits,
+                    MsgKind::Response,
+                );
             }
         }
 
@@ -375,7 +384,11 @@ mod tests {
         engine.tick(&mut sys); // pop terminating messages from the last step
         assert_eq!(engine.completed(), 40 * 64);
         // All out-of-band metadata consumed: nothing leaked.
-        assert!(engine.kinds.is_empty(), "{} stale packet kinds", engine.kinds.len());
+        assert!(
+            engine.kinds.is_empty(),
+            "{} stale packet kinds",
+            engine.kinds.len()
+        );
     }
 
     #[test]

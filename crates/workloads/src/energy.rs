@@ -112,11 +112,13 @@ impl EnergyModel {
 
         let leak_per_router_uw = self.leak_uw_per_router_fixed
             + buffer_bits_per_router(cfg, 5) * self.leak_uw_per_buffer_bit;
-        let total_uw =
-            routers as f64 * leak_per_router_uw + links as f64 * self.leak_uw_per_link;
+        let total_uw = routers as f64 * leak_per_router_uw + links as f64 * self.leak_uw_per_link;
         // µW * ns = femtojoules; convert to pJ.
         let static_pj = total_uw * cycles as f64 * 1e-3;
-        EnergyBreakdown { dynamic_pj, static_pj }
+        EnergyBreakdown {
+            dynamic_pj,
+            static_pj,
+        }
     }
 }
 
@@ -182,6 +184,9 @@ mod tests {
         let s = NetStats::new(3);
         let e1 = m.energy(&cfg1, &s, 80, 300, 1_000);
         let e4 = m.energy(&cfg4, &s, 80, 300, 1_000);
-        assert!(e4.static_pj > 2.0 * e1.static_pj, "4 VCs quadruple the buffer leakage");
+        assert!(
+            e4.static_pj > 2.0 * e1.static_pj,
+            "4 VCs quadruple the buffer leakage"
+        );
     }
 }

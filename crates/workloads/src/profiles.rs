@@ -81,12 +81,47 @@ pub fn all_benchmarks() -> Vec<BenchmarkProfile> {
     };
     vec![
         // PARSEC
-        p("blackscholes", Parsec, 0.004, 4, 150, 0.10, 0.10, 0.70, 0, 0.0),
-        p("bodytrack", Parsec, 0.020, 8, 350, 0.25, 0.20, 0.50, 2_000, 0.40),
-        p("canneal", Parsec, 0.045, 12, 450, 0.45, 0.30, 0.20, 1_200, 0.30),
+        p(
+            "blackscholes",
+            Parsec,
+            0.004,
+            4,
+            150,
+            0.10,
+            0.10,
+            0.70,
+            0,
+            0.0,
+        ),
+        p(
+            "bodytrack",
+            Parsec,
+            0.020,
+            8,
+            350,
+            0.25,
+            0.20,
+            0.50,
+            2_000,
+            0.40,
+        ),
+        p(
+            "canneal", Parsec, 0.045, 12, 450, 0.45, 0.30, 0.20, 1_200, 0.30,
+        ),
         p("dedup", Parsec, 0.025, 8, 500, 0.30, 0.35, 0.40, 0, 0.0),
         p("facesim", Parsec, 0.012, 6, 250, 0.20, 0.25, 0.60, 0, 0.0),
-        p("fluidanimate", Parsec, 0.018, 8, 300, 0.30, 0.25, 0.55, 1_600, 0.35),
+        p(
+            "fluidanimate",
+            Parsec,
+            0.018,
+            8,
+            300,
+            0.30,
+            0.25,
+            0.55,
+            1_600,
+            0.35,
+        ),
         p("swaptions", Parsec, 0.030, 8, 550, 0.15, 0.15, 0.60, 0, 0.0),
         p("vips", Parsec, 0.015, 6, 300, 0.20, 0.20, 0.55, 0, 0.0),
         // SPLASH-2
@@ -94,12 +129,49 @@ pub fn all_benchmarks() -> Vec<BenchmarkProfile> {
         p("cholesky", Splash2, 0.015, 6, 280, 0.30, 0.25, 0.50, 0, 0.0),
         p("fft", Splash2, 0.050, 16, 450, 0.40, 0.30, 0.15, 900, 0.25),
         p("lu_cb", Splash2, 0.018, 8, 320, 0.25, 0.25, 0.55, 0, 0.0),
-        p("lu_ncb", Splash2, 0.022, 8, 320, 0.30, 0.25, 0.45, 1_500, 0.40),
-        p("radiosity", Splash2, 0.014, 6, 280, 0.30, 0.20, 0.50, 0, 0.0),
-        p("radix", Splash2, 0.055, 16, 450, 0.40, 0.30, 0.15, 800, 0.25),
+        p(
+            "lu_ncb", Splash2, 0.022, 8, 320, 0.30, 0.25, 0.45, 1_500, 0.40,
+        ),
+        p(
+            "radiosity",
+            Splash2,
+            0.014,
+            6,
+            280,
+            0.30,
+            0.20,
+            0.50,
+            0,
+            0.0,
+        ),
+        p(
+            "radix", Splash2, 0.055, 16, 450, 0.40, 0.30, 0.15, 800, 0.25,
+        ),
         p("raytrace", Splash2, 0.012, 6, 250, 0.25, 0.15, 0.55, 0, 0.0),
-        p("water_nsquared", Splash2, 0.010, 6, 250, 0.25, 0.20, 0.55, 0, 0.0),
-        p("water_spatial", Splash2, 0.012, 6, 260, 0.25, 0.20, 0.60, 0, 0.0),
+        p(
+            "water_nsquared",
+            Splash2,
+            0.010,
+            6,
+            250,
+            0.25,
+            0.20,
+            0.55,
+            0,
+            0.0,
+        ),
+        p(
+            "water_spatial",
+            Splash2,
+            0.012,
+            6,
+            260,
+            0.25,
+            0.20,
+            0.60,
+            0,
+            0.0,
+        ),
     ]
 }
 

@@ -30,7 +30,11 @@ pub enum SchemeKind {
 impl SchemeKind {
     /// The three schemes compared throughout the evaluation.
     pub fn evaluated() -> Vec<SchemeKind> {
-        vec![SchemeKind::Composable, SchemeKind::RemoteControl, SchemeKind::Upp(UppConfig::default())]
+        vec![
+            SchemeKind::Composable,
+            SchemeKind::RemoteControl,
+            SchemeKind::Upp(UppConfig::default()),
+        ]
     }
 
     /// Label used in experiment tables.
@@ -94,13 +98,19 @@ pub fn build_on_topology(
     match kind {
         SchemeKind::None => {
             let net = Network::new(cfg, topo, Arc::new(routing), consume, seed);
-            BuiltSystem { sys: System::new(net, Box::new(upp_noc::NoScheme)), upp_stats: None }
+            BuiltSystem {
+                sys: System::new(net, Box::new(upp_noc::NoScheme)),
+                upp_stats: None,
+            }
         }
         SchemeKind::Upp(ucfg) => {
             let net = Network::new(cfg, topo, Arc::new(routing), consume, seed);
             let upp = Upp::new(*ucfg);
             let stats = upp.stats_handle();
-            BuiltSystem { sys: System::new(net, Box::new(upp)), upp_stats: Some(stats) }
+            BuiltSystem {
+                sys: System::new(net, Box::new(upp)),
+                upp_stats: Some(stats),
+            }
         }
         SchemeKind::Composable => {
             assert_eq!(
@@ -110,7 +120,10 @@ pub fn build_on_topology(
             );
             let (scheme, routing) = Composable::build(&topo).expect("composable search succeeds");
             let net = Network::new(cfg, topo, Arc::new(routing), consume, seed);
-            BuiltSystem { sys: System::new(net, Box::new(scheme)), upp_stats: None }
+            BuiltSystem {
+                sys: System::new(net, Box::new(scheme)),
+                upp_stats: None,
+            }
         }
         SchemeKind::RemoteControl => {
             let net = Network::new(cfg, topo, Arc::new(routing), consume, seed);
@@ -136,14 +149,20 @@ pub struct SweepWindows {
 
 impl Default for SweepWindows {
     fn default() -> Self {
-        Self { warmup: 10_000, measure: 100_000 }
+        Self {
+            warmup: 10_000,
+            measure: 100_000,
+        }
     }
 }
 
 impl SweepWindows {
     /// Short windows for tests and criterion benches.
     pub fn quick() -> Self {
-        Self { warmup: 1_000, measure: 5_000 }
+        Self {
+            warmup: 1_000,
+            measure: 5_000,
+        }
     }
 }
 
@@ -215,14 +234,7 @@ pub fn run_point(
         }
     }
     let stats = built.sys.net().stats();
-    let nodes = built
-        .sys
-        .net()
-        .topo()
-        .chiplets()
-        .iter()
-        .map(|c| c.routers.len())
-        .sum::<usize>();
+    let nodes = built.sys.net().topo().num_endpoints();
     let upward_after = built
         .upp_stats
         .as_ref()
@@ -262,7 +274,10 @@ pub fn sweep(
                 s.spawn(move || run_point(spec, cfg, kind, faults, pattern, r, windows, seed))
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("sweep point panicked")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("sweep point panicked"))
+            .collect()
     })
 }
 
@@ -323,7 +338,12 @@ mod tests {
                 1,
             );
             assert!(!p.deadlocked, "{}", kind.label());
-            assert!(p.packets_ejected > 100, "{} ejected {}", kind.label(), p.packets_ejected);
+            assert!(
+                p.packets_ejected > 100,
+                "{} ejected {}",
+                kind.label(),
+                p.packets_ejected
+            );
             assert!(
                 p.total_latency < SATURATION_LATENCY,
                 "{} latency {}",
@@ -365,7 +385,11 @@ mod tests {
             control_hops: 0,
             deadlocked: false,
         };
-        let pts = vec![mk(0.02, 30.0, 0.02), mk(0.06, 45.0, 0.06), mk(0.1, 250.0, 0.07)];
+        let pts = vec![
+            mk(0.02, 30.0, 0.02),
+            mk(0.06, 45.0, 0.06),
+            mk(0.1, 250.0, 0.07),
+        ];
         assert!((saturation_throughput(&pts) - 0.06).abs() < 1e-12);
         let lat = presaturation_latency(&pts);
         assert!((lat - 37.5).abs() < 1e-9);

@@ -93,7 +93,10 @@ impl SyntheticTraffic {
             Pattern::BitComplement | Pattern::BitRotation | Pattern::Transpose
         );
         if needs_pow2 {
-            assert!(n.is_power_of_two(), "{pattern:?} needs a power-of-two core count, got {n}");
+            assert!(
+                n.is_power_of_two(),
+                "{pattern:?} needs a power-of-two core count, got {n}"
+            );
         }
         Self {
             pattern,
@@ -232,7 +235,11 @@ mod tests {
     #[test]
     fn bit_patterns_are_permutations() {
         let t = topo();
-        for pattern in [Pattern::BitComplement, Pattern::BitRotation, Pattern::Transpose] {
+        for pattern in [
+            Pattern::BitComplement,
+            Pattern::BitRotation,
+            Pattern::Transpose,
+        ] {
             let mut traffic = SyntheticTraffic::new(&t, pattern, 0.1, 0);
             let n = traffic.cores.len();
             let mut seen = vec![false; n];
@@ -274,7 +281,10 @@ mod tests {
         for _ in 0..4_000 {
             counts[hot.dest_index(5)] += 1;
         }
-        let hot_total: u32 = [0, n / 4, n / 2, 3 * n / 4].iter().map(|&h| counts[h]).sum();
+        let hot_total: u32 = [0, n / 4, n / 2, 3 * n / 4]
+            .iter()
+            .map(|&h| counts[h])
+            .sum();
         assert!(
             hot_total > 800,
             "~30% of traffic must hit the hot cores, got {hot_total}/4000"
@@ -332,6 +342,9 @@ mod tests {
             s.step();
         }
         let per_vnet = &s.net().stats().ejected_per_vnet;
-        assert!(per_vnet.iter().all(|&c| c > 0), "all VNets must carry traffic: {per_vnet:?}");
+        assert!(
+            per_vnet.iter().all(|&c| c > 0),
+            "all VNets must carry traffic: {per_vnet:?}"
+        );
     }
 }

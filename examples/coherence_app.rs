@@ -15,7 +15,9 @@ use upp::workloads::profiles::{all_benchmarks, benchmark};
 use upp::workloads::runner::{build_system, SchemeKind};
 
 fn main() {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "canneal".to_string());
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "canneal".to_string());
     let Some(profile) = benchmark(&name) else {
         eprintln!("unknown benchmark {name}; available:");
         for b in all_benchmarks() {

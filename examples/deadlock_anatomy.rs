@@ -73,7 +73,10 @@ fn main() {
     let sent = drive(&mut unprotected, seed);
     let outcome = unprotected.run_until_drained(30_000);
     match outcome {
-        RunOutcome::Deadlocked { last_progress, in_flight } => {
+        RunOutcome::Deadlocked {
+            last_progress,
+            in_flight,
+        } => {
             println!(
                 "network WEDGED: {in_flight} packets frozen in flight, no flit has moved \
                  since cycle {last_progress} (cycle now: {})",
@@ -92,15 +95,17 @@ fn main() {
             let mut stalled_upward = 0;
             for n in ups {
                 for v in 0..3u8 {
-                    stalled_upward +=
-                        unprotected.net().upward_candidates(n, VnetId(v)).len();
+                    stalled_upward += unprotected.net().upward_candidates(n, VnetId(v)).len();
                 }
             }
             println!(
                 "upward packets stalled at interposer routers: {stalled_upward} \
                  (Sec. IV-A: a deadlock always involves at least one)"
             );
-            assert!(stalled_upward > 0, "the insight must hold for this deadlock");
+            assert!(
+                stalled_upward > 0,
+                "the insight must hold for this deadlock"
+            );
             // Show where the frozen flits sit: the wedge concentrates along
             // the dependency chains crossing the vertical links.
             let mut occ = unprotected.net().occupancy();

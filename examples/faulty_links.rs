@@ -31,8 +31,7 @@ fn main() {
             ConsumePolicy::Immediate { latency: 1 },
         );
         let mut sys = built.sys;
-        let mut traffic =
-            SyntheticTraffic::new(sys.net().topo(), Pattern::UniformRandom, 0.05, 3);
+        let mut traffic = SyntheticTraffic::new(sys.net().topo(), Pattern::UniformRandom, 0.05, 3);
         for _ in 0..20_000 {
             traffic.tick(&mut sys);
             sys.step();

@@ -15,7 +15,10 @@ fn main() {
     let cfg = NocConfig::default();
     // Short-ish windows so the example finishes in seconds; the full
     // reproduction (`repro fig7`) uses the paper's 10K/100K windows.
-    let windows = SweepWindows { warmup: 2_000, measure: 20_000 };
+    let windows = SweepWindows {
+        warmup: 2_000,
+        measure: 20_000,
+    };
     let rates = [0.01, 0.02, 0.04, 0.06, 0.08, 0.09, 0.10, 0.11, 0.12];
 
     println!("scheme,rate,net_latency,queue_latency,total_latency,throughput,upward_packets");

@@ -21,9 +21,15 @@ fn main() {
     let topo = ChipletSystemSpec::baseline().build(0).expect("valid spec");
     println!(
         "system: {} chiplet routers + {} interposer routers, {} vertical links",
-        topo.chiplets().iter().map(|c| c.routers.len()).sum::<usize>(),
+        topo.chiplets()
+            .iter()
+            .map(|c| c.routers.len())
+            .sum::<usize>(),
         topo.interposer_routers().len(),
-        topo.chiplets().iter().map(|c| c.boundary_routers.len()).sum::<usize>(),
+        topo.chiplets()
+            .iter()
+            .map(|c| c.boundary_routers.len())
+            .sum::<usize>(),
     );
 
     // 2. Wormhole network per Table II (3 VNets, 1 VC each, 4-flit buffers),
@@ -43,8 +49,7 @@ fn main() {
 
     // 4. Drive uniform-random traffic at a rate beyond the unprotected
     //    network's deadlock point.
-    let mut traffic =
-        SyntheticTraffic::new(sys.net().topo(), Pattern::UniformRandom, 0.10, 42);
+    let mut traffic = SyntheticTraffic::new(sys.net().topo(), Pattern::UniformRandom, 0.10, 42);
     for _ in 0..30_000 {
         traffic.tick(&mut sys);
         sys.step();
@@ -74,6 +79,9 @@ fn main() {
         upp.stops_sent,
         stats.control_hops
     );
-    assert_eq!(stats.packets_ejected, stats.packets_created, "UPP delivers everything");
+    assert_eq!(
+        stats.packets_ejected, stats.packets_created,
+        "UPP delivers everything"
+    );
     println!("every injected packet was delivered — no deadlock survived.");
 }

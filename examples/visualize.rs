@@ -66,9 +66,14 @@ fn main() -> std::io::Result<()> {
         frozen,
         sys.net().stalled()
     );
-    std::fs::write("deadlock_heat.svg", topology_svg(sys.net().topo(), &occupancy))?;
+    std::fs::write(
+        "deadlock_heat.svg",
+        topology_svg(sys.net().topo(), &occupancy),
+    )?;
     println!("wrote deadlock_heat.svg (occupancy heat; red = frozen dependency chains)");
-    println!("\nASCII occupancy (boundary routers starred, Up-linked interposer routers marked ^):\n");
+    println!(
+        "\nASCII occupancy (boundary routers starred, Up-linked interposer routers marked ^):\n"
+    );
     println!("{}", occupancy_ascii(sys.net().topo(), &occupancy));
     Ok(())
 }

@@ -31,8 +31,7 @@ fn build(kind: Kind, vcs: usize, seed: u64) -> (System, Option<UppStatsHandle>) 
     let consume = ConsumePolicy::Immediate { latency: 1 };
     match kind {
         Kind::Upp => {
-            let net =
-                Network::new(cfg, topo, Arc::new(ChipletRouting::xy()), consume, seed);
+            let net = Network::new(cfg, topo, Arc::new(ChipletRouting::xy()), consume, seed);
             let upp = Upp::new(UppConfig::default());
             let h = upp.stats_handle();
             (System::new(net, Box::new(upp)), Some(h))
@@ -43,8 +42,7 @@ fn build(kind: Kind, vcs: usize, seed: u64) -> (System, Option<UppStatsHandle>) 
             (System::new(net, Box::new(scheme)), None)
         }
         Kind::Remote => {
-            let net =
-                Network::new(cfg, topo, Arc::new(ChipletRouting::xy()), consume, seed);
+            let net = Network::new(cfg, topo, Arc::new(ChipletRouting::xy()), consume, seed);
             (
                 System::new(
                     net,
@@ -98,7 +96,10 @@ fn check_conservation(kind: Kind, vcs: usize, seed: u64, rate: f64) {
     let stats = sys.net().stats();
     assert_eq!(stats.packets_ejected, packets, "packet conservation");
     assert_eq!(stats.flits_ejected, flits, "flit conservation");
-    assert_eq!(stats.packets_injected, packets, "every accepted packet entered the network");
+    assert_eq!(
+        stats.packets_injected, packets,
+        "every accepted packet entered the network"
+    );
 
     // No dangling UPP state after drain: reservations all released, no VC
     // left frozen anywhere.
@@ -123,7 +124,10 @@ fn check_conservation(kind: Kind, vcs: usize, seed: u64, rate: f64) {
         for (p, f) in r.input_vcs() {
             let vc = r.input_vc(p, f);
             assert!(vc.buf.is_empty(), "{kind:?}: flit left in {n} {p}/{f}");
-            assert!(vc.owner.is_none(), "{kind:?}: VC still owned at {n} {p}/{f}");
+            assert!(
+                vc.owner.is_none(),
+                "{kind:?}: VC still owned at {n} {p}/{f}"
+            );
         }
     }
     if let Some(h) = upp_stats {

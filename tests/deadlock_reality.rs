@@ -65,7 +65,10 @@ fn build_system(scheme_kind: &str, seed: u64) -> System {
                 ConsumePolicy::Immediate { latency: 1 },
                 seed,
             );
-            System::new(net, Box::new(RemoteControl::new(RemoteControlConfig::default())))
+            System::new(
+                net,
+                Box::new(RemoteControl::new(RemoteControlConfig::default())),
+            )
         }
         other => panic!("unknown scheme {other}"),
     }
@@ -134,7 +137,11 @@ fn upp_recovers_from_the_same_load() {
             matches!(out, RunOutcome::Drained { .. }),
             "UPP seed {seed}: {out:?} after sending {sent}"
         );
-        assert_eq!(sys.net().stats().packets_ejected, sent, "UPP must deliver everything");
+        assert_eq!(
+            sys.net().stats().packets_ejected,
+            sent,
+            "UPP must deliver everything"
+        );
     }
 }
 
@@ -144,7 +151,10 @@ fn composable_routing_avoids_deadlock() {
         let mut sys = build_system("composable", seed);
         let sent = drive(&mut sys, seed, 3_000, 0.30);
         let out = sys.run_until_drained(200_000);
-        assert!(matches!(out, RunOutcome::Drained { .. }), "composable seed {seed}: {out:?}");
+        assert!(
+            matches!(out, RunOutcome::Drained { .. }),
+            "composable seed {seed}: {out:?}"
+        );
         assert_eq!(sys.net().stats().packets_ejected, sent);
     }
 }
@@ -155,9 +165,64 @@ fn remote_control_avoids_deadlock() {
         let mut sys = build_system("remote", seed);
         let sent = drive(&mut sys, seed, 3_000, 0.30);
         let out = sys.run_until_drained(200_000);
-        assert!(matches!(out, RunOutcome::Drained { .. }), "remote seed {seed}: {out:?}");
+        assert!(
+            matches!(out, RunOutcome::Drained { .. }),
+            "remote seed {seed}: {out:?}"
+        );
         assert_eq!(sys.net().stats().packets_ejected, sent);
     }
+}
+
+#[test]
+fn stall_report_names_the_wedged_dependency_cycle() {
+    // Forensics on a real integration-induced deadlock: the report must
+    // identify the participants and the circular wait, and its bookkeeping
+    // must agree with the network's own occupancy counters.
+    let mut examined = 0;
+    for seed in 0..4u64 {
+        let mut sys = build_system("none", seed);
+        drive(&mut sys, seed, 3_000, 0.30);
+        if !matches!(sys.run_until_drained(30_000), RunOutcome::Deadlocked { .. }) {
+            continue;
+        }
+        examined += 1;
+        let report = sys.stall_report();
+        assert!(
+            report.wedged.len() >= 2,
+            "a wormhole deadlock involves at least two packets, got {}",
+            report.wedged.len()
+        );
+        assert!(
+            report.is_deadlock() && !report.wait_cycle.is_empty(),
+            "watchdog tripped but no circular wait was extracted"
+        );
+        assert_eq!(report.in_flight, sys.net().in_flight());
+        // Occupancy agreement: every buffered flit belongs to some live
+        // packet's held VC, so the holds must account for exactly the
+        // network's buffered-flit population.
+        let occupied: usize = sys.net().occupancy().iter().map(|&(_, f)| f).sum();
+        assert_eq!(
+            report.held_flits(),
+            occupied,
+            "holds must attribute every buffered flit (seed {seed})"
+        );
+        // The text rendering names every wedged packet and the cycle.
+        let text = report.render_text();
+        assert!(text.contains("DEADLOCK (circular wait found)"), "{text}");
+        for w in &report.wedged {
+            assert!(
+                text.contains(&w.id.to_string()),
+                "missing {} in:\n{text}",
+                w.id
+            );
+        }
+        assert!(text.contains("circular wait over"), "{text}");
+    }
+    assert!(
+        examined > 0,
+        "no seed deadlocked; cannot exercise the forensics path (see \
+         unprotected_system_deadlocks_under_load)"
+    );
 }
 
 #[test]

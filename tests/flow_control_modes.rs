@@ -72,7 +72,10 @@ fn vct_systems_also_deadlock_without_a_scheme() {
             wedged += 1;
         }
     }
-    assert!(wedged > 0, "VCT does not remove integration-induced deadlocks");
+    assert!(
+        wedged > 0,
+        "VCT does not remove integration-induced deadlocks"
+    );
 }
 
 #[test]
@@ -83,10 +86,16 @@ fn upp_recovers_under_virtual_cut_through() {
         let mut sys = build(FlowControl::VirtualCutThrough, Box::new(upp), seed);
         let sent = drive(&mut sys, seed, 3_000, 0.30);
         let out = sys.run_until_drained(300_000);
-        assert!(matches!(out, RunOutcome::Drained { .. }), "VCT seed {seed}: {out:?}");
+        assert!(
+            matches!(out, RunOutcome::Drained { .. }),
+            "VCT seed {seed}: {out:?}"
+        );
         assert_eq!(sys.net().stats().packets_ejected, sent);
         let s = *stats.lock().unwrap();
-        assert!(s.upward_packets > 0, "VCT seed {seed}: recovery must have engaged");
+        assert!(
+            s.upward_packets > 0,
+            "VCT seed {seed}: recovery must have engaged"
+        );
         // Under VCT a blocked packet is fully buffered at one router, so
         // mid-worm (partial) popups should be rarer than full popups.
         assert!(
@@ -118,5 +127,8 @@ fn vct_conserves_under_moderate_load() {
     let out = sys.run_until_drained(200_000);
     assert!(matches!(out, RunOutcome::Drained { .. }));
     assert_eq!(sys.net().stats().packets_ejected, sent);
-    assert_eq!(sys.net().stats().flits_injected, sys.net().stats().flits_ejected);
+    assert_eq!(
+        sys.net().stats().flits_injected,
+        sys.net().stats().flits_ejected
+    );
 }

@@ -60,17 +60,24 @@ fn links_fail_at_runtime_and_traffic_continues() {
 
     // Phase 1: healthy network under real load.
     let sent1 = drive(&mut sys, 1, 2_000, 0.15);
-    assert!(matches!(sys.run_until_drained(200_000), RunOutcome::Drained { .. }));
+    assert!(matches!(
+        sys.run_until_drained(200_000),
+        RunOutcome::Drained { .. }
+    ));
     assert_eq!(sys.net().stats().packets_ejected, sent1);
 
     // Phase 2: two mesh links die; rebuild up*/down* tables online.
     let victims: Vec<(NodeId, Port)> = {
         let topo = sys.net().topo();
         let c0 = &topo.chiplets()[0];
-        vec![(c0.routers[0], Port::East), (topo.interposer_routers()[5], Port::North)]
+        vec![
+            (c0.routers[0], Port::East),
+            (topo.interposer_routers()[5], Port::North),
+        ]
     };
     // Reconfiguration is refused while packets are in flight.
-    sys.net_mut().try_send(victims[0].0, victims[0].0, VnetId(0), 1);
+    sys.net_mut()
+        .try_send(victims[0].0, victims[0].0, VnetId(0), 1);
     {
         let topo = sys.net().topo().clone();
         let tables = Arc::new(RouteTables::build(&topo));
@@ -80,7 +87,10 @@ fn links_fail_at_runtime_and_traffic_continues() {
             .reconfigure(|_| {}, Arc::new(ChipletRouting::with_tables(tables)));
         assert!(err.is_err(), "reconfiguration must be refused mid-flight");
     }
-    assert!(matches!(sys.run_until_drained(10_000), RunOutcome::Drained { .. }));
+    assert!(matches!(
+        sys.run_until_drained(10_000),
+        RunOutcome::Drained { .. }
+    ));
 
     // Now drained: apply the faults and swap in table routing.
     {
@@ -125,7 +135,10 @@ fn repeated_reconfigurations_accumulate_faults_gracefully() {
     let mut total_sent = 0;
     for round in 0..4u64 {
         total_sent += drive(&mut sys, round, 800, 0.06);
-        assert!(matches!(sys.run_until_drained(100_000), RunOutcome::Drained { .. }));
+        assert!(matches!(
+            sys.run_until_drained(100_000),
+            RunOutcome::Drained { .. }
+        ));
         // Fail one random surviving mesh link per round (keeping validity).
         let candidates: Vec<(NodeId, Port)> = {
             let topo = sys.net().topo();

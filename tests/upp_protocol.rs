@@ -63,7 +63,10 @@ fn recover_and_stats(cfg: UppConfig, vcs: usize, seed: u64) -> (u64, u64, UppSta
     let (mut sys, h) = build(cfg, vcs, seed);
     let sent = heavy_drive(&mut sys, seed, 2_500);
     let out = sys.run_until_drained(400_000);
-    assert!(matches!(out, RunOutcome::Drained { .. }), "seed {seed}: {out:?}");
+    assert!(
+        matches!(out, RunOutcome::Drained { .. }),
+        "seed {seed}: {out:?}"
+    );
     let delivered = sys.net().stats().packets_ejected;
     let bypass = sys.net().stats().bypass_hops;
     let stats = *h.lock().unwrap();
@@ -75,15 +78,23 @@ fn full_and_partial_popups_both_occur_and_recover() {
     let mut saw_partial = false;
     let mut saw_full = false;
     for seed in 0..3u64 {
-        let (sent, delivered, stats, bypass) =
-            recover_and_stats(UppConfig::default(), 1, seed);
+        let (sent, delivered, stats, bypass) = recover_and_stats(UppConfig::default(), 1, seed);
         assert_eq!(sent, delivered, "seed {seed}: conservation");
-        assert!(stats.upward_packets > 0, "seed {seed}: heavy load must trigger detection");
-        assert!(bypass > 0, "seed {seed}: popup transmission must use the bypass path");
+        assert!(
+            stats.upward_packets > 0,
+            "seed {seed}: heavy load must trigger detection"
+        );
+        assert!(
+            bypass > 0,
+            "seed {seed}: popup transmission must use the bypass path"
+        );
         saw_partial |= stats.partial_popups > 0;
         saw_full |= stats.popups_completed > stats.partial_popups;
     }
-    assert!(saw_full, "some popups must start at the interposer (Sec. V-B)");
+    assert!(
+        saw_full,
+        "some popups must start at the interposer (Sec. V-B)"
+    );
     assert!(saw_partial, "some popups must start mid-worm (Sec. V-B3)");
 }
 
@@ -98,13 +109,22 @@ fn false_positives_are_stopped_and_acks_dropped() {
         // Every ack is answered by a req; reservations never exceed reqs.
         assert!(stats.acks_sent <= stats.reqs_sent, "seed {seed}");
     }
-    assert!(stops > 0, "congestion must produce some false positives (Sec. V-A)");
-    assert!(drops > 0, "stops must lead to dropped acks (protocol rule 3)");
+    assert!(
+        stops > 0,
+        "congestion must produce some false positives (Sec. V-A)"
+    );
+    assert!(
+        drops > 0,
+        "stops must lead to dropped acks (protocol rule 3)"
+    );
 }
 
 #[test]
 fn serialized_per_chiplet_variant_also_recovers() {
-    let cfg = UppConfig { serialize_per_chiplet: true, ..UppConfig::default() };
+    let cfg = UppConfig {
+        serialize_per_chiplet: true,
+        ..UppConfig::default()
+    };
     let (sent, delivered, stats, _) = recover_and_stats(cfg, 1, 0);
     assert_eq!(sent, delivered);
     assert!(stats.popups_completed > 0);

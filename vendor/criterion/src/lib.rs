@@ -1,0 +1,146 @@
+//! Vendored offline stand-in for `criterion`.
+//!
+//! A minimal timing harness with the same call shape as criterion 0.5:
+//! `Criterion::bench_function`, `benchmark_group` + `sample_size` +
+//! `finish`, `Bencher::iter`, `black_box`, and the `criterion_group!` /
+//! `criterion_main!` macros. Each benchmark runs a short fixed number of
+//! timed iterations and prints mean wall-clock time — enough to compare two
+//! configurations (e.g. tracing disabled vs. enabled) and to smoke-test
+//! bench code under `cargo test` / `cargo bench` without the real crate.
+
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from discarding a value.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Passed to the benchmark closure; measures the work inside
+/// [`Bencher::iter`].
+pub struct Bencher {
+    iters: u32,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` calls of `f`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_one(label: &str, iters: u32, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        iters,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    let per_iter = b.elapsed.as_secs_f64() / f64::from(iters.max(1));
+    println!(
+        "bench {label:<40} {:>12.3} ms/iter ({iters} iters)",
+        per_iter * 1e3
+    );
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    iters: u32,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Two timed iterations keep `cargo test` (which runs harness=false
+        // bench targets) fast while still exercising every bench body.
+        Criterion { iters: 2 }
+    }
+}
+
+impl Criterion {
+    /// Runs one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: impl std::fmt::Display,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(&name.to_string(), self.iters, &mut f);
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl std::fmt::Display) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            iters: self.iters,
+            _parent: self,
+        }
+    }
+}
+
+/// A group of related benchmarks (prefixing their labels).
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    iters: u32,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the stub's iteration count is fixed.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: impl std::fmt::Display,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, name), self.iters, &mut f);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Declares a function running the listed benchmark targets.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_runs_the_closure() {
+        let mut c = Criterion::default();
+        let mut count = 0u32;
+        c.bench_function("counted", |b| b.iter(|| count += 1));
+        assert!(count >= 2, "closure ran {count} times");
+        let mut group = c.benchmark_group("g");
+        group.sample_size(10);
+        group.bench_function(format!("sub_{}", 1), |b| b.iter(|| black_box(3 + 4)));
+        group.finish();
+    }
+}

@@ -1,0 +1,312 @@
+//! Hand-rolled `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! vendored serde stub.
+//!
+//! No syn/quote are available offline, so the item declaration is parsed
+//! directly from `proc_macro` token trees. Supported shapes cover everything
+//! the workspace derives on: non-generic named structs, tuple structs, unit
+//! structs, and enums with unit / tuple / struct variants. Serialization is
+//! externally tagged, mirroring serde's default representation.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::fmt::Write as _;
+use std::iter::Peekable;
+
+enum Item {
+    NamedStruct {
+        name: String,
+        fields: Vec<String>,
+    },
+    TupleStruct {
+        name: String,
+        arity: usize,
+    },
+    UnitStruct {
+        name: String,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+type Tokens = Peekable<proc_macro::token_stream::IntoIter>;
+
+/// Skips outer attributes (`#[...]`, doc comments) and visibility markers.
+fn skip_attrs_and_vis(it: &mut Tokens) {
+    loop {
+        match it.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                it.next();
+                it.next(); // the bracketed attribute group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                it.next();
+                if let Some(TokenTree::Group(g)) = it.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        it.next(); // pub(crate) etc.
+                    }
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Consumes tokens until a top-level comma (tracking `<`/`>` nesting, which
+/// proc_macro does not group), leaving the iterator after the comma.
+fn skip_type(it: &mut Tokens) {
+    let mut depth = 0i32;
+    for t in it.by_ref() {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => return,
+            _ => {}
+        }
+    }
+}
+
+fn parse_named_fields(ts: TokenStream) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut it = ts.into_iter().peekable();
+    loop {
+        skip_attrs_and_vis(&mut it);
+        let name = match it.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            Some(t) => panic!("serde stub derive: unexpected token in fields: {t}"),
+        };
+        match it.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            t => panic!("serde stub derive: expected ':' after field {name}, got {t:?}"),
+        }
+        skip_type(&mut it);
+        out.push(name);
+    }
+    out
+}
+
+fn count_tuple_fields(ts: TokenStream) -> usize {
+    let mut depth = 0i32;
+    let mut fields = 0usize;
+    let mut pending = false;
+    for t in ts {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                fields += 1;
+                pending = false;
+                continue;
+            }
+            _ => {}
+        }
+        pending = true;
+    }
+    if pending {
+        fields += 1;
+    }
+    fields
+}
+
+fn parse_variants(ts: TokenStream) -> Vec<Variant> {
+    let mut out = Vec::new();
+    let mut it = ts.into_iter().peekable();
+    loop {
+        skip_attrs_and_vis(&mut it);
+        let name = match it.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            Some(t) => panic!("serde stub derive: unexpected token in enum: {t}"),
+        };
+        let kind = match it.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                it.next();
+                VariantKind::Tuple(n)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                it.next();
+                VariantKind::Struct(fields)
+            }
+            _ => VariantKind::Unit,
+        };
+        // Skip an explicit discriminant, then the trailing comma.
+        if let Some(TokenTree::Punct(p)) = it.peek() {
+            if p.as_char() == '=' {
+                it.next();
+                skip_type(&mut it);
+                out.push(Variant { name, kind });
+                continue;
+            }
+        }
+        if let Some(TokenTree::Punct(p)) = it.peek() {
+            if p.as_char() == ',' {
+                it.next();
+            }
+        }
+        out.push(Variant { name, kind });
+    }
+    out
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut it = input.into_iter().peekable();
+    skip_attrs_and_vis(&mut it);
+    let kw = match it.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        t => panic!("serde stub derive: expected struct/enum, got {t:?}"),
+    };
+    let name = match it.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        t => panic!("serde stub derive: expected item name, got {t:?}"),
+    };
+    if let Some(TokenTree::Punct(p)) = it.peek() {
+        if p.as_char() == '<' {
+            panic!("serde stub derive: generic type {name} is not supported");
+        }
+    }
+    match kw.as_str() {
+        "struct" => match it.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item::NamedStruct {
+                name,
+                fields: parse_named_fields(g.stream()),
+            },
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Item::TupleStruct {
+                    name,
+                    arity: count_tuple_fields(g.stream()),
+                }
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Item::UnitStruct { name },
+            t => panic!("serde stub derive: unexpected struct body {t:?}"),
+        },
+        "enum" => match it.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item::Enum {
+                name,
+                variants: parse_variants(g.stream()),
+            },
+            t => panic!("serde stub derive: unexpected enum body {t:?}"),
+        },
+        other => panic!("serde stub derive: cannot derive for {other} items"),
+    }
+}
+
+fn named_fields_object(fields: &[String], prefix: &str) -> String {
+    let mut out = String::from("::serde::Value::Object(::std::vec![");
+    for f in fields {
+        let _ = write!(
+            out,
+            "(::std::string::String::from(\"{f}\"), ::serde::Serialize::ser_value({prefix}{f})),"
+        );
+    }
+    out.push_str("])");
+    out
+}
+
+/// Produces a `Value` tree mirroring serde's default (externally tagged)
+/// data model.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let mut body = String::new();
+    let name = match &item {
+        Item::NamedStruct { name, fields } => {
+            body = named_fields_object(fields, "&self.");
+            name.clone()
+        }
+        Item::TupleStruct { name, arity } => {
+            if *arity == 1 {
+                body.push_str("::serde::Serialize::ser_value(&self.0)");
+            } else {
+                body.push_str("::serde::Value::Array(::std::vec![");
+                for i in 0..*arity {
+                    let _ = write!(body, "::serde::Serialize::ser_value(&self.{i}),");
+                }
+                body.push_str("])");
+            }
+            name.clone()
+        }
+        Item::UnitStruct { name } => {
+            body.push_str("::serde::Value::Null");
+            name.clone()
+        }
+        Item::Enum { name, variants } => {
+            body.push_str("match self {");
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {
+                        let _ = write!(
+                            body,
+                            "Self::{vn} => ::serde::Value::String(::std::string::String::from(\"{vn}\")),"
+                        );
+                    }
+                    VariantKind::Tuple(1) => {
+                        let _ = write!(
+                            body,
+                            "Self::{vn}(__f0) => ::serde::Value::Object(::std::vec![(::std::string::String::from(\"{vn}\"), ::serde::Serialize::ser_value(__f0))]),"
+                        );
+                    }
+                    VariantKind::Tuple(n) => {
+                        let binders: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let _ = write!(body, "Self::{vn}({}) => ", binders.join(","));
+                        body.push_str(
+                            "::serde::Value::Object(::std::vec![(::std::string::String::from(\"",
+                        );
+                        body.push_str(vn);
+                        body.push_str("\"), ::serde::Value::Array(::std::vec![");
+                        for b in &binders {
+                            let _ = write!(body, "::serde::Serialize::ser_value({b}),");
+                        }
+                        body.push_str("]))]),");
+                    }
+                    VariantKind::Struct(fields) => {
+                        let _ = write!(body, "Self::{vn} {{ {} }} => ", fields.join(","));
+                        let inner = named_fields_object(fields, "");
+                        let _ = write!(
+                            body,
+                            "::serde::Value::Object(::std::vec![(::std::string::String::from(\"{vn}\"), {inner})]),"
+                        );
+                    }
+                }
+            }
+            body.push('}');
+            name.clone()
+        }
+    };
+    let out = format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn ser_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    );
+    out.parse()
+        .expect("serde stub derive: generated impl parses")
+}
+
+/// Emits the marker impl; the workspace never deserializes at runtime.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let name = match &item {
+        Item::NamedStruct { name, .. }
+        | Item::TupleStruct { name, .. }
+        | Item::UnitStruct { name }
+        | Item::Enum { name, .. } => name.clone(),
+    };
+    format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
+        .parse()
+        .expect("serde stub derive: generated impl parses")
+}

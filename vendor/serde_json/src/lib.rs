@@ -1,0 +1,186 @@
+//! Vendored offline stand-in for `serde_json`: renders the serde stub's
+//! [`Value`] tree as JSON text. Supports exactly what the workspace calls:
+//! [`to_value`], [`to_string`], [`to_string_pretty`], and an [`Error`] that
+//! converts into `std::io::Error`.
+
+use serde::Serialize;
+use std::fmt;
+
+pub use serde::Value;
+
+/// Serialization error (the stub's serializer is infallible in practice,
+/// but the signatures mirror the real crate).
+#[derive(Debug)]
+pub struct Error(String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "json error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<Error> for std::io::Error {
+    fn from(e: Error) -> Self {
+        std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string())
+    }
+}
+
+/// Converts any serializable value into a [`Value`] tree.
+///
+/// # Errors
+///
+/// Never fails in the stub; the `Result` mirrors the real crate's signature.
+pub fn to_value<T: Serialize>(value: T) -> Result<Value, Error> {
+    Ok(value.ser_value())
+}
+
+/// Renders a value as compact JSON.
+///
+/// # Errors
+///
+/// Never fails in the stub.
+pub fn to_string<T: Serialize>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    render(&value.ser_value(), None, 0, &mut out);
+    Ok(out)
+}
+
+/// Renders a value as pretty-printed JSON (two-space indent).
+///
+/// # Errors
+///
+/// Never fails in the stub.
+pub fn to_string_pretty<T: Serialize>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    render(&value.ser_value(), Some(2), 0, &mut out);
+    Ok(out)
+}
+
+fn escape_into(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn newline_indent(indent: Option<usize>, depth: usize, out: &mut String) {
+    if let Some(w) = indent {
+        out.push('\n');
+        for _ in 0..w * depth {
+            out.push(' ');
+        }
+    }
+}
+
+fn render(v: &Value, indent: Option<usize>, depth: usize, out: &mut String) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::I64(n) => {
+            out.push_str(&n.to_string());
+        }
+        Value::U64(n) => {
+            out.push_str(&n.to_string());
+        }
+        Value::F64(n) => {
+            if n.is_finite() {
+                out.push_str(&n.to_string());
+            } else {
+                out.push_str("null"); // JSON has no NaN/Inf
+            }
+        }
+        Value::String(s) => escape_into(s, out),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(indent, depth + 1, out);
+                render(item, indent, depth + 1, out);
+            }
+            newline_indent(indent, depth, out);
+            out.push(']');
+        }
+        Value::Object(pairs) => {
+            if pairs.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, item)) in pairs.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(indent, depth + 1, out);
+                escape_into(k, out);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                render(item, indent, depth + 1, out);
+            }
+            newline_indent(indent, depth, out);
+            out.push('}');
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_rendering() {
+        let v = Value::Object(vec![
+            ("a".into(), Value::U64(1)),
+            (
+                "b".into(),
+                Value::Array(vec![Value::Bool(true), Value::Null]),
+            ),
+            ("c".into(), Value::String("x\"y".into())),
+        ]);
+        assert_eq!(
+            to_string(&v).unwrap(),
+            r#"{"a":1,"b":[true,null],"c":"x\"y"}"#
+        );
+    }
+
+    #[test]
+    fn pretty_rendering_indents() {
+        let v = Value::Object(vec![("a".into(), Value::Array(vec![Value::U64(1)]))]);
+        assert_eq!(
+            to_string_pretty(&v).unwrap(),
+            "{\n  \"a\": [\n    1\n  ]\n}"
+        );
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        assert_eq!(to_string(&f64::NAN).unwrap(), "null");
+        assert_eq!(to_string(&1.5f64).unwrap(), "1.5");
+    }
+
+    #[test]
+    fn error_converts_to_io_error() {
+        let io: std::io::Error = Error("x".into()).into();
+        assert_eq!(io.kind(), std::io::ErrorKind::InvalidData);
+    }
+}
