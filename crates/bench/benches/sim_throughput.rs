@@ -1,0 +1,135 @@
+//! Simulation-kernel throughput bench: how many network cycles per second
+//! the simulator steps, and how the sweep engine scales with `--jobs`.
+//!
+//! Besides the criterion-style console report, the bench writes a machine
+//! readable summary to `BENCH_sweep.json` at the workspace root so kernel
+//! or sweep regressions are visible in PRs. Set `UPP_BENCH_QUICK=1` for a
+//! reduced grid (used by CI).
+
+use criterion::{black_box, criterion_group, Criterion};
+use std::time::Instant;
+use upp_bench::sweep::SweepEngine;
+use upp_core::UppConfig;
+use upp_noc::config::NocConfig;
+use upp_noc::topology::ChipletSystemSpec;
+use upp_workloads::runner::{run_point, SchemeKind, SweepWindows};
+use upp_workloads::synthetic::Pattern;
+
+fn quick() -> bool {
+    std::env::var("UPP_BENCH_QUICK").is_ok_and(|v| v != "0")
+}
+
+fn measure_cycles(quick: bool) -> u64 {
+    if quick {
+        3_000
+    } else {
+        12_000
+    }
+}
+
+/// Steps one `(scheme, vcs, rate)` configuration for a fixed number of
+/// cycles and returns the wall-clock cycles/sec of the kernel.
+fn kernel_cycles_per_sec(kind: &SchemeKind, vcs: usize, rate: f64, cycles: u64) -> f64 {
+    let spec = ChipletSystemSpec::baseline();
+    let cfg = NocConfig::default().with_vcs_per_vnet(vcs);
+    let windows = SweepWindows {
+        warmup: cycles / 10,
+        measure: cycles,
+    };
+    let start = Instant::now();
+    black_box(run_point(
+        &spec,
+        &cfg,
+        kind,
+        0,
+        Pattern::UniformRandom,
+        rate,
+        windows,
+        2022,
+    ));
+    let total = windows.warmup + windows.measure;
+    total as f64 / start.elapsed().as_secs_f64()
+}
+
+/// Times a small rate sweep on the engine with a given worker count.
+fn sweep_seconds(jobs: usize, rates: &[f64], cycles: u64) -> f64 {
+    let spec = ChipletSystemSpec::baseline();
+    let cfg = NocConfig::default();
+    let kind = SchemeKind::Upp(UppConfig::default());
+    let windows = SweepWindows {
+        warmup: cycles / 10,
+        measure: cycles,
+    };
+    let start = Instant::now();
+    black_box(SweepEngine::new(jobs).map(rates, |_, &rate| {
+        run_point(
+            &spec,
+            &cfg,
+            &kind,
+            0,
+            Pattern::UniformRandom,
+            rate,
+            windows,
+            2022,
+        )
+    }));
+    start.elapsed().as_secs_f64()
+}
+
+fn sim_throughput(c: &mut Criterion) {
+    let cycles = measure_cycles(quick());
+    let mut group = c.benchmark_group("sim_throughput");
+    group.sample_size(10);
+    group.bench_function("upp_1vc", |b| {
+        b.iter(|| kernel_cycles_per_sec(&SchemeKind::Upp(UppConfig::default()), 1, 0.06, cycles))
+    });
+    group.bench_function("upp_4vc", |b| {
+        b.iter(|| kernel_cycles_per_sec(&SchemeKind::Upp(UppConfig::default()), 4, 0.06, cycles))
+    });
+    group.bench_function("no_scheme_1vc", |b| {
+        b.iter(|| kernel_cycles_per_sec(&SchemeKind::None, 1, 0.03, cycles))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, sim_throughput);
+
+/// Runs the criterion report, then records the machine-readable summary.
+fn main() {
+    benches();
+
+    let q = quick();
+    let cycles = measure_cycles(q);
+    let threads = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+
+    let upp_1vc = kernel_cycles_per_sec(&SchemeKind::Upp(UppConfig::default()), 1, 0.06, cycles);
+    let upp_4vc = kernel_cycles_per_sec(&SchemeKind::Upp(UppConfig::default()), 4, 0.06, cycles);
+    let none_1vc = kernel_cycles_per_sec(&SchemeKind::None, 1, 0.03, cycles);
+
+    let rates: Vec<f64> = if q {
+        vec![0.02, 0.05, 0.08, 0.11]
+    } else {
+        vec![0.01, 0.03, 0.05, 0.07, 0.09, 0.11, 0.13, 0.15]
+    };
+    let serial = sweep_seconds(1, &rates, cycles);
+    let jobs4 = sweep_seconds(4, &rates, cycles);
+
+    let json = format!(
+        "{{\n  \"bench\": \"sim_throughput\",\n  \"quick\": {q},\n  \
+         \"hardware_threads\": {threads},\n  \"measure_cycles\": {cycles},\n  \
+         \"cycles_per_sec\": {{\n    \"upp_1vc\": {upp_1vc:.0},\n    \
+         \"upp_4vc\": {upp_4vc:.0},\n    \"no_scheme_1vc\": {none_1vc:.0}\n  }},\n  \
+         \"sweep\": {{\n    \"rates\": {},\n    \"serial_secs\": {serial:.3},\n    \
+         \"jobs4_secs\": {jobs4:.3},\n    \"speedup_jobs4\": {:.2}\n  }}\n}}\n",
+        rates.len(),
+        serial / jobs4,
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sweep.json");
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+    print!("{json}");
+}

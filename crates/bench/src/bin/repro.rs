@@ -3,8 +3,14 @@
 //! Usage:
 //!
 //! ```text
-//! repro [--quick] [--out DIR] <id>... | all | list
+//! repro [--quick] [--jobs N] [--journal FILE [--resume]] [--out DIR] <id>... | all | list
 //! ```
+//!
+//! `--jobs N` bounds the sweep engine's worker pool (default: all hardware
+//! threads); results are bit-identical for every N. `--journal FILE` streams
+//! finished sweep points to a JSONL file as they complete; adding `--resume`
+//! re-opens that journal and skips every already-recorded point, so an
+//! interrupted `repro all` can pick up where it left off.
 
 use std::path::PathBuf;
 use std::time::Instant;
@@ -12,11 +18,31 @@ use std::time::Instant;
 fn main() {
     let mut quick = false;
     let mut out_dir = PathBuf::from("results");
+    let mut journal: Option<PathBuf> = None;
+    let mut resume = false;
     let mut ids: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--quick" => quick = true,
+            "--resume" => resume = true,
+            "--jobs" => {
+                let n = args
+                    .next()
+                    .and_then(|v| v.parse::<usize>().ok())
+                    .filter(|&n| n > 0)
+                    .unwrap_or_else(|| {
+                        eprintln!("--jobs needs a positive integer");
+                        std::process::exit(2);
+                    });
+                upp_bench::sweep::set_default_jobs(n);
+            }
+            "--journal" => {
+                journal = Some(PathBuf::from(args.next().unwrap_or_else(|| {
+                    eprintln!("--journal needs a file path");
+                    std::process::exit(2);
+                })));
+            }
             "--out" => {
                 out_dir = PathBuf::from(args.next().unwrap_or_else(|| {
                     eprintln!("--out needs a directory");
@@ -37,9 +63,31 @@ fn main() {
             other => ids.push(other.to_string()),
         }
     }
+    if resume && journal.is_none() {
+        eprintln!("--resume needs --journal FILE");
+        std::process::exit(2);
+    }
+    match upp_bench::sweep::configure_journal(journal.clone(), resume) {
+        Ok(n) => {
+            if let Some(j) = &journal {
+                if resume {
+                    eprintln!(
+                        "[journal] resuming from {} ({n} points recorded)",
+                        j.display()
+                    );
+                } else {
+                    eprintln!("[journal] streaming points to {}", j.display());
+                }
+            }
+        }
+        Err(e) => {
+            eprintln!("cannot open journal: {e}");
+            std::process::exit(2);
+        }
+    }
     if ids.is_empty() {
         eprintln!(
-            "usage: repro [--quick] [--out DIR] <id>... | all | list\n  ids: {}",
+            "usage: repro [--quick] [--jobs N] [--journal FILE [--resume]] [--out DIR] <id>... | all | list\n  ids: {}",
             upp_bench::ALL_IDS.join(", ")
         );
         std::process::exit(2);

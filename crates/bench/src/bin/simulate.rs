@@ -9,17 +9,18 @@
 //! simulate --scheme upp --chrome-trace trace.json    # open in Perfetto
 //! simulate --scheme upp --metrics-every 500 --metrics-out metrics.csv
 //! simulate --system large --scheme composable --vcs 4 --json out.json
+//! simulate --scheme upp --sweep 0.02,0.05,0.08 --jobs 4 --json pts.json
 //! ```
 
 use std::io::Write as _;
 use std::process::exit;
-use upp_core::UppConfig;
+use upp_core::{UppConfig, UppStats};
 use upp_noc::config::NocConfig;
 use upp_noc::ni::ConsumePolicy;
 use upp_noc::topology::{ChipletSystemSpec, SystemKind};
 use upp_noc::trace::{MetricsSampler, Tracer};
 use upp_noc::viz::{stall_svg, topology_svg};
-use upp_workloads::runner::{build_system, SchemeKind};
+use upp_workloads::runner::{build_system, SchemeKind, SweepWindows};
 use upp_workloads::synthetic::{Pattern, SyntheticTraffic};
 
 struct Args {
@@ -40,6 +41,7 @@ struct Args {
     stall_report: bool,
     stall_svg_path: Option<String>,
     json: Option<String>,
+    sweep: Option<Vec<f64>>,
 }
 
 fn usage() -> ! {
@@ -62,7 +64,14 @@ fn usage() -> ! {
                                              stdout when omitted)\n\
          --stall-report                      print deadlock forensics after the run\n\
          --stall-svg PATH                    write the annotated stall diagram\n\
-         --json PATH                         dump final NetStats/UppStats as JSON"
+         --json PATH                         dump final NetStats/UppStats as JSON\n\
+         --sweep R1,R2,...                   run a parallel latency sweep over the\n\
+                                             given injection rates instead of one\n\
+                                             simulation (uses --cycles as the\n\
+                                             measurement window)\n\
+         --jobs N                            sweep worker threads (default: all\n\
+                                             hardware threads; results identical\n\
+                                             for every N)"
     );
     exit(2);
 }
@@ -86,6 +95,7 @@ fn parse() -> Args {
         stall_report: false,
         stall_svg_path: None,
         json: None,
+        sweep: None,
     };
     let mut scheme_name = "upp".to_string();
     let mut it = std::env::args().skip(1);
@@ -124,6 +134,23 @@ fn parse() -> Args {
             "--stall-report" => a.stall_report = true,
             "--stall-svg" => a.stall_svg_path = Some(val()),
             "--json" => a.json = Some(val()),
+            "--sweep" => {
+                let rates: Vec<f64> = val()
+                    .split(',')
+                    .map(|r| r.trim().parse().unwrap_or_else(|_| usage()))
+                    .collect();
+                if rates.is_empty() {
+                    usage();
+                }
+                a.sweep = Some(rates);
+            }
+            "--jobs" => {
+                let n: usize = val().parse().unwrap_or_else(|_| usage());
+                if n == 0 {
+                    usage();
+                }
+                upp_bench::sweep::set_default_jobs(n);
+            }
             "--help" | "-h" => usage(),
             _ => usage(),
         }
@@ -138,8 +165,60 @@ fn parse() -> Args {
     a
 }
 
+/// `--sweep` mode: fan the rate list over the sweep engine and print one
+/// row per point. Stats come out bit-identical for any `--jobs` value.
+fn run_sweep(args: &Args, rates: &[f64]) {
+    let spec = ChipletSystemSpec::of_kind(args.system);
+    let cfg = NocConfig::default().with_vcs_per_vnet(args.vcs);
+    let windows = SweepWindows {
+        warmup: (args.cycles / 10).max(1),
+        measure: args.cycles,
+    };
+    eprintln!(
+        "sweep: system {:?} | scheme {} | pattern {} | {} rates | {} workers",
+        args.system,
+        args.scheme.label(),
+        args.pattern.label(),
+        rates.len(),
+        upp_bench::sweep::default_jobs()
+    );
+    let points = upp_bench::sweep::sweep_rates(
+        "cli",
+        &spec,
+        &cfg,
+        &args.scheme,
+        args.faults,
+        args.pattern,
+        rates,
+        windows,
+        args.seed,
+    );
+    println!(
+        "{:>8} {:>10} {:>10} {:>12} {:>10} {:>9}",
+        "rate", "latency", "queueing", "throughput", "ejected", "deadlock"
+    );
+    for p in &points {
+        println!(
+            "{:>8} {:>10.2} {:>10.2} {:>12.4} {:>10} {:>9}",
+            p.rate, p.net_latency, p.queue_latency, p.throughput, p.packets_ejected, p.deadlocked
+        );
+    }
+    if let Some(path) = &args.json {
+        let payload =
+            serde_json::to_string_pretty(&points).expect("stats serialization is infallible");
+        match std::fs::write(path, payload + "\n") {
+            Ok(()) => eprintln!("wrote {path}"),
+            Err(e) => eprintln!("could not write {path}: {e}"),
+        }
+    }
+}
+
 fn main() {
     let args = parse();
+    if let Some(rates) = args.sweep.clone() {
+        run_sweep(&args, &rates);
+        return;
+    }
     let spec = ChipletSystemSpec::of_kind(args.system);
     let cfg = NocConfig::default().with_vcs_per_vnet(args.vcs);
     let built = build_system(
@@ -228,10 +307,7 @@ fn main() {
     );
     println!("control-signal hops: {}", stats.control_hops);
     println!("bypass (popup) hops: {}", stats.bypass_hops);
-    let upp_stats = built
-        .upp_stats
-        .as_ref()
-        .map(|h| *h.lock().expect("single-threaded"));
+    let upp_stats = built.upp_stats.as_ref().map(UppStats::snapshot);
     if let Some(s) = upp_stats {
         println!(
             "UPP: {} upward packets, {} popups ({} partial), {} stops, {} acks dropped",

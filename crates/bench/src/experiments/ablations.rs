@@ -11,6 +11,7 @@
 
 use super::{cfg, rates_1vc, windows, SEED};
 use crate::report::{f1, f3, ExperimentResult, MarkdownTable};
+use crate::sweep::{engine, sweep_rates};
 use serde::Serialize;
 use std::sync::Arc;
 use upp_baselines::composable::ComposableConfig;
@@ -20,9 +21,7 @@ use upp_noc::network::Network;
 use upp_noc::ni::ConsumePolicy;
 use upp_noc::sim::System;
 use upp_noc::topology::ChipletSystemSpec;
-use upp_workloads::runner::{
-    presaturation_latency, saturation_throughput, sweep, SchemeKind, SweepPoint,
-};
+use upp_workloads::runner::{presaturation_latency, saturation_throughput, SchemeKind, SweepPoint};
 use upp_workloads::synthetic::{Pattern, SyntheticTraffic};
 
 /// One ablation row.
@@ -49,39 +48,37 @@ fn measure_points(points: &[SweepPoint], study: &str, variant: &str) -> Row {
 
 /// Sweeps a pre-built system constructor over the 1 VC rate grid.
 fn sweep_custom(
-    build: impl Fn(u64) -> System,
+    build: impl Fn(u64) -> System + Sync,
     rates: &[f64],
     w: upp_workloads::runner::SweepWindows,
 ) -> Vec<SweepPoint> {
-    rates
-        .iter()
-        .map(|&rate| {
-            let mut sys = build(SEED);
-            let mut traffic =
-                SyntheticTraffic::new(sys.net().topo(), Pattern::UniformRandom, rate, SEED);
-            for _ in 0..w.warmup {
-                traffic.tick(&mut sys);
-                sys.step();
-            }
-            sys.net_mut().reset_stats();
-            for _ in 0..w.measure {
-                traffic.tick(&mut sys);
-                sys.step();
-            }
-            let stats = sys.net().stats();
-            SweepPoint {
-                rate,
-                net_latency: stats.avg_net_latency(),
-                queue_latency: stats.avg_queue_latency(),
-                total_latency: stats.avg_total_latency(),
-                throughput: stats.throughput(w.measure, sys.net().topo().num_endpoints()),
-                packets_ejected: stats.packets_ejected,
-                upward_packets: 0,
-                control_hops: stats.control_hops,
-                deadlocked: stats.packets_ejected == 0,
-            }
-        })
-        .collect()
+    let build = &build;
+    engine().map(rates, |_, &rate| {
+        let mut sys = build(SEED);
+        let mut traffic =
+            SyntheticTraffic::new(sys.net().topo(), Pattern::UniformRandom, rate, SEED);
+        for _ in 0..w.warmup {
+            traffic.tick(&mut sys);
+            sys.step();
+        }
+        sys.net_mut().reset_stats();
+        for _ in 0..w.measure {
+            traffic.tick(&mut sys);
+            sys.step();
+        }
+        let stats = sys.net().stats();
+        SweepPoint {
+            rate,
+            net_latency: stats.avg_net_latency(),
+            queue_latency: stats.avg_queue_latency(),
+            total_latency: stats.avg_total_latency(),
+            throughput: stats.throughput(w.measure, sys.net().topo().num_endpoints()),
+            packets_ejected: stats.packets_ejected,
+            upward_packets: 0,
+            control_hops: stats.control_hops,
+            deadlocked: stats.packets_ejected == 0,
+        }
+    })
 }
 
 /// Collects all three ablation studies.
@@ -92,7 +89,8 @@ pub fn collect(quick: bool) -> Vec<Row> {
     let mut rows = Vec::new();
 
     // --- Study 1: composable structure ---------------------------------
-    let pts = sweep(
+    let pts = sweep_rates(
+        "ablations",
         &spec,
         &cfg(1),
         &SchemeKind::Composable,
@@ -133,7 +131,8 @@ pub fn collect(quick: bool) -> Vec<Row> {
             "balanced (minimal search)",
         ));
     }
-    let pts = sweep(
+    let pts = sweep_rates(
+        "ablations",
         &spec,
         &cfg(1),
         &SchemeKind::Upp(UppConfig::default()),
@@ -160,7 +159,8 @@ pub fn collect(quick: bool) -> Vec<Row> {
             },
         ),
     ] {
-        let pts = sweep(
+        let pts = sweep_rates(
+            "ablations",
             &spec,
             &cfg(1),
             &SchemeKind::Upp(ucfg),

@@ -3,9 +3,10 @@
 
 use super::{cfg, rates_1vc, rates_4vc, windows, SEED};
 use crate::report::{f3, ExperimentResult, MarkdownTable};
+use crate::sweep::sweep_rates;
 use serde::Serialize;
 use upp_noc::topology::{ChipletSystemSpec, SystemKind};
-use upp_workloads::runner::{presaturation_latency, saturation_throughput, sweep, SchemeKind};
+use upp_workloads::runner::{presaturation_latency, saturation_throughput, SchemeKind};
 use upp_workloads::synthetic::Pattern;
 
 /// One measured configuration.
@@ -41,7 +42,8 @@ pub fn collect(quick: bool) -> Vec<Point> {
                 rates_4vc(quick)
             };
             for kind in SchemeKind::evaluated() {
-                let pts = sweep(
+                let pts = sweep_rates(
+                    &format!("fig10/b{n}"),
                     &spec,
                     &cfg(vcs),
                     &kind,

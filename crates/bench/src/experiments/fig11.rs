@@ -7,10 +7,11 @@
 
 use super::{cfg, rates_1vc, rates_4vc, windows, SEED};
 use crate::report::{f1, f3, ExperimentResult, MarkdownTable};
+use crate::sweep::sweep_rates;
 use serde::Serialize;
 use upp_core::UppConfig;
 use upp_noc::topology::ChipletSystemSpec;
-use upp_workloads::runner::{presaturation_latency, saturation_throughput, sweep, SchemeKind};
+use upp_workloads::runner::{presaturation_latency, saturation_throughput, SchemeKind};
 use upp_workloads::synthetic::Pattern;
 
 /// One (fault count, VC count) series, averaged over fault seeds.
@@ -61,7 +62,8 @@ pub fn collect(quick: bool) -> Vec<Series> {
             let mut presat = 0.0;
             let mut any_deadlock = false;
             for &seed in seeds {
-                let pts = sweep(
+                let pts = sweep_rates(
+                    "fig11",
                     &spec,
                     &cfg(vcs),
                     &kind,

@@ -4,10 +4,11 @@
 
 use super::{cfg, rates_1vc, rates_4vc, windows, SEED};
 use crate::report::{f3, ExperimentResult, MarkdownTable};
+use crate::sweep::sweep_rates;
 use serde::Serialize;
 use upp_core::UppConfig;
 use upp_noc::topology::ChipletSystemSpec;
-use upp_workloads::runner::{saturation_throughput, sweep, SchemeKind, SweepPoint};
+use upp_workloads::runner::{saturation_throughput, SchemeKind, SweepPoint};
 use upp_workloads::synthetic::Pattern;
 
 /// One threshold/VC series.
@@ -40,7 +41,8 @@ pub fn collect(quick: bool) -> Vec<Series> {
         };
         for &th in thresholds {
             let kind = SchemeKind::Upp(UppConfig::with_threshold(th));
-            let pts = sweep(
+            let pts = sweep_rates(
+                "fig13",
                 &spec,
                 &cfg(vcs),
                 &kind,
@@ -128,6 +130,46 @@ mod tests {
                 "{vcs} VC saturation too threshold-sensitive: {sats:?}"
             );
         }
+    }
+
+    /// Fast tier-1 smoke variant of `threshold_has_limited_impact_on_saturation`:
+    /// a reduced grid (2 thresholds, 4 rates, short windows, 1 VC) with a
+    /// loose bound, so gross threshold sensitivity regressions are caught on
+    /// every run while the full statistical version stays nightly-only.
+    #[test]
+    fn threshold_smoke_saturation_within_loose_band() {
+        use upp_workloads::runner::SweepWindows;
+        let spec = ChipletSystemSpec::baseline();
+        let w = SweepWindows {
+            warmup: 500,
+            measure: 3_000,
+        };
+        let rates = [0.02, 0.05, 0.08, 0.11];
+        let mut sats = Vec::new();
+        for th in [20u64, 1000] {
+            let kind = SchemeKind::Upp(UppConfig::with_threshold(th));
+            let pts = sweep_rates(
+                "fig13-smoke",
+                &spec,
+                &cfg(1),
+                &kind,
+                0,
+                Pattern::UniformRandom,
+                &rates,
+                w,
+                SEED,
+            );
+            let sat = saturation_throughput(&pts);
+            assert!(sat > 0.0, "threshold {th} produced no throughput");
+            sats.push(sat);
+        }
+        let (min, max) = sats
+            .iter()
+            .fold((f64::MAX, 0.0f64), |(lo, hi), &s| (lo.min(s), hi.max(s)));
+        assert!(
+            max / min < 2.0,
+            "saturation grossly threshold-sensitive on the smoke grid: {sats:?}"
+        );
     }
 
     #[test]

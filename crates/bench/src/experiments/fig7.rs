@@ -3,11 +3,10 @@
 
 use super::{cfg, rates_1vc, rates_4vc, windows, SEED};
 use crate::report::{f1, f3, spct, ExperimentResult, MarkdownTable};
+use crate::sweep::sweep_rates;
 use serde::Serialize;
 use upp_noc::topology::ChipletSystemSpec;
-use upp_workloads::runner::{
-    presaturation_latency, saturation_throughput, sweep, SchemeKind, SweepPoint,
-};
+use upp_workloads::runner::{presaturation_latency, saturation_throughput, SchemeKind, SweepPoint};
 use upp_workloads::synthetic::Pattern;
 
 /// One latency curve.
@@ -71,7 +70,7 @@ pub fn collect(quick: bool) -> Fig7 {
                 rates_4vc(quick)
             };
             for kind in SchemeKind::evaluated() {
-                let pts = sweep(&spec, &cfg(vcs), &kind, 0, pattern, &rates, w, SEED);
+                let pts = sweep_rates("fig7", &spec, &cfg(vcs), &kind, 0, pattern, &rates, w, SEED);
                 curves.push(Curve {
                     scheme: kind.label().to_string(),
                     vcs,

@@ -7,9 +7,12 @@
 
 use super::{cfg, SEED};
 use crate::report::{f3, ExperimentResult, MarkdownTable};
+use crate::sweep::{engine, FromJsonValue};
 use serde::Serialize;
+use serde_json::Value;
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex, OnceLock};
+use upp_core::UppStats;
 use upp_noc::ni::ConsumePolicy;
 use upp_noc::topology::ChipletSystemSpec;
 use upp_workloads::coherence::run_benchmark;
@@ -43,6 +46,25 @@ pub struct Fig8Run {
     pub upward_packets: u64,
     /// True if the run failed to complete (must never happen).
     pub incomplete: bool,
+}
+
+impl FromJsonValue for Fig8Run {
+    fn from_json_value(v: &Value) -> Option<Fig8Run> {
+        Some(Fig8Run {
+            benchmark: v.get("benchmark")?.as_str()?.to_string(),
+            scheme: v.get("scheme")?.as_str()?.to_string(),
+            vcs: v.get("vcs")?.as_u64()? as usize,
+            cycles: v.get("cycles")?.as_u64()?,
+            packets: v.get("packets")?.as_u64()?,
+            flits: v.get("flits")?.as_u64()?,
+            flit_hops: v.get("flit_hops")?.as_u64()?,
+            bypass_hops: v.get("bypass_hops")?.as_u64()?,
+            control_hops: v.get("control_hops")?.as_u64()?,
+            flits_injected: v.get("flits_injected")?.as_u64()?,
+            upward_packets: v.get("upward_packets")?.as_u64()?,
+            incomplete: matches!(v.get("incomplete")?, Value::Bool(true)),
+        })
+    }
 }
 
 /// The full Fig. 8 dataset.
@@ -87,8 +109,9 @@ fn collect(quick: bool) -> Fig8Data {
     } else {
         benchmarks
     };
-    // Every (vcs, scheme, benchmark) run is an independent simulation; run
-    // them on parallel threads (results stay deterministic per run).
+    // Every (vcs, scheme, benchmark) run is an independent simulation; fan
+    // them out on the sweep engine (results stay deterministic per run and
+    // journal/resume under keys scoped by the full parameter tuple).
     let mut jobs = Vec::new();
     for vcs in [1usize, 4] {
         for kind in SchemeKind::evaluated() {
@@ -97,48 +120,36 @@ fn collect(quick: bool) -> Fig8Data {
             }
         }
     }
-    let runs: Vec<Fig8Run> = std::thread::scope(|s| {
-        let mut out: Vec<Option<Fig8Run>> = vec![None; jobs.len()];
-        let handles: Vec<_> = jobs
-            .iter()
-            .map(|(vcs, kind, bench)| {
-                let spec = &spec;
-                s.spawn(move || {
-                    let mut profile = *bench;
-                    profile.transactions = ((profile.transactions as f64 * scale) as u64).max(10);
-                    let built =
-                        build_system(spec, cfg(*vcs), kind, 0, SEED, ConsumePolicy::External);
-                    let mut sys = built.sys;
-                    let r = run_benchmark(&mut sys, profile, SEED, 20_000_000);
-                    let stats = sys.net().stats();
-                    let upward = built
-                        .upp_stats
-                        .map(|h| h.lock().unwrap().upward_packets)
-                        .unwrap_or(0);
-                    Fig8Run {
-                        benchmark: bench.name.to_string(),
-                        scheme: kind.label().to_string(),
-                        vcs: *vcs,
-                        cycles: r.cycles,
-                        packets: r.packets,
-                        flits: r.flits,
-                        flit_hops: stats.flit_hops,
-                        bypass_hops: stats.bypass_hops,
-                        control_hops: stats.control_hops,
-                        flits_injected: stats.flits_injected,
-                        upward_packets: upward,
-                        incomplete: r.incomplete,
-                    }
-                })
-            })
-            .collect();
-        for (i, h) in handles.into_iter().enumerate() {
-            out[i] = Some(h.join().expect("coherence run panicked"));
-        }
-        out.into_iter()
-            .map(|r| r.expect("all runs joined"))
-            .collect()
-    });
+    let runs: Vec<Fig8Run> = engine().run_keyed(
+        &jobs,
+        |(vcs, kind, bench)| format!("fig8|vcs{vcs}|{kind:?}|{}|x{scale}", bench.name),
+        |(vcs, kind, bench)| {
+            let mut profile = *bench;
+            profile.transactions = ((profile.transactions as f64 * scale) as u64).max(10);
+            let built = build_system(&spec, cfg(*vcs), kind, 0, SEED, ConsumePolicy::External);
+            let mut sys = built.sys;
+            let r = run_benchmark(&mut sys, profile, SEED, 20_000_000);
+            let stats = sys.net().stats();
+            let upward = built
+                .upp_stats
+                .map(|h| UppStats::snapshot(&h).upward_packets)
+                .unwrap_or(0);
+            Fig8Run {
+                benchmark: bench.name.to_string(),
+                scheme: kind.label().to_string(),
+                vcs: *vcs,
+                cycles: r.cycles,
+                packets: r.packets,
+                flits: r.flits,
+                flit_hops: stats.flit_hops,
+                bypass_hops: stats.bypass_hops,
+                control_hops: stats.control_hops,
+                flits_injected: stats.flits_injected,
+                upward_packets: upward,
+                incomplete: r.incomplete,
+            }
+        },
+    );
     let topo = spec.build(SEED).expect("baseline builds");
     let routers = topo.num_nodes();
     let links = topo

@@ -3,11 +3,10 @@
 
 use super::{cfg, rates_1vc, rates_4vc, windows, SEED};
 use crate::report::{f1, f3, spct, ExperimentResult, MarkdownTable};
+use crate::sweep::sweep_rates;
 use serde::Serialize;
 use upp_noc::topology::ChipletSystemSpec;
-use upp_workloads::runner::{
-    presaturation_latency, saturation_throughput, sweep, SchemeKind, SweepPoint,
-};
+use upp_workloads::runner::{presaturation_latency, saturation_throughput, SchemeKind, SweepPoint};
 use upp_workloads::synthetic::Pattern;
 
 /// One Fig. 9 curve.
@@ -37,7 +36,8 @@ pub fn collect(quick: bool) -> Vec<Curve> {
             rates_4vc(quick)
         };
         for kind in SchemeKind::evaluated() {
-            let pts = sweep(
+            let pts = sweep_rates(
+                "fig9",
                 &spec,
                 &cfg(vcs),
                 &kind,

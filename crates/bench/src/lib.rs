@@ -26,6 +26,7 @@
 
 pub mod experiments;
 pub mod report;
+pub mod sweep;
 
 pub use experiments::{run, ALL_IDS};
 pub use report::ExperimentResult;

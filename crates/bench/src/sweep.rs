@@ -1,0 +1,476 @@
+//! The parallel sweep engine: fans any experiment grid out over N worker
+//! threads with work stealing, streams finished points to a JSONL journal,
+//! and resumes interrupted sweeps by skipping already-recorded points.
+//!
+//! Every point carries a stable string key derived from its full parameter
+//! tuple (scheme, system, pattern, faults, seed, windows, rate). Seeds are
+//! per-point and independent of worker scheduling, so results are
+//! bit-identical regardless of the jobs count — the determinism tests in
+//! `tests/determinism.rs` enforce this against committed goldens.
+//!
+//! The engine is plain `std::thread`; no external dependencies.
+
+use serde::Serialize;
+use serde_json::Value;
+use std::collections::{HashMap, VecDeque};
+use std::fs::OpenOptions;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use upp_noc::config::NocConfig;
+use upp_noc::topology::ChipletSystemSpec;
+use upp_workloads::runner::{run_point, SchemeKind, SweepPoint, SweepWindows};
+use upp_workloads::synthetic::Pattern;
+
+// ------------------------------------------------------------ jobs control
+
+/// Process-wide default worker count, set once by the CLI `--jobs` flag.
+static DEFAULT_JOBS: AtomicUsize = AtomicUsize::new(0);
+
+/// Sets the process-wide default worker count (the binaries' `--jobs` flag).
+pub fn set_default_jobs(jobs: usize) {
+    DEFAULT_JOBS.store(jobs.max(1), Ordering::SeqCst);
+}
+
+/// The default worker count: the value set via [`set_default_jobs`], else
+/// the `UPP_JOBS` environment variable, else the machine's available
+/// parallelism.
+pub fn default_jobs() -> usize {
+    let set = DEFAULT_JOBS.load(Ordering::SeqCst);
+    if set > 0 {
+        return set;
+    }
+    if let Ok(v) = std::env::var("UPP_JOBS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+// ---------------------------------------------------------------- journal
+
+/// Results parseable back out of the journal's JSON `Value` tree (the
+/// vendored serde stub has no typed deserialization, so resumable result
+/// types implement this by hand).
+pub trait FromJsonValue: Sized {
+    /// Reconstructs the result from its serialized form; `None` when the
+    /// recorded shape does not match (the point is then re-run).
+    fn from_json_value(v: &Value) -> Option<Self>;
+}
+
+/// A JSONL journal of completed sweep points: one `{"key":…,"data":…}`
+/// object per line, appended (and flushed) as each point finishes.
+pub struct Journal {
+    seen: Mutex<HashMap<String, Value>>,
+    writer: Mutex<BufWriter<std::fs::File>>,
+}
+
+impl Journal {
+    /// Opens (or creates) a journal at `path`. With `resume`, existing
+    /// lines are indexed so matching points can be skipped; without it the
+    /// file is truncated.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err` when the file cannot be opened or read.
+    pub fn open(path: &Path, resume: bool) -> std::io::Result<Journal> {
+        let mut seen = HashMap::new();
+        if resume && path.exists() {
+            let reader = BufReader::new(std::fs::File::open(path)?);
+            for line in reader.lines() {
+                let line = line?;
+                if line.trim().is_empty() {
+                    continue;
+                }
+                // Tolerate truncated trailing lines from a killed run.
+                let Ok(v) = serde_json::from_str(&line) else {
+                    continue;
+                };
+                if let (Some(key), Some(data)) =
+                    (v.get("key").and_then(|k| k.as_str()), v.get("data"))
+                {
+                    seen.insert(key.to_string(), data.clone());
+                }
+            }
+        }
+        let file = OpenOptions::new()
+            .create(true)
+            .append(resume)
+            .truncate(!resume)
+            .write(true)
+            .open(path)?;
+        Ok(Journal {
+            seen: Mutex::new(seen),
+            writer: Mutex::new(BufWriter::new(file)),
+        })
+    }
+
+    /// Number of points indexed from previous runs.
+    pub fn resumed_points(&self) -> usize {
+        self.seen.lock().unwrap().len()
+    }
+
+    fn lookup<R: FromJsonValue>(&self, key: &str) -> Option<R> {
+        let seen = self.seen.lock().unwrap();
+        seen.get(key).and_then(R::from_json_value)
+    }
+
+    fn record<R: Serialize>(&self, key: &str, result: &R) {
+        let data = serde_json::to_string(result).expect("stub serializer is infallible");
+        let key_json =
+            serde_json::to_string(&key.to_string()).expect("stub serializer is infallible");
+        let mut w = self.writer.lock().unwrap();
+        let _ = writeln!(w, "{{\"key\":{key_json},\"data\":{data}}}");
+        let _ = w.flush();
+    }
+}
+
+/// Global journal shared by every [`engine`] instance in the process (wired
+/// up by `repro --journal`).
+static JOURNAL: OnceLock<Mutex<Option<Arc<Journal>>>> = OnceLock::new();
+
+fn journal_slot() -> &'static Mutex<Option<Arc<Journal>>> {
+    JOURNAL.get_or_init(|| Mutex::new(None))
+}
+
+/// Installs (or clears) the process-wide journal. Returns the number of
+/// points indexed for resume.
+///
+/// # Errors
+///
+/// Returns `Err` when the journal file cannot be opened.
+pub fn configure_journal(path: Option<PathBuf>, resume: bool) -> std::io::Result<usize> {
+    let journal = match path {
+        Some(p) => {
+            if let Some(dir) = p.parent() {
+                if !dir.as_os_str().is_empty() {
+                    std::fs::create_dir_all(dir)?;
+                }
+            }
+            Some(Arc::new(Journal::open(&p, resume)?))
+        }
+        None => None,
+    };
+    let resumed = journal.as_ref().map(|j| j.resumed_points()).unwrap_or(0);
+    *journal_slot().lock().unwrap() = journal;
+    Ok(resumed)
+}
+
+// ----------------------------------------------------------------- engine
+
+/// A work-stealing fan-out over N worker threads.
+pub struct SweepEngine {
+    jobs: usize,
+    journal: Option<Arc<Journal>>,
+}
+
+/// The engine with the process-wide jobs count and journal.
+pub fn engine() -> SweepEngine {
+    SweepEngine {
+        jobs: default_jobs(),
+        journal: journal_slot().lock().unwrap().clone(),
+    }
+}
+
+impl SweepEngine {
+    /// An engine with an explicit worker count and no journal.
+    pub fn new(jobs: usize) -> SweepEngine {
+        SweepEngine {
+            jobs: jobs.max(1),
+            journal: None,
+        }
+    }
+
+    /// Attaches a journal to this engine instance.
+    #[must_use]
+    pub fn with_journal(mut self, journal: Arc<Journal>) -> SweepEngine {
+        self.journal = Some(journal);
+        self
+    }
+
+    /// The worker count.
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// Maps `f` over `items` on the worker pool, preserving input order in
+    /// the output.
+    ///
+    /// Each worker owns a deque seeded round-robin; idle workers steal from
+    /// the tail of their peers, so stragglers (long simulation points) do
+    /// not serialize the sweep.
+    ///
+    /// # Panics
+    ///
+    /// Propagates the first worker panic.
+    pub fn map<I, R, F>(&self, items: &[I], f: F) -> Vec<R>
+    where
+        I: Sync,
+        R: Send,
+        F: Fn(usize, &I) -> R + Sync,
+    {
+        let n = items.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let workers = self.jobs.min(n);
+        if workers == 1 {
+            return items.iter().enumerate().map(|(i, it)| f(i, it)).collect();
+        }
+        let queues: Vec<Mutex<VecDeque<usize>>> = (0..workers)
+            .map(|w| Mutex::new((w..n).step_by(workers).collect()))
+            .collect();
+        let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|s| {
+            for w in 0..workers {
+                let queues = &queues;
+                let results = &results;
+                let f = &f;
+                s.spawn(move || loop {
+                    let next = queues[w].lock().unwrap().pop_front().or_else(|| {
+                        // Steal from the back of the first non-empty peer.
+                        (1..workers)
+                            .find_map(|off| queues[(w + off) % workers].lock().unwrap().pop_back())
+                    });
+                    let Some(i) = next else { break };
+                    let r = f(i, &items[i]);
+                    *results[i].lock().unwrap() = Some(r);
+                });
+            }
+        });
+        results
+            .into_iter()
+            .map(|m| {
+                m.into_inner()
+                    .expect("no worker panicked")
+                    .expect("every queued job completed")
+            })
+            .collect()
+    }
+
+    /// Keyed fan-out with journal streaming and resume: points whose key is
+    /// already recorded are restored from the journal instead of re-run;
+    /// fresh results are appended to the journal as they complete.
+    pub fn run_keyed<P, R, K, F>(&self, points: &[P], key: K, f: F) -> Vec<R>
+    where
+        P: Sync,
+        R: Serialize + FromJsonValue + Send,
+        K: Fn(&P) -> String,
+        F: Fn(&P) -> R + Sync,
+    {
+        let keys: Vec<String> = points.iter().map(&key).collect();
+        let mut out: Vec<Option<R>> = keys
+            .iter()
+            .map(|k| self.journal.as_ref().and_then(|j| j.lookup(k)))
+            .collect();
+        let missing: Vec<usize> = (0..points.len()).filter(|&i| out[i].is_none()).collect();
+        let fresh = self.map(&missing, |_, &i| {
+            let r = f(&points[i]);
+            if let Some(j) = &self.journal {
+                j.record(&keys[i], &r);
+            }
+            r
+        });
+        for (&i, r) in missing.iter().zip(fresh) {
+            out[i] = Some(r);
+        }
+        out.into_iter()
+            .map(|r| r.expect("every point computed or restored"))
+            .collect()
+    }
+}
+
+// ------------------------------------------------ experiment-facing sweeps
+
+impl FromJsonValue for SweepPoint {
+    fn from_json_value(v: &Value) -> Option<SweepPoint> {
+        Some(SweepPoint {
+            rate: v.get("rate")?.as_f64()?,
+            net_latency: v.get("net_latency")?.as_f64()?,
+            queue_latency: v.get("queue_latency")?.as_f64()?,
+            total_latency: v.get("total_latency")?.as_f64()?,
+            throughput: v.get("throughput")?.as_f64()?,
+            packets_ejected: v.get("packets_ejected")?.as_u64()?,
+            upward_packets: v.get("upward_packets")?.as_u64()?,
+            control_hops: v.get("control_hops")?.as_u64()?,
+            deadlocked: matches!(v.get("deadlocked")?, Value::Bool(true)),
+        })
+    }
+}
+
+/// Stable journal key for one `(tag, cfg, kind, faults, pattern, windows,
+/// seed, rate)` point.
+#[allow(clippy::too_many_arguments)]
+pub fn point_key(
+    tag: &str,
+    cfg: &NocConfig,
+    kind: &SchemeKind,
+    faults: usize,
+    pattern: Pattern,
+    windows: SweepWindows,
+    seed: u64,
+    rate: f64,
+) -> String {
+    format!(
+        "{tag}|vcs{}|{:?}|f{faults}|{}|w{}+{}|s{seed}|r{rate}",
+        cfg.vcs_per_vnet,
+        kind,
+        pattern.label(),
+        windows.warmup,
+        windows.measure
+    )
+}
+
+/// Runs a full latency-vs-injection sweep on the engine: the parallel,
+/// journaled replacement for `upp_workloads::runner::sweep`. `tag` scopes
+/// the journal keys (experiment id plus any parameters not captured by the
+/// other arguments, e.g. `"fig10/b2"`).
+#[allow(clippy::too_many_arguments)]
+pub fn sweep_rates(
+    tag: &str,
+    spec: &ChipletSystemSpec,
+    cfg: &NocConfig,
+    kind: &SchemeKind,
+    faults: usize,
+    pattern: Pattern,
+    rates: &[f64],
+    windows: SweepWindows,
+    seed: u64,
+) -> Vec<SweepPoint> {
+    engine().run_keyed(
+        rates,
+        |&rate| point_key(tag, cfg, kind, faults, pattern, windows, seed, rate),
+        |&rate| run_point(spec, cfg, kind, faults, pattern, rate, windows, seed),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_preserves_order_and_runs_everything() {
+        let items: Vec<u64> = (0..37).collect();
+        for jobs in [1, 3, 8] {
+            let out = SweepEngine::new(jobs).map(&items, |i, &x| {
+                assert_eq!(i as u64, x);
+                x * x
+            });
+            assert_eq!(out, items.iter().map(|x| x * x).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn map_results_are_jobs_independent() {
+        let items: Vec<u64> = (0..16).collect();
+        let work = |_: usize, &x: &u64| {
+            // Deterministic per-item pseudo-work.
+            let mut h = x.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            for _ in 0..100 {
+                h = h.rotate_left(7) ^ 0xABCD;
+            }
+            h
+        };
+        let serial = SweepEngine::new(1).map(&items, work);
+        let parallel = SweepEngine::new(4).map(&items, work);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn workers_steal_from_stragglers() {
+        // One item is much slower than the rest; with 2 workers the fast
+        // worker must steal the slow worker's backlog. We can't assert
+        // timing, but we can assert completion and order with a skewed
+        // distribution.
+        let items: Vec<u64> = (0..9).collect();
+        let out = SweepEngine::new(2).map(&items, |_, &x| {
+            if x == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(30));
+            }
+            x + 1
+        });
+        assert_eq!(out, (1..=9).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn journal_resume_skips_recorded_points() {
+        #[derive(Serialize, PartialEq, Debug)]
+        struct R {
+            v: u64,
+        }
+        impl FromJsonValue for R {
+            fn from_json_value(val: &Value) -> Option<R> {
+                Some(R {
+                    v: val.get("v")?.as_u64()?,
+                })
+            }
+        }
+        let dir = std::env::temp_dir().join(format!("upp-sweep-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("journal.jsonl");
+        let _ = std::fs::remove_file(&path);
+
+        let runs = AtomicUsize::new(0);
+        let compute = |p: &u64| {
+            runs.fetch_add(1, Ordering::SeqCst);
+            R { v: p * 10 }
+        };
+        let keyf = |p: &u64| format!("k{p}");
+
+        // First run: 3 points, all computed.
+        let j = Arc::new(Journal::open(&path, true).unwrap());
+        let eng = SweepEngine::new(2).with_journal(j);
+        let out = eng.run_keyed(&[1u64, 2, 3], keyf, compute);
+        assert_eq!(out, vec![R { v: 10 }, R { v: 20 }, R { v: 30 }]);
+        assert_eq!(runs.load(Ordering::SeqCst), 3);
+
+        // Second run: 5 points, only the 2 new ones computed, order kept.
+        let j = Arc::new(Journal::open(&path, true).unwrap());
+        assert_eq!(j.resumed_points(), 3);
+        let eng = SweepEngine::new(2).with_journal(j);
+        let out = eng.run_keyed(&[1u64, 4, 2, 5, 3], keyf, compute);
+        assert_eq!(
+            out,
+            vec![
+                R { v: 10 },
+                R { v: 40 },
+                R { v: 20 },
+                R { v: 50 },
+                R { v: 30 }
+            ]
+        );
+        assert_eq!(runs.load(Ordering::SeqCst), 5, "1/2/3 restored, 4/5 run");
+
+        // Opening without resume truncates.
+        let j = Journal::open(&path, false).unwrap();
+        assert_eq!(j.resumed_points(), 0);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn sweep_point_round_trips_through_journal_encoding() {
+        let p = SweepPoint {
+            rate: 0.06,
+            net_latency: 23.5,
+            queue_latency: 1.25,
+            total_latency: 24.75,
+            throughput: 0.0597,
+            packets_ejected: 1234,
+            upward_packets: 7,
+            control_hops: 99,
+            deadlocked: false,
+        };
+        let v = serde_json::to_value(p).unwrap();
+        let back = SweepPoint::from_json_value(&v).unwrap();
+        assert_eq!(
+            serde_json::to_string(&back).unwrap(),
+            serde_json::to_string(&p).unwrap()
+        );
+    }
+}

@@ -91,6 +91,15 @@ pub struct UppStats {
 }
 
 impl UppStats {
+    /// Reads a consistent copy out of a shared handle. Tolerates a poisoned
+    /// mutex (a panicked sweep worker must not cascade into every thread
+    /// that later reads the same counters).
+    pub fn snapshot(handle: &UppStatsHandle) -> UppStats {
+        *handle
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
     /// Mean cycles from detection to delivered popup.
     pub fn avg_recovery_latency(&self) -> f64 {
         if self.popups_completed == 0 {

@@ -121,6 +121,9 @@ impl NocConfig {
         if self.link_latency == 0 {
             return Err("link_latency must be at least 1 cycle".into());
         }
+        if self.credit_latency == 0 {
+            return Err("credit_latency must be at least 1 cycle".into());
+        }
         if self.ejection_queue_entries == 0 || self.injection_queue_entries == 0 {
             return Err("NI queues must hold at least 1 packet".into());
         }

@@ -11,8 +11,60 @@ use crate::routing::{GlobalCdg, GlobalChannel, RouteComputer};
 use crate::stats::{NetStats, PacketRecord, PacketTracker};
 use crate::topology::Topology;
 use crate::trace::{StallReport, TraceEvent, Tracer, VcHold, WedgedPacket};
-use std::collections::BTreeMap;
 use std::sync::Arc;
+
+/// A ring-buffer event calendar.
+///
+/// Every event is staged at most `lookahead = max(1 + link_latency,
+/// credit_latency)` cycles into the future (and always strictly after
+/// `now`), so `lookahead + 1` slots indexed by `cycle % slots.len()` can
+/// never collide. Draining a cycle recycles its slot `Vec`, making the
+/// steady-state schedule allocation-free where the former
+/// `BTreeMap<Cycle, Vec<Event>>` allocated tree nodes and fresh vectors
+/// every cycle on the hot path.
+struct EventCalendar {
+    slots: Vec<Vec<Event>>,
+}
+
+impl EventCalendar {
+    fn new(cfg: &NocConfig) -> Self {
+        let lookahead = (1 + cfg.link_latency).max(cfg.credit_latency);
+        EventCalendar {
+            slots: (0..=lookahead).map(|_| Vec::new()).collect(),
+        }
+    }
+
+    #[inline]
+    fn slot(&self, at: Cycle) -> usize {
+        (at % self.slots.len() as Cycle) as usize
+    }
+
+    #[inline]
+    fn push(&mut self, now: Cycle, at: Cycle, ev: Event) {
+        debug_assert!(at > now, "events must be staged into the future");
+        debug_assert!(
+            at - now < self.slots.len() as Cycle,
+            "event staged beyond the calendar horizon"
+        );
+        let idx = self.slot(at);
+        self.slots[idx].push(ev);
+    }
+
+    /// Removes the events due at `now`; hand the drained `Vec` back through
+    /// [`EventCalendar::recycle`] to reuse its capacity.
+    fn take(&mut self, now: Cycle) -> Vec<Event> {
+        let idx = self.slot(now);
+        std::mem::take(&mut self.slots[idx])
+    }
+
+    fn recycle(&mut self, now: Cycle, mut events: Vec<Event>) {
+        events.clear();
+        let idx = self.slot(now);
+        if self.slots[idx].is_empty() {
+            self.slots[idx] = events;
+        }
+    }
+}
 
 /// A candidate *upward packet*: an input VC of an interposer router holding a
 /// packet stalled while attempting to move up the vertical link (Sec. V-A).
@@ -46,7 +98,10 @@ pub struct Network {
     routers: Vec<Router>,
     nis: Vec<Ni>,
     cycle: Cycle,
-    calendar: BTreeMap<Cycle, Vec<Event>>,
+    calendar: EventCalendar,
+    /// Reusable staging buffer for `(arrival, event)` pairs emitted during a
+    /// cycle phase; drained into the calendar at the end of each phase.
+    emit_scratch: Vec<(Cycle, Event)>,
     stats: NetStats,
     tracker: PacketTracker,
     tracer: Tracer,
@@ -88,6 +143,7 @@ impl Network {
             .map(|n| Ni::new(n.id, &cfg, consume))
             .collect();
         let stats = NetStats::new(cfg.num_vnets);
+        let calendar = EventCalendar::new(&cfg);
         Self {
             cfg,
             topo,
@@ -95,7 +151,8 @@ impl Network {
             routers,
             nis,
             cycle: 0,
-            calendar: BTreeMap::new(),
+            calendar,
+            emit_scratch: Vec::new(),
             stats,
             tracker: PacketTracker::new(),
             tracer: Tracer::disabled(),
@@ -320,13 +377,14 @@ impl Network {
             routers,
             nis,
             calendar,
+            emit_scratch,
             stats,
             tracker,
             tracer,
             cycle,
             ..
         } = self;
-        let mut emit = Vec::new();
+        let mut emit = std::mem::take(emit_scratch);
         let flit = {
             let mut ctx = RouterCtx {
                 cfg,
@@ -341,9 +399,10 @@ impl Network {
             };
             routers[node.index()].pop_bypass_flit(&mut ctx, in_port, vc_flat, out_port)
         };
-        for (at, ev) in emit {
-            calendar.entry(at).or_default().push(ev);
+        for (at, ev) in emit.drain(..) {
+            calendar.push(*cycle, at, ev);
         }
+        *emit_scratch = emit;
         flit
     }
 
@@ -501,7 +560,7 @@ impl Network {
     /// Phase 1 of a cycle: delivers everything scheduled to arrive now.
     /// Schemes observe post-arrival state in their `pre_cycle` hook.
     pub fn begin_cycle(&mut self) {
-        let events = self.calendar.remove(&self.cycle).unwrap_or_default();
+        let mut events = self.calendar.take(self.cycle);
         let Network {
             cfg,
             topo,
@@ -513,10 +572,11 @@ impl Network {
             tracer,
             cycle,
             calendar,
+            emit_scratch,
             ..
         } = self;
-        let mut emit: Vec<(Cycle, Event)> = Vec::new();
-        for ev in events {
+        let mut emit = std::mem::take(emit_scratch);
+        for ev in events.drain(..) {
             match ev {
                 Event::FlitArrive {
                     node,
@@ -584,9 +644,11 @@ impl Network {
                 }
             }
         }
-        for (at, ev) in emit {
-            calendar.entry(at).or_default().push(ev);
+        for (at, ev) in emit.drain(..) {
+            calendar.push(*cycle, at, ev);
         }
+        *emit_scratch = emit;
+        calendar.recycle(*cycle, events);
     }
 
     /// Phase 2 of a cycle: NI injection, router allocation/commit, PE
@@ -603,9 +665,10 @@ impl Network {
             tracer,
             cycle,
             calendar,
+            emit_scratch,
             ..
         } = self;
-        let mut emit: Vec<(Cycle, Event)> = Vec::new();
+        let mut emit = std::mem::take(emit_scratch);
         let now = *cycle;
 
         // NI injection: one flit per NI per cycle onto the Local input port.
@@ -658,10 +721,10 @@ impl Network {
             ni.consume_step(now);
         }
 
-        for (at, ev) in emit {
-            debug_assert!(at > now, "events must be staged into the future");
-            calendar.entry(at).or_default().push(ev);
+        for (at, ev) in emit.drain(..) {
+            calendar.push(now, at, ev);
         }
+        *emit_scratch = emit;
         *cycle += 1;
     }
 

@@ -110,6 +110,9 @@ pub struct Ni {
     inj_capacity: usize,
     inj_queues: Vec<VecDeque<PendingPacket>>,
     active: Vec<Option<ActiveInjection>>,
+    /// Queued packets plus in-flight injections across all VNets; lets
+    /// `inject_step` skip the VNet scan entirely on idle NIs.
+    backlog: usize,
     /// Credits/ownership toward the router's Local input VCs, flat-indexed.
     out_vcs: Vec<OutVcState>,
     rr_vnet: usize,
@@ -142,6 +145,7 @@ impl Ni {
             inj_capacity: cfg.injection_queue_entries,
             inj_queues: vec![VecDeque::new(); cfg.num_vnets],
             active: vec![None; cfg.num_vnets],
+            backlog: 0,
             out_vcs: vec![OutVcState::new(cfg.vc_buffer_depth); vcs],
             rr_vnet: 0,
             assembly: HashMap::new(),
@@ -184,6 +188,7 @@ impl Ni {
             route,
             permit: PermitState::NotNeeded,
         });
+        self.backlog += 1;
         Ok(())
     }
 
@@ -217,6 +222,9 @@ impl Ni {
         vcs_per_vnet: usize,
         vct: bool,
     ) -> Option<(Flit, usize)> {
+        if self.backlog == 0 {
+            return None;
+        }
         // Round-robin across VNets: continue an active injection or start a
         // new one.
         for off in 0..self.num_vnets {
@@ -239,6 +247,7 @@ impl Ni {
                 self.out_vcs[vcf].credits -= 1;
                 if flit.kind.is_tail() {
                     self.active[v] = None;
+                    self.backlog -= 1;
                 }
                 self.rr_vnet = (v + 1) % self.num_vnets;
                 return Some((flit, vcf));
@@ -278,6 +287,8 @@ impl Ni {
                     vc_flat: vcf,
                     next_seq: 1,
                 });
+            } else {
+                self.backlog -= 1;
             }
             self.rr_vnet = (v + 1) % self.num_vnets;
             return Some((flit, vcf));

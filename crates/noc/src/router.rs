@@ -186,11 +186,14 @@ pub struct Router {
     node: NodeId,
     vcs_per_vnet: usize,
     num_vnets: usize,
-    /// `[port][flat vc]` input VCs (empty vec for absent ports, except Local
-    /// which always exists).
-    in_vcs: Vec<Vec<InputVc>>,
-    /// `[port][flat vc]` downstream credit/ownership mirrors.
-    out_vcs: Vec<Vec<OutVcState>>,
+    /// Flat `port x vc` input VCs, indexed `p.index() * vcs_per_port + vc`.
+    /// Absent ports keep (never-touched) default slots; `has_link` gates
+    /// every access. The flat layout keeps the per-cycle switch-allocation
+    /// scans on one contiguous allocation.
+    in_vcs: Vec<InputVc>,
+    /// Flat `port x vc` downstream credit/ownership mirrors (same indexing).
+    out_vcs: Vec<OutVcState>,
+    vcs_per_port: usize,
     has_link: [bool; Port::COUNT],
     /// True when this router's `Local`-like sinks (Local out, or Up out when
     /// the neighbour absorbs) never exert VC backpressure.
@@ -231,30 +234,21 @@ impl Router {
                 has_link[p.index()] = true;
             }
         }
-        let mut in_vcs = Vec::with_capacity(Port::COUNT);
-        let mut out_vcs = Vec::with_capacity(Port::COUNT);
+        let in_vcs = vec![InputVc::default(); Port::COUNT * vcs];
+        let mut out_vcs = vec![OutVcState::new(cfg.vc_buffer_depth); Port::COUNT * vcs];
+        for f in 0..vcs {
+            // Local ejection never exerts VC backpressure.
+            out_vcs[Port::Local.index() * vcs + f] = OutVcState::new(usize::MAX / 2);
+        }
         let mut infinite_sink = [false; Port::COUNT];
         infinite_sink[Port::Local.index()] = true;
-        for p in Port::ALL {
-            if has_link[p.index()] {
-                in_vcs.push(vec![InputVc::default(); vcs]);
-                let depth = if p == Port::Local {
-                    usize::MAX / 2
-                } else {
-                    cfg.vc_buffer_depth
-                };
-                out_vcs.push(vec![OutVcState::new(depth); vcs]);
-            } else {
-                in_vcs.push(Vec::new());
-                out_vcs.push(Vec::new());
-            }
-        }
         Self {
             node,
             vcs_per_vnet: cfg.vcs_per_vnet,
             num_vnets: cfg.num_vnets,
             in_vcs,
             out_vcs,
+            vcs_per_port: vcs,
             has_link,
             infinite_sink,
             req_buf: VecDeque::new(),
@@ -287,8 +281,10 @@ impl Router {
     /// neighbour runs an absorber.
     pub fn set_infinite_sink(&mut self, p: Port) {
         self.infinite_sink[p.index()] = true;
-        let vcs = self.out_vcs[p.index()].len();
-        self.out_vcs[p.index()] = vec![OutVcState::new(usize::MAX / 2); vcs];
+        let base = p.index() * self.vcs_per_port;
+        for s in &mut self.out_vcs[base..base + self.vcs_per_port] {
+            *s = OutVcState::new(usize::MAX / 2);
+        }
     }
 
     /// The absorber, if installed.
@@ -307,12 +303,12 @@ impl Router {
     ///
     /// Panics if the port has no link.
     pub fn input_vc(&self, p: Port, vc_flat: usize) -> &InputVc {
-        &self.in_vcs[p.index()][vc_flat]
+        &self.in_vcs[p.index() * self.vcs_per_port + vc_flat]
     }
 
     /// Downstream credit mirror for an output VC.
     pub fn output_vc(&self, p: Port, vc_flat: usize) -> &OutVcState {
-        &self.out_vcs[p.index()][vc_flat]
+        &self.out_vcs[p.index() * self.vcs_per_port + vc_flat]
     }
 
     /// True when the router has a link on `p`.
@@ -358,7 +354,7 @@ impl Router {
     /// Freezes or unfreezes an input VC (frozen VCs skip switch allocation;
     /// UPP freezes the VC it pops flits from).
     pub fn set_vc_frozen(&mut self, p: Port, vc_flat: usize, frozen: bool) {
-        self.in_vcs[p.index()][vc_flat].frozen = frozen;
+        self.in_vcs[p.index() * self.vcs_per_port + vc_flat].frozen = frozen;
     }
 
     /// Upward flits currently waiting in the bypass latch.
@@ -416,7 +412,7 @@ impl Router {
                 return;
             }
         }
-        let vc = &mut self.in_vcs[in_port.index()][vc_flat];
+        let vc = &mut self.in_vcs[in_port.index() * self.vcs_per_port + vc_flat];
         if flit.kind.is_head() {
             debug_assert!(
                 vc.owner.is_none(),
@@ -439,8 +435,8 @@ impl Router {
     fn deliver_upward(&mut self, ctx: &mut RouterCtx<'_>, in_port: Port, flit: Flit) {
         // Rejoin rule: if this packet still owns an input VC here with
         // buffered flits, append behind them so flits cannot overtake.
-        for p in Port::ALL {
-            for vc in &mut self.in_vcs[p.index()] {
+        {
+            for vc in &mut self.in_vcs {
                 if vc.owner == Some(flit.packet) && !vc.buf.is_empty() {
                     let mut f = flit;
                     f.upward = false;
@@ -473,7 +469,7 @@ impl Router {
 
     /// Handles a returning credit.
     pub(crate) fn deliver_credit(&mut self, out_port: Port, vc_flat: usize, is_free: bool) {
-        let vc = &mut self.out_vcs[out_port.index()][vc_flat];
+        let vc = &mut self.out_vcs[out_port.index() * self.vcs_per_port + vc_flat];
         vc.credits += 1;
         if is_free {
             vc.busy = false;
@@ -514,14 +510,16 @@ impl Router {
         claimed_out: &mut [bool; Port::COUNT],
         claimed_in: &mut [bool; Port::COUNT],
     ) {
-        let mut remaining = VecDeque::new();
-        while let Some(b) = self.bypass.pop_front() {
+        // In-place retain (instead of draining into a fresh queue) keeps the
+        // per-cycle hot path allocation-free; `self.bypass` is moved out so
+        // the closure can borrow the rest of `self` mutably.
+        let mut bypass = std::mem::take(&mut self.bypass);
+        bypass.retain(|b| {
             let eligible = b.arrived < ctx.now
                 && !claimed_out[b.out_port.index()]
                 && !claimed_in[b.in_port.index()];
             if !eligible {
-                remaining.push_back(b);
-                continue;
+                return true;
             }
             claimed_out[b.out_port.index()] = true;
             claimed_in[b.in_port.index()] = true;
@@ -563,8 +561,9 @@ impl Router {
                     },
                 ));
             }
-        }
-        self.bypass = remaining;
+            false
+        });
+        self.bypass = bypass;
     }
 
     /// Control messages: priority over normal flits, one req-like and one
@@ -716,8 +715,11 @@ impl Router {
             priority: bool,
         }
 
-        // Phase 1: one candidate per input port.
-        let mut bids: Vec<Bid> = Vec::new();
+        // Phase 1: one candidate per input port. At most one bid can exist
+        // per input (the absorber bids as `Down`, which is excluded as a
+        // crossbar input whenever an absorber is installed), so a fixed
+        // port-indexed array replaces the former per-cycle `Vec`.
+        let mut bids: [Option<Bid>; Port::COUNT] = [None; Port::COUNT];
         for p in Port::ALL {
             if claimed_in[p.index()] || !self.has_link[p.index()] {
                 continue;
@@ -725,11 +727,8 @@ impl Router {
             if p == Port::Down && self.absorber.is_some() {
                 continue; // Down arrivals are absorbed, not crossbar inputs.
             }
-            let vcs = &self.in_vcs[p.index()];
-            let n = vcs.len();
-            if n == 0 {
-                continue;
-            }
+            let n = self.vcs_per_port;
+            let base = p.index() * n;
             let start = self.rr_in[p.index()] % n;
             let mut chosen: Option<(usize, bool)> = None;
             for off in 0..n {
@@ -751,7 +750,7 @@ impl Router {
                     continue;
                 }
                 let prio = self.priority_packets.contains(
-                    &vcs[f]
+                    &self.in_vcs[base + f]
                         .buf
                         .front()
                         .expect("request implies head flit")
@@ -769,7 +768,7 @@ impl Router {
             }
             if let Some((f, prio)) = chosen {
                 let out = self.request_out_port(p, f);
-                bids.push(Bid {
+                bids[p.index()] = Some(Bid {
                     in_port: p,
                     vc_flat: f,
                     out_port: out,
@@ -780,7 +779,7 @@ impl Router {
         // Absorber re-injection bids on the Down "input".
         if self.absorber.is_some() && !claimed_in[Port::Down.index()] {
             if let Some((slot, out)) = self.absorber_request(ctx) {
-                bids.push(Bid {
+                bids[Port::Down.index()] = Some(Bid {
                     in_port: Port::Down,
                     vc_flat: usize::MAX - slot,
                     out_port: out,
@@ -789,29 +788,43 @@ impl Router {
             }
         }
 
-        // Phase 2: one winner per output port.
-        let mut winners: Vec<(Port, usize)> = Vec::new();
+        // Phase 2: one winner per output port. Scanning the bid array in
+        // port-index order yields the contenders already sorted by input
+        // port, so priority-first / round-robin arbitration matches the old
+        // sorted-`Vec` behaviour without allocating.
+        let mut winners: [Option<usize>; Port::COUNT] = [None; Port::COUNT];
         for out in Port::ALL {
             if claimed_out[out.index()] {
                 continue;
             }
-            let mut contenders: Vec<&Bid> = bids.iter().filter(|b| b.out_port == out).collect();
-            if contenders.is_empty() {
+            let mut contenders: [Option<&Bid>; Port::COUNT] = [None; Port::COUNT];
+            let mut n_cont = 0usize;
+            let mut priority_winner: Option<&Bid> = None;
+            for b in bids.iter().flatten() {
+                if b.out_port != out {
+                    continue;
+                }
+                contenders[n_cont] = Some(b);
+                n_cont += 1;
+                if b.priority && priority_winner.is_none() {
+                    priority_winner = Some(b);
+                }
+            }
+            if n_cont == 0 {
                 continue;
             }
-            contenders.sort_by_key(|b| b.in_port.index());
-            let winner = if let Some(pb) = contenders.iter().find(|b| b.priority) {
-                **pb
+            let winner = if let Some(pb) = priority_winner {
+                *pb
             } else {
-                let start = self.rr_out[out.index()] % contenders.len();
-                *contenders[start]
+                let start = self.rr_out[out.index()] % n_cont;
+                *contenders[start].expect("contender count covers the prefix")
             };
             claimed_out[out.index()] = true;
             claimed_in[winner.in_port.index()] = true;
             self.rr_out[out.index()] = self.rr_out[out.index()].wrapping_add(1);
             self.rr_in[winner.in_port.index()] = self.rr_in[winner.in_port.index()].wrapping_add(1);
             if ctx.tracer.enabled() {
-                winners.push((winner.in_port, winner.vc_flat));
+                winners[winner.in_port.index()] = Some(winner.vc_flat);
             }
             if winner.vc_flat > usize::MAX / 2 {
                 let slot = usize::MAX - winner.vc_flat;
@@ -822,11 +835,15 @@ impl Router {
         }
         // Bids that did not win this cycle stalled on switch allocation.
         if ctx.tracer.enabled() {
-            for b in bids.iter().filter(|b| b.vc_flat <= usize::MAX / 2) {
-                if winners.contains(&(b.in_port, b.vc_flat)) {
+            for b in bids
+                .iter()
+                .flatten()
+                .filter(|b| b.vc_flat <= usize::MAX / 2)
+            {
+                if winners[b.in_port.index()] == Some(b.vc_flat) {
                     continue;
                 }
-                let packet = self.in_vcs[b.in_port.index()][b.vc_flat]
+                let packet = self.in_vcs[b.in_port.index() * self.vcs_per_port + b.vc_flat]
                     .buf
                     .front()
                     .expect("losing bid still holds its flit")
@@ -855,7 +872,7 @@ impl Router {
         f: usize,
         ctx: &RouterCtx<'_>,
     ) -> Option<(PacketId, Option<Port>, BlockReason)> {
-        let vc = &self.in_vcs[p.index()][f];
+        let vc = &self.in_vcs[p.index() * self.vcs_per_port + f];
         if vc.frozen {
             return None;
         }
@@ -868,7 +885,7 @@ impl Router {
             return None;
         }
         match vc.out_vc {
-            Some(ovc) if self.out_vcs[out.index()][ovc].credits == 0 => {
+            Some(ovc) if self.out_vcs[out.index() * self.vcs_per_port + ovc].credits == 0 => {
                 Some((head.flit.packet, Some(out), BlockReason::Credit))
             }
             None => {
@@ -885,7 +902,7 @@ impl Router {
 
     /// Whether input VC `(p, f)` can bid this cycle; `Some(())` when it can.
     fn vc_request(&self, p: Port, f: usize, ctx: &RouterCtx<'_>) -> Option<()> {
-        let vc = &self.in_vcs[p.index()][f];
+        let vc = &self.in_vcs[p.index() * self.vcs_per_port + f];
         if vc.frozen {
             return None;
         }
@@ -899,7 +916,7 @@ impl Router {
         }
         match vc.out_vc {
             Some(ovc) => {
-                if self.out_vcs[out.index()][ovc].credits == 0 {
+                if self.out_vcs[out.index() * self.vcs_per_port + ovc].credits == 0 {
                     return None;
                 }
             }
@@ -928,7 +945,7 @@ impl Router {
     }
 
     fn request_out_port(&self, p: Port, f: usize) -> Port {
-        self.in_vcs[p.index()][f]
+        self.in_vcs[p.index() * self.vcs_per_port + f]
             .route_out
             .expect("bidding VC has a route")
     }
@@ -945,38 +962,46 @@ impl Router {
         }
         let base = vnet.index() * self.vcs_per_vnet;
         (base..base + self.vcs_per_vnet).any(|ovc| {
-            let s = &self.out_vcs[out.index()][ovc];
+            let s = &self.out_vcs[out.index() * self.vcs_per_port + ovc];
             (!s.busy || self.infinite_sink[out.index()]) && s.credits >= need
         })
     }
 
     fn pick_out_vc(&mut self, out: Port, vnet: VnetId, need: usize) -> usize {
         let base = vnet.index() * self.vcs_per_vnet;
-        let candidates: Vec<usize> = (base..base + self.vcs_per_vnet)
-            .filter(|&ovc| {
-                let s = &self.out_vcs[out.index()][ovc];
-                (!s.busy || self.infinite_sink[out.index()]) && s.credits >= need
-            })
-            .collect();
-        debug_assert!(!candidates.is_empty());
+        let free = |ovc: usize| {
+            let s = &self.out_vcs[out.index() * self.vcs_per_port + ovc];
+            (!s.busy || self.infinite_sink[out.index()]) && s.credits >= need
+        };
+        let n = (base..base + self.vcs_per_vnet)
+            .filter(|&ovc| free(ovc))
+            .count();
+        debug_assert!(n > 0);
         // VC selection picks randomly among free VCs (Sec. V-B2 / Fig. 5).
-        candidates[self.rng.gen_range(0..candidates.len())]
+        // Counting then re-scanning for the k-th candidate draws exactly the
+        // same single `gen_range(0..n)` the collected-`Vec` version did, so
+        // RNG streams (and therefore simulations) stay bit-identical.
+        let k = self.rng.gen_range(0..n);
+        (base..base + self.vcs_per_vnet)
+            .filter(|&ovc| free(ovc))
+            .nth(k)
+            .expect("k < candidate count")
     }
 
     fn commit_normal(&mut self, ctx: &mut RouterCtx<'_>, in_port: Port, f: usize, out: Port) {
         let (flit, needs_alloc) = {
-            let vc = &mut self.in_vcs[in_port.index()][f];
+            let vc = &mut self.in_vcs[in_port.index() * self.vcs_per_port + f];
             let b = vc.buf.pop_front().expect("winner has a head flit");
             (b.flit, vc.out_vc.is_none())
         };
         let ovc = if needs_alloc {
             let need = Self::alloc_credits_needed(ctx, &flit);
             let ovc = self.pick_out_vc(out, flit.vnet, need);
-            self.out_vcs[out.index()][ovc].busy = true;
+            self.out_vcs[out.index() * self.vcs_per_port + ovc].busy = true;
             if out == Port::Local {
                 ctx.ni.claim_entry(flit.vnet);
             }
-            self.in_vcs[in_port.index()][f].out_vc = Some(ovc);
+            self.in_vcs[in_port.index() * self.vcs_per_port + f].out_vc = Some(ovc);
             if ctx.tracer.enabled() {
                 ctx.tracer.record(TraceEvent::VcAllocated {
                     at: ctx.now,
@@ -990,9 +1015,11 @@ impl Router {
             }
             ovc
         } else {
-            self.in_vcs[in_port.index()][f].out_vc.expect("allocated")
+            self.in_vcs[in_port.index() * self.vcs_per_port + f]
+                .out_vc
+                .expect("allocated")
         };
-        self.out_vcs[out.index()][ovc].credits -= 1;
+        self.out_vcs[out.index() * self.vcs_per_port + ovc].credits -= 1;
 
         // Credit back upstream.
         let credit_at = ctx.now + ctx.cfg.credit_latency;
@@ -1024,7 +1051,7 @@ impl Router {
         }
 
         if is_tail {
-            let vc = &mut self.in_vcs[in_port.index()][f];
+            let vc = &mut self.in_vcs[in_port.index() * self.vcs_per_port + f];
             vc.owner = None;
             vc.route_out = None;
             vc.out_vc = None;
@@ -1056,7 +1083,7 @@ impl Router {
                 continue;
             }
             let ok = match slot.out_vc {
-                Some(ovc) => self.out_vcs[out.index()][ovc].credits > 0,
+                Some(ovc) => self.out_vcs[out.index() * self.vcs_per_port + ovc].credits > 0,
                 None => {
                     head.flit.kind.is_head()
                         && self.free_out_vc_exists(
@@ -1085,7 +1112,7 @@ impl Router {
         let ovc = if needs_alloc {
             let need = Self::alloc_credits_needed(ctx, &flit);
             let ovc = self.pick_out_vc(out, flit.vnet, need);
-            self.out_vcs[out.index()][ovc].busy = true;
+            self.out_vcs[out.index() * self.vcs_per_port + ovc].busy = true;
             if out == Port::Local {
                 ctx.ni.claim_entry(flit.vnet);
             }
@@ -1096,7 +1123,7 @@ impl Router {
                 .out_vc
                 .expect("allocated")
         };
-        self.out_vcs[out.index()][ovc].credits -= 1;
+        self.out_vcs[out.index() * self.vcs_per_port + ovc].credits -= 1;
         let is_tail = flit.kind.is_tail();
         if is_tail {
             let s = &mut self.absorber.as_mut().expect("absorber").slots[slot];
@@ -1123,10 +1150,10 @@ impl Router {
         }
         if out == Port::Local && is_tail {
             // The NI entry holds the packet; free the ejection VC now.
-            self.out_vcs[out.index()][ovc].busy = false;
+            self.out_vcs[out.index() * self.vcs_per_port + ovc].busy = false;
         }
         if self.infinite_sink[out.index()] && out != Port::Local && is_tail {
-            self.out_vcs[out.index()][ovc].busy = false;
+            self.out_vcs[out.index() * self.vcs_per_port + ovc].busy = false;
         }
         let arrival = ctx.now + 1 + ctx.cfg.link_latency;
         if out == Port::Local {
@@ -1173,7 +1200,7 @@ impl Router {
         if !self.has_link[out_port.index()] {
             return None;
         }
-        let vc = &mut self.in_vcs[in_port.index()][vc_flat];
+        let vc = &mut self.in_vcs[in_port.index() * self.vcs_per_port + vc_flat];
         let head = vc.buf.front()?;
         if head.arrived >= ctx.now {
             return None;
@@ -1237,7 +1264,8 @@ impl Router {
     pub fn input_vcs(&self) -> impl Iterator<Item = (Port, usize)> + '_ {
         Port::ALL
             .into_iter()
-            .flat_map(move |p| (0..self.in_vcs[p.index()].len()).map(move |f| (p, f)))
+            .filter(move |p| self.has_link[p.index()])
+            .flat_map(move |p| (0..self.vcs_per_port).map(move |f| (p, f)))
     }
 
     /// Flat VC range of one VNet.

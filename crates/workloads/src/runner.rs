@@ -3,10 +3,10 @@
 
 use crate::synthetic::{Pattern, SyntheticTraffic};
 use serde::{Deserialize, Serialize};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use upp_baselines::composable::Composable;
 use upp_baselines::remote::{RemoteControl, RemoteControlConfig};
-use upp_core::{Upp, UppConfig, UppStatsHandle};
+use upp_core::{Upp, UppConfig, UppStats, UppStatsHandle};
 use upp_noc::config::NocConfig;
 use upp_noc::ni::ConsumePolicy;
 use upp_noc::routing::{ChipletRouting, RouteTables};
@@ -222,7 +222,7 @@ pub fn run_point(
     let upward_before = built
         .upp_stats
         .as_ref()
-        .map(|h| h.lock().unwrap().upward_packets)
+        .map(|h| UppStats::snapshot(h).upward_packets)
         .unwrap_or(0);
     let mut deadlocked = false;
     for _ in 0..windows.measure {
@@ -238,7 +238,7 @@ pub fn run_point(
     let upward_after = built
         .upp_stats
         .as_ref()
-        .map(|h| h.lock().unwrap().upward_packets)
+        .map(|h| UppStats::snapshot(h).upward_packets)
         .unwrap_or(0);
     SweepPoint {
         rate,
@@ -253,9 +253,27 @@ pub fn run_point(
     }
 }
 
+/// The worker count used by [`sweep`]: the `UPP_JOBS` environment variable
+/// when set, else the machine's available parallelism.
+pub fn sweep_workers() -> usize {
+    if let Ok(v) = std::env::var("UPP_JOBS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
 /// Runs a full latency-vs-injection sweep. Points are independent
-/// simulations and run on parallel threads; results are deterministic and
-/// ordered by rate regardless of scheduling.
+/// simulations and run on a bounded worker pool (see [`sweep_workers`]);
+/// results are deterministic and ordered by rate regardless of scheduling.
+///
+/// The richer journaled engine lives in `upp_bench::sweep`; this is the
+/// dependency-light library entry point.
 #[allow(clippy::too_many_arguments)]
 pub fn sweep(
     spec: &ChipletSystemSpec,
@@ -267,18 +285,35 @@ pub fn sweep(
     windows: SweepWindows,
     seed: u64,
 ) -> Vec<SweepPoint> {
-    std::thread::scope(|s| {
-        let handles: Vec<_> = rates
+    let workers = sweep_workers().min(rates.len()).max(1);
+    if workers == 1 {
+        return rates
             .iter()
-            .map(|&r| {
-                s.spawn(move || run_point(spec, cfg, kind, faults, pattern, r, windows, seed))
-            })
+            .map(|&r| run_point(spec, cfg, kind, faults, pattern, r, windows, seed))
             .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("sweep point panicked"))
-            .collect()
-    })
+    }
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let results: Vec<Mutex<Option<SweepPoint>>> = rates.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            let next = &next;
+            let results = &results;
+            s.spawn(move || loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                let Some(&r) = rates.get(i) else { break };
+                let p = run_point(spec, cfg, kind, faults, pattern, r, windows, seed);
+                *results[i].lock().unwrap() = Some(p);
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("no sweep worker panicked")
+                .expect("every rate simulated")
+        })
+        .collect()
 }
 
 /// Latency ceiling above which a point counts as saturated (the paper's

@@ -1,0 +1,94 @@
+//! Conservation invariants across the whole configuration space: for random
+//! (topology, scheme, seed, fault-set) tuples, every packet injected is
+//! eventually ejected, flit counts balance exactly, and the network drains
+//! completely — i.e. neither the recovery schemes (UPP popups, remote
+//! control absorption) nor fault rerouting ever lose or duplicate traffic.
+
+use proptest::prelude::*;
+use upp_core::UppConfig;
+use upp_noc::config::NocConfig;
+use upp_noc::ni::ConsumePolicy;
+use upp_noc::sim::RunOutcome;
+use upp_noc::topology::{ChipletSystemSpec, SystemKind};
+use upp_workloads::runner::{build_system, SchemeKind};
+use upp_workloads::synthetic::{Pattern, SyntheticTraffic};
+
+/// Scheme choices: UPP (two detection thresholds), composable restrictions,
+/// and the remote-control baseline. `SchemeKind::None` is deliberately
+/// excluded — an unprotected network is *allowed* to deadlock, so the
+/// drain/conservation property does not apply to it.
+fn schemes() -> impl Strategy<Value = SchemeKind> {
+    prop_oneof![
+        Just(SchemeKind::Upp(UppConfig::default())),
+        Just(SchemeKind::Upp(UppConfig::with_threshold(6))),
+        Just(SchemeKind::Composable),
+        Just(SchemeKind::RemoteControl),
+    ]
+}
+
+fn systems() -> impl Strategy<Value = SystemKind> {
+    prop_oneof![
+        Just(SystemKind::Baseline),
+        Just(SystemKind::BoundaryCount(2)),
+        Just(SystemKind::BoundaryCount(8)),
+    ]
+}
+
+fn patterns() -> impl Strategy<Value = Pattern> {
+    prop_oneof![
+        Just(Pattern::UniformRandom),
+        Just(Pattern::Transpose),
+        Just(Pattern::BitComplement),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn no_packet_is_lost_or_duplicated(
+        system in systems(),
+        kind in schemes(),
+        pattern in patterns(),
+        vcs in prop_oneof![Just(1usize), Just(2)],
+        faults in 0usize..6,
+        seed in 0u64..10_000,
+        rate_milli in 10u64..80,
+    ) {
+        // The composable search requires a fault-free system (Sec. VI-B).
+        prop_assume!(faults == 0 || !matches!(kind, SchemeKind::Composable));
+        let spec = ChipletSystemSpec::of_kind(system);
+        let cfg = NocConfig::default().with_vcs_per_vnet(vcs);
+        let built = build_system(
+            &spec,
+            cfg,
+            &kind,
+            faults,
+            seed,
+            ConsumePolicy::Immediate { latency: 1 },
+        );
+        let mut sys = built.sys;
+        let rate = rate_milli as f64 / 1000.0;
+        let mut traffic = SyntheticTraffic::new(sys.net().topo(), pattern, rate, seed);
+        for _ in 0..600 {
+            traffic.tick(&mut sys);
+            sys.step();
+        }
+        let out = sys.run_until_drained(300_000);
+        prop_assert!(
+            matches!(out, RunOutcome::Drained { .. }),
+            "network failed to drain under a deadlock-free scheme: {out:?}"
+        );
+        let stats = sys.net().stats();
+        prop_assert_eq!(
+            stats.packets_created, stats.packets_ejected,
+            "packet loss/duplication: {} created, {} ejected",
+            stats.packets_created, stats.packets_ejected
+        );
+        prop_assert_eq!(
+            stats.flits_injected, stats.flits_ejected,
+            "flit imbalance: {} injected, {} ejected",
+            stats.flits_injected, stats.flits_ejected
+        );
+    }
+}
