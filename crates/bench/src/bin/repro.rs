@@ -67,7 +67,10 @@ fn main() {
         eprintln!("--resume needs --journal FILE");
         std::process::exit(2);
     }
-    match upp_bench::sweep::configure_journal(journal.clone(), resume) {
+    // No fingerprint: a repro journal is shared across experiments, whose
+    // full config (windows, rates, scheme) is already baked into the point
+    // keys — stale reuse is impossible there.
+    match upp_bench::sweep::configure_journal(journal.clone(), resume, None) {
         Ok(n) => {
             if let Some(j) = &journal {
                 if resume {

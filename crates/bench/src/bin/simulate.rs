@@ -42,6 +42,8 @@ struct Args {
     stall_svg_path: Option<String>,
     json: Option<String>,
     sweep: Option<Vec<f64>>,
+    journal: Option<String>,
+    resume: bool,
 }
 
 fn usage() -> ! {
@@ -71,7 +73,13 @@ fn usage() -> ! {
                                              measurement window)\n\
          --jobs N                            sweep worker threads (default: all\n\
                                              hardware threads; results identical\n\
-                                             for every N)"
+                                             for every N)\n\
+         --journal FILE                      stream finished sweep points to a\n\
+                                             JSONL journal (sweep mode only)\n\
+         --resume                            reopen the journal and skip points\n\
+                                             it already records; errors out if\n\
+                                             the journal was recorded under a\n\
+                                             different sweep config"
     );
     exit(2);
 }
@@ -96,6 +104,8 @@ fn parse() -> Args {
         stall_svg_path: None,
         json: None,
         sweep: None,
+        journal: None,
+        resume: false,
     };
     let mut scheme_name = "upp".to_string();
     let mut it = std::env::args().skip(1);
@@ -151,6 +161,8 @@ fn parse() -> Args {
                 }
                 upp_bench::sweep::set_default_jobs(n);
             }
+            "--journal" => a.journal = Some(val()),
+            "--resume" => a.resume = true,
             "--help" | "-h" => usage(),
             _ => usage(),
         }
@@ -174,6 +186,39 @@ fn run_sweep(args: &Args, rates: &[f64]) {
         warmup: (args.cycles / 10).max(1),
         measure: args.cycles,
     };
+    // Everything that determines a point's value goes into the journal's
+    // config fingerprint (the rate list deliberately does not: extending a
+    // sweep with more rates under --resume is the intended use). Notably the
+    // system is *not* part of the per-point keys, so without this check a
+    // resumed journal from a different --system would silently serve stale
+    // points.
+    let fingerprint = upp_bench::sweep::config_fingerprint(&format!(
+        "simulate|{:?}|{:?}|{}|vcs{}|f{}|w{}+{}|s{}",
+        args.system,
+        args.scheme,
+        args.pattern.label(),
+        args.vcs,
+        args.faults,
+        windows.warmup,
+        windows.measure,
+        args.seed
+    ));
+    let journal_path = args.journal.as_ref().map(std::path::PathBuf::from);
+    match upp_bench::sweep::configure_journal(journal_path, args.resume, Some(&fingerprint)) {
+        Ok(n) => {
+            if let Some(j) = &args.journal {
+                if args.resume {
+                    eprintln!("[journal] resuming from {j} ({n} points recorded)");
+                } else {
+                    eprintln!("[journal] streaming points to {j}");
+                }
+            }
+        }
+        Err(e) => {
+            eprintln!("cannot open journal: {e}");
+            exit(2);
+        }
+    }
     eprintln!(
         "sweep: system {:?} | scheme {} | pattern {} | {} rates | {} workers",
         args.system,
@@ -215,6 +260,14 @@ fn run_sweep(args: &Args, rates: &[f64]) {
 
 fn main() {
     let args = parse();
+    if args.resume && args.journal.is_none() {
+        eprintln!("--resume needs --journal FILE");
+        exit(2);
+    }
+    if args.journal.is_some() && args.sweep.is_none() {
+        eprintln!("--journal only applies to --sweep mode");
+        exit(2);
+    }
     if let Some(rates) = args.sweep.clone() {
         run_sweep(&args, &rates);
         return;

@@ -111,10 +111,15 @@ pub fn run(quick: bool) -> ExperimentResult {
 mod tests {
     use super::*;
 
+    /// Statistical and ~10 min in debug: quick-mode saturation estimates are
+    /// RNG-stream-sensitive near the 1.5x band, so this only runs when the
+    /// nightly CI job (or a developer) opts in with `UPP_NIGHTLY=1`.
     #[test]
-    #[ignore = "statistical and ~10 min in debug: quick-mode saturation estimates are \
-                RNG-stream-sensitive near the 1.5x band; run explicitly with --ignored"]
     fn threshold_has_limited_impact_on_saturation() {
+        if std::env::var_os("UPP_NIGHTLY").is_none_or(|v| v != "1") {
+            eprintln!("skipping: set UPP_NIGHTLY=1 to run the full fig13 statistical test");
+            return;
+        }
         let series = collect(true);
         for vcs in [1usize, 4] {
             let sats: Vec<f64> = series

@@ -64,8 +64,22 @@ pub trait FromJsonValue: Sized {
     fn from_json_value(v: &Value) -> Option<Self>;
 }
 
+/// Short stable fingerprint of a sweep configuration (FNV-1a 64), hashed
+/// into the journal header so `--resume` can detect that the CLI args no
+/// longer match the journal's recorded points.
+pub fn config_fingerprint(desc: &str) -> String {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in desc.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    format!("{h:016x}")
+}
+
 /// A JSONL journal of completed sweep points: one `{"key":…,"data":…}`
-/// object per line, appended (and flushed) as each point finishes.
+/// object per line, appended (and flushed) as each point finishes. The
+/// first line may be a `{"config":…}` header naming the sweep-config
+/// fingerprint the points were recorded under.
 pub struct Journal {
     seen: Mutex<HashMap<String, Value>>,
     writer: Mutex<BufWriter<std::fs::File>>,
@@ -76,11 +90,19 @@ impl Journal {
     /// lines are indexed so matching points can be skipped; without it the
     /// file is truncated.
     ///
+    /// When `fingerprint` is given, it is written as a `{"config":…}`
+    /// header on fresh journals and checked against the recorded header on
+    /// resume: a journal recorded under a different sweep config would
+    /// silently serve stale points, so the mismatch is a hard error.
+    ///
     /// # Errors
     ///
-    /// Returns `Err` when the file cannot be opened or read.
-    pub fn open(path: &Path, resume: bool) -> std::io::Result<Journal> {
+    /// Returns `Err` when the file cannot be opened or read, or when
+    /// resuming a journal whose recorded config fingerprint does not match
+    /// `fingerprint` (kind [`std::io::ErrorKind::InvalidData`]).
+    pub fn open(path: &Path, resume: bool, fingerprint: Option<&str>) -> std::io::Result<Journal> {
         let mut seen = HashMap::new();
+        let mut recorded_cfg: Option<String> = None;
         if resume && path.exists() {
             let reader = BufReader::new(std::fs::File::open(path)?);
             for line in reader.lines() {
@@ -92,10 +114,44 @@ impl Journal {
                 let Ok(v) = serde_json::from_str(&line) else {
                     continue;
                 };
+                if let Some(cfg) = v.get("config").and_then(|c| c.as_str()) {
+                    recorded_cfg = Some(cfg.to_string());
+                    continue;
+                }
                 if let (Some(key), Some(data)) =
                     (v.get("key").and_then(|k| k.as_str()), v.get("data"))
                 {
                     seen.insert(key.to_string(), data.clone());
+                }
+            }
+        }
+        if resume {
+            if let Some(fp) = fingerprint {
+                match &recorded_cfg {
+                    Some(rec) if rec == fp => {}
+                    Some(rec) => {
+                        return Err(std::io::Error::new(
+                            std::io::ErrorKind::InvalidData,
+                            format!(
+                                "journal {} was recorded under a different sweep config \
+                                 (recorded {rec}, current {fp}); resuming would reuse stale \
+                                 points — delete the journal or rerun without --resume",
+                                path.display()
+                            ),
+                        ));
+                    }
+                    None if seen.is_empty() => {}
+                    None => {
+                        return Err(std::io::Error::new(
+                            std::io::ErrorKind::InvalidData,
+                            format!(
+                                "journal {} has recorded points but no config header, so its \
+                                 sweep config cannot be checked against the current one — \
+                                 delete the journal or rerun without --resume",
+                                path.display()
+                            ),
+                        ));
+                    }
                 }
             }
         }
@@ -105,10 +161,22 @@ impl Journal {
             .truncate(!resume)
             .write(true)
             .open(path)?;
-        Ok(Journal {
+        let journal = Journal {
             seen: Mutex::new(seen),
             writer: Mutex::new(BufWriter::new(file)),
-        })
+        };
+        // Stamp fresh journals (and resumed-but-empty legacy ones) with the
+        // config header so the next resume can be checked.
+        if let Some(fp) = fingerprint {
+            if recorded_cfg.is_none() {
+                let fp_json =
+                    serde_json::to_string(&fp.to_string()).expect("stub serializer is infallible");
+                let mut w = journal.writer.lock().unwrap();
+                let _ = writeln!(w, "{{\"config\":{fp_json}}}");
+                let _ = w.flush();
+            }
+        }
+        Ok(journal)
     }
 
     /// Number of points indexed from previous runs.
@@ -140,12 +208,18 @@ fn journal_slot() -> &'static Mutex<Option<Arc<Journal>>> {
 }
 
 /// Installs (or clears) the process-wide journal. Returns the number of
-/// points indexed for resume.
+/// points indexed for resume. `fingerprint` (see [`config_fingerprint`])
+/// pins the sweep config the journal belongs to.
 ///
 /// # Errors
 ///
-/// Returns `Err` when the journal file cannot be opened.
-pub fn configure_journal(path: Option<PathBuf>, resume: bool) -> std::io::Result<usize> {
+/// Returns `Err` when the journal file cannot be opened, or when resuming
+/// under a config fingerprint that does not match the journal's header.
+pub fn configure_journal(
+    path: Option<PathBuf>,
+    resume: bool,
+    fingerprint: Option<&str>,
+) -> std::io::Result<usize> {
     let journal = match path {
         Some(p) => {
             if let Some(dir) = p.parent() {
@@ -153,7 +227,7 @@ pub fn configure_journal(path: Option<PathBuf>, resume: bool) -> std::io::Result
                     std::fs::create_dir_all(dir)?;
                 }
             }
-            Some(Arc::new(Journal::open(&p, resume)?))
+            Some(Arc::new(Journal::open(&p, resume, fingerprint)?))
         }
         None => None,
     };
@@ -424,14 +498,14 @@ mod tests {
         let keyf = |p: &u64| format!("k{p}");
 
         // First run: 3 points, all computed.
-        let j = Arc::new(Journal::open(&path, true).unwrap());
+        let j = Arc::new(Journal::open(&path, true, None).unwrap());
         let eng = SweepEngine::new(2).with_journal(j);
         let out = eng.run_keyed(&[1u64, 2, 3], keyf, compute);
         assert_eq!(out, vec![R { v: 10 }, R { v: 20 }, R { v: 30 }]);
         assert_eq!(runs.load(Ordering::SeqCst), 3);
 
         // Second run: 5 points, only the 2 new ones computed, order kept.
-        let j = Arc::new(Journal::open(&path, true).unwrap());
+        let j = Arc::new(Journal::open(&path, true, None).unwrap());
         assert_eq!(j.resumed_points(), 3);
         let eng = SweepEngine::new(2).with_journal(j);
         let out = eng.run_keyed(&[1u64, 4, 2, 5, 3], keyf, compute);
@@ -448,8 +522,69 @@ mod tests {
         assert_eq!(runs.load(Ordering::SeqCst), 5, "1/2/3 restored, 4/5 run");
 
         // Opening without resume truncates.
-        let j = Journal::open(&path, false).unwrap();
+        let j = Journal::open(&path, false, None).unwrap();
         assert_eq!(j.resumed_points(), 0);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn journal_resume_rejects_config_mismatch() {
+        #[derive(Serialize, PartialEq, Debug)]
+        struct R {
+            v: u64,
+        }
+        impl FromJsonValue for R {
+            fn from_json_value(val: &Value) -> Option<R> {
+                Some(R {
+                    v: val.get("v")?.as_u64()?,
+                })
+            }
+        }
+        let dir = std::env::temp_dir().join(format!("upp-sweep-cfg-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("journal.jsonl");
+        let _ = std::fs::remove_file(&path);
+
+        let fp_a = config_fingerprint("scheme=upp seed=1");
+        let fp_b = config_fingerprint("scheme=none seed=1");
+        assert_ne!(fp_a, fp_b);
+
+        // Record one point under config A.
+        {
+            let j = Arc::new(Journal::open(&path, false, Some(&fp_a)).unwrap());
+            let eng = SweepEngine::new(1).with_journal(j);
+            let out = eng.run_keyed(&[7u64], |p| format!("k{p}"), |&p| R { v: p });
+            assert_eq!(out, vec![R { v: 7 }]);
+        }
+
+        // Resuming under the same config restores the point.
+        let j = Journal::open(&path, true, Some(&fp_a)).unwrap();
+        assert_eq!(j.resumed_points(), 1);
+        drop(j);
+
+        // Resuming under config B must hard-error, not reuse stale points.
+        let err = match Journal::open(&path, true, Some(&fp_b)) {
+            Err(e) => e,
+            Ok(_) => panic!("config mismatch must be rejected"),
+        };
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("different sweep config"), "{err}");
+
+        // A legacy journal with points but no header is also rejected when
+        // a fingerprint is demanded.
+        std::fs::write(&path, "{\"key\":\"k7\",\"data\":{\"v\":7}}\n").unwrap();
+        let err = match Journal::open(&path, true, Some(&fp_a)) {
+            Err(e) => e,
+            Ok(_) => panic!("headerless journal with points must be rejected"),
+        };
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("no config header"), "{err}");
+
+        // ... but stays resumable with no fingerprint (repro's shared
+        // multi-experiment journal).
+        let j = Journal::open(&path, true, None).unwrap();
+        assert_eq!(j.resumed_points(), 1);
+        drop(j);
         let _ = std::fs::remove_file(&path);
     }
 

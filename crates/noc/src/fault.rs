@@ -1,0 +1,337 @@
+//! Dynamic fault injection: scheduled mid-run link failures/heals and
+//! endpoint throttling.
+//!
+//! Unlike [`crate::topology::Topology::set_link_faulty`] applied at build
+//! time (which routing tables can plan around), a [`FaultPlan`] mutates the
+//! *running* network, so the adversarial stress campaigns of `upp-verify`
+//! can exercise recovery schemes against conditions no routing function was
+//! prepared for.
+//!
+//! # Fail-stop semantics
+//!
+//! Failing a link is **fail-stop on new traversals**:
+//!
+//! * flits and credits already staged on the link (events in the network's
+//!   calendar) deliver normally — the calendar never consults the topology,
+//!   so nothing in flight is dropped or duplicated;
+//! * from the fault cycle on, no router bids for, claims, or forwards over
+//!   the dead link (normal switch allocation, the control subnetwork, the
+//!   bypass path, and absorber re-injection all re-check link liveness every
+//!   cycle);
+//! * **credit returns always use the physical link** (they model dedicated
+//!   reverse wires): upstream credit counters stay consistent across a
+//!   fail/heal pair, so transmission resumes exactly where it stopped once
+//!   the link heals;
+//! * routing is *not* recomputed mid-run — a packet whose computed route
+//!   crosses a dead link simply waits for the heal. Every generated plan
+//!   therefore heals each failed link (and resumes each paused endpoint)
+//!   before the run's horizon, guaranteeing eventual progress for correct
+//!   schemes.
+//!
+//! Endpoint throttling pauses a node's NI: `PauseInjection` stops new flits
+//! entering the network at that node (queued packets stay queued),
+//! `PauseConsumption` stops the PE draining delivered packets, filling the
+//! ejection queue and exerting real backpressure into the network.
+
+use crate::ids::{Cycle, NodeId, Port};
+use crate::network::Network;
+use crate::topology::Topology;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::Serialize;
+
+/// One scheduled fault action.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum FaultAction {
+    /// Fail the bidirectional link leaving `node` through `port`.
+    FailLink {
+        /// Node on one side of the link.
+        node: NodeId,
+        /// Port the link leaves through.
+        port: Port,
+    },
+    /// Heal a previously-failed link.
+    HealLink {
+        /// Node on one side of the link.
+        node: NodeId,
+        /// Port the link leaves through.
+        port: Port,
+    },
+    /// Stop the node's NI from injecting flits.
+    PauseInjection {
+        /// The throttled endpoint.
+        node: NodeId,
+    },
+    /// Resume injection at the node.
+    ResumeInjection {
+        /// The throttled endpoint.
+        node: NodeId,
+    },
+    /// Stop the node's PE from consuming delivered packets.
+    PauseConsumption {
+        /// The throttled endpoint.
+        node: NodeId,
+    },
+    /// Resume consumption at the node.
+    ResumeConsumption {
+        /// The throttled endpoint.
+        node: NodeId,
+    },
+}
+
+/// A fault action with its scheduled cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct FaultEvent {
+    /// Cycle the action fires (applied before the cycle's scheme hooks).
+    pub at: Cycle,
+    /// The action.
+    pub action: FaultAction,
+}
+
+/// An ordered schedule of fault actions applied to a running [`Network`].
+///
+/// Drive it by calling [`FaultPlan::apply_due`] once per cycle (before
+/// stepping the network). Events fire in schedule order; ties on the same
+/// cycle fire in insertion order.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    events: Vec<FaultEvent>,
+    next: usize,
+}
+
+impl FaultPlan {
+    /// An empty plan (applies nothing).
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// Builds a plan from explicit events (stably sorted by cycle).
+    pub fn new(mut events: Vec<FaultEvent>) -> Self {
+        events.sort_by_key(|e| e.at);
+        Self { events, next: 0 }
+    }
+
+    /// Appends an action at `at` (keeps the schedule sorted).
+    pub fn push(&mut self, at: Cycle, action: FaultAction) {
+        debug_assert_eq!(self.next, 0, "cannot extend a plan mid-run");
+        self.events.push(FaultEvent { at, action });
+        self.events.sort_by_key(|e| e.at);
+    }
+
+    /// The full schedule.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// True once every event has fired.
+    pub fn exhausted(&self) -> bool {
+        self.next >= self.events.len()
+    }
+
+    /// Rewinds the plan so it can drive another run.
+    pub fn reset(&mut self) {
+        self.next = 0;
+    }
+
+    /// Applies every event scheduled at or before the network's current
+    /// cycle. Returns the number of events applied.
+    pub fn apply_due(&mut self, net: &mut Network) -> usize {
+        let now = net.cycle();
+        let mut applied = 0;
+        while let Some(ev) = self.events.get(self.next) {
+            if ev.at > now {
+                break;
+            }
+            match ev.action {
+                FaultAction::FailLink { node, port } => net.inject_link_fault(node, port),
+                FaultAction::HealLink { node, port } => net.heal_link_fault(node, port),
+                FaultAction::PauseInjection { node } => net.set_injection_paused(node, true),
+                FaultAction::ResumeInjection { node } => net.set_injection_paused(node, false),
+                FaultAction::PauseConsumption { node } => net.set_consumption_paused(node, true),
+                FaultAction::ResumeConsumption { node } => {
+                    net.set_consumption_paused(node, false);
+                }
+            }
+            self.next += 1;
+            applied += 1;
+        }
+        applied
+    }
+
+    /// Generates a seeded random plan over `topo`: up to `link_faults`
+    /// fail/heal pairs and up to `throttles` endpoint pause/resume pairs,
+    /// all within `[horizon/8, horizon * 3/4]` so every fault is healed and
+    /// every endpoint resumed well before `horizon`.
+    ///
+    /// Each candidate link fault is checked against
+    /// [`Topology::validate`] *in schedule order* (on a scratch topology
+    /// carrying all concurrently-active faults), so the plan never
+    /// disconnects a region or severs a chiplet's last vertical link.
+    pub fn random(
+        topo: &Topology,
+        seed: u64,
+        horizon: Cycle,
+        link_faults: usize,
+        throttles: usize,
+    ) -> Self {
+        const PLAN_SALT: u64 = 0x9e37_79b9_7f4a_7c15;
+        let mut rng = SmallRng::seed_from_u64(seed ^ PLAN_SALT);
+        let lo = (horizon / 8).max(1);
+        let hi = (horizon * 3 / 4).max(lo + 1);
+        let mut events = Vec::new();
+
+        // Candidate links: every directed link once (canonical direction =
+        // smaller node id first).
+        let mut links: Vec<(NodeId, Port)> = Vec::new();
+        for n in topo.nodes() {
+            for (p, peer) in n.links() {
+                if n.id < peer {
+                    links.push((n.id, p));
+                }
+            }
+        }
+        let mut scratch = topo.clone();
+        let mut windows: Vec<(Cycle, Cycle, NodeId, Port)> = Vec::new();
+        for _ in 0..link_faults {
+            if links.is_empty() {
+                break;
+            }
+            let (node, port) = links[rng.gen_range(0..links.len())];
+            let fail_at = rng.gen_range(lo..hi);
+            let heal_at = rng.gen_range(fail_at + 1..hi + 1);
+            // One window per physical link keeps fail/heal pairs unambiguous.
+            if windows
+                .iter()
+                .any(|&(_, _, n2, p2)| (n2, p2) == (node, port))
+            {
+                continue;
+            }
+            scratch.set_link_faulty(node, port);
+            for &(f, h, n2, p2) in &windows {
+                if f < heal_at && fail_at < h && !scratch.is_link_faulty(n2, p2) {
+                    scratch.set_link_faulty(n2, p2);
+                }
+            }
+            let ok = scratch.validate().is_ok();
+            // Reset scratch to no faults for the next candidate.
+            scratch.clear_link_fault(node, port);
+            for &(_, _, n2, p2) in &windows {
+                scratch.clear_link_fault(n2, p2);
+            }
+            if !ok {
+                continue;
+            }
+            windows.push((fail_at, heal_at, node, port));
+            events.push(FaultEvent {
+                at: fail_at,
+                action: FaultAction::FailLink { node, port },
+            });
+            events.push(FaultEvent {
+                at: heal_at,
+                action: FaultAction::HealLink { node, port },
+            });
+        }
+
+        // Endpoint throttles over chiplet routers (the traffic endpoints).
+        let endpoints: Vec<NodeId> = topo
+            .chiplets()
+            .iter()
+            .flat_map(|c| c.routers.iter().copied())
+            .collect();
+        for _ in 0..throttles {
+            if endpoints.is_empty() {
+                break;
+            }
+            let node = endpoints[rng.gen_range(0..endpoints.len())];
+            let pause_at = rng.gen_range(lo..hi);
+            let resume_at = rng.gen_range(pause_at + 1..hi + 1);
+            if rng.gen_bool(0.5) {
+                events.push(FaultEvent {
+                    at: pause_at,
+                    action: FaultAction::PauseInjection { node },
+                });
+                events.push(FaultEvent {
+                    at: resume_at,
+                    action: FaultAction::ResumeInjection { node },
+                });
+            } else {
+                events.push(FaultEvent {
+                    at: pause_at,
+                    action: FaultAction::PauseConsumption { node },
+                });
+                events.push(FaultEvent {
+                    at: resume_at,
+                    action: FaultAction::ResumeConsumption { node },
+                });
+            }
+        }
+        Self::new(events)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::ChipletSystemSpec;
+
+    #[test]
+    fn random_plans_pair_every_disruption() {
+        let topo = ChipletSystemSpec::baseline().build(0).unwrap();
+        for seed in 0..20 {
+            let plan = FaultPlan::random(&topo, seed, 4_000, 3, 2);
+            let mut active_faults = std::collections::HashSet::new();
+            let mut paused = std::collections::HashSet::new();
+            for ev in plan.events() {
+                assert!(ev.at < 4_000 * 3 / 4 + 1, "disruption past the window");
+                match ev.action {
+                    FaultAction::FailLink { node, port } => {
+                        assert!(active_faults.insert((node, port)));
+                    }
+                    FaultAction::HealLink { node, port } => {
+                        assert!(active_faults.remove(&(node, port)));
+                    }
+                    FaultAction::PauseInjection { node } => {
+                        paused.insert(("inj", node));
+                    }
+                    FaultAction::ResumeInjection { node } => {
+                        paused.remove(&("inj", node));
+                    }
+                    FaultAction::PauseConsumption { node } => {
+                        paused.insert(("con", node));
+                    }
+                    FaultAction::ResumeConsumption { node } => {
+                        paused.remove(&("con", node));
+                    }
+                }
+            }
+            assert!(active_faults.is_empty(), "every fault heals (seed {seed})");
+            assert!(paused.is_empty(), "every pause resumes (seed {seed})");
+        }
+    }
+
+    #[test]
+    fn random_plans_are_deterministic() {
+        let topo = ChipletSystemSpec::baseline().build(0).unwrap();
+        let a = FaultPlan::random(&topo, 7, 4_000, 4, 4);
+        let b = FaultPlan::random(&topo, 7, 4_000, 4, 4);
+        assert_eq!(a.events(), b.events());
+    }
+
+    #[test]
+    fn schedule_is_sorted_and_applies_in_order() {
+        let mut plan = FaultPlan::new(vec![
+            FaultEvent {
+                at: 10,
+                action: FaultAction::PauseInjection { node: NodeId(0) },
+            },
+            FaultEvent {
+                at: 5,
+                action: FaultAction::PauseConsumption { node: NodeId(1) },
+            },
+        ]);
+        assert_eq!(plan.events()[0].at, 5);
+        assert!(!plan.exhausted());
+        plan.reset();
+        assert_eq!(plan.events().len(), 2);
+    }
+}

@@ -55,6 +55,7 @@
 pub mod config;
 pub mod control;
 pub mod event;
+pub mod fault;
 pub mod ids;
 pub mod network;
 pub mod ni;
@@ -69,6 +70,7 @@ pub mod trace;
 pub mod viz;
 
 pub use config::NocConfig;
+pub use fault::{FaultAction, FaultEvent, FaultPlan};
 pub use ids::{ChipletId, Cycle, NodeId, PacketId, Port, VcId, VnetId};
 pub use network::Network;
 pub use scheme::{NoScheme, Scheme, SchemeProperties};

@@ -521,6 +521,36 @@ impl Network {
         }
     }
 
+    // --------------------------------------------------------- dynamic faults
+
+    /// Fails the bidirectional link leaving `node` through `port` *mid-run*
+    /// (fail-stop: staged flits/credits still deliver, new traversals are
+    /// gated; see [`crate::fault`] for the full semantics).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no physical link exists there.
+    pub fn inject_link_fault(&mut self, node: NodeId, port: Port) {
+        self.topo.set_link_faulty(node, port);
+    }
+
+    /// Heals a link previously failed with [`Network::inject_link_fault`]
+    /// (or at build time). Traffic blocked at the link resumes from the next
+    /// cycle; credit state survived the outage, so no flit is lost.
+    pub fn heal_link_fault(&mut self, node: NodeId, port: Port) {
+        self.topo.clear_link_fault(node, port);
+    }
+
+    /// Pauses or resumes NI injection at `node` (endpoint throttling).
+    pub fn set_injection_paused(&mut self, node: NodeId, paused: bool) {
+        self.nis[node.index()].set_injection_paused(paused);
+    }
+
+    /// Pauses or resumes PE consumption at `node` (endpoint throttling).
+    pub fn set_consumption_paused(&mut self, node: NodeId, paused: bool) {
+        self.nis[node.index()].set_consumption_paused(paused);
+    }
+
     // ------------------------------------------------------- reconfiguration
 
     /// Dynamically reconfigures the topology (fault injection, power gating)

@@ -122,6 +122,13 @@ pub struct Ni {
     upp_reserved: Vec<usize>,
     consume: ConsumePolicy,
     control_inbox: Vec<DeliveredControl>,
+    /// Dynamic-fault throttle: while set, `inject_step` emits nothing
+    /// (queued packets stay queued).
+    injection_paused: bool,
+    /// Dynamic-fault throttle: while set, the Immediate consumption policy
+    /// stops draining delivered packets (External workloads poll
+    /// [`Ni::consumption_paused`] themselves).
+    consumption_paused: bool,
 }
 
 impl std::fmt::Debug for Ni {
@@ -154,12 +161,35 @@ impl Ni {
             upp_reserved: vec![0; cfg.num_vnets],
             consume,
             control_inbox: Vec::new(),
+            injection_paused: false,
+            consumption_paused: false,
         }
     }
 
     /// The node this NI is attached to.
     pub fn node(&self) -> NodeId {
         self.node
+    }
+
+    /// Pauses or resumes injection (dynamic-fault endpoint throttling).
+    pub fn set_injection_paused(&mut self, paused: bool) {
+        self.injection_paused = paused;
+    }
+
+    /// True while injection is paused.
+    pub fn injection_paused(&self) -> bool {
+        self.injection_paused
+    }
+
+    /// Pauses or resumes PE consumption (dynamic-fault endpoint throttling).
+    pub fn set_consumption_paused(&mut self, paused: bool) {
+        self.consumption_paused = paused;
+    }
+
+    /// True while consumption is paused. External-consumption workloads must
+    /// check this themselves before popping delivered packets.
+    pub fn consumption_paused(&self) -> bool {
+        self.consumption_paused
     }
 
     // ---------------------------------------------------------------- inject
@@ -222,7 +252,7 @@ impl Ni {
         vcs_per_vnet: usize,
         vct: bool,
     ) -> Option<(Flit, usize)> {
-        if self.backlog == 0 {
+        if self.backlog == 0 || self.injection_paused {
             return None;
         }
         // Round-robin across VNets: continue an active injection or start a
@@ -440,6 +470,9 @@ impl Ni {
 
     /// Runs the Immediate consumption policy; External is a no-op.
     pub fn consume_step(&mut self, now: Cycle) {
+        if self.consumption_paused {
+            return;
+        }
         if let ConsumePolicy::Immediate { latency } = self.consume {
             for v in 0..self.num_vnets {
                 while self.delivered[v]

@@ -517,7 +517,11 @@ impl Router {
         bypass.retain(|b| {
             let eligible = b.arrived < ctx.now
                 && !claimed_out[b.out_port.index()]
-                && !claimed_in[b.in_port.index()];
+                && !claimed_in[b.in_port.index()]
+                // A dynamically-failed link retains the flit in the latch
+                // until the heal (fail-stop; nothing in flight is dropped).
+                && (b.out_port == Port::Local
+                    || ctx.topo.neighbor(self.node, b.out_port).is_some());
             if !eligible {
                 return true;
             }
@@ -630,6 +634,9 @@ impl Router {
             };
             if claimed_out[out_port.index()] {
                 continue; // delayed one cycle (upward flits win, Sec. V-C1)
+            }
+            if out_port != Port::Local && ctx.topo.neighbor(self.node, out_port).is_none() {
+                continue; // dead link: the message stays queued until heal
             }
             let buf = match class {
                 ControlClass::ReqLike => &mut self.req_buf,
@@ -884,6 +891,9 @@ impl Router {
         if !self.has_link[out.index()] {
             return None;
         }
+        if out != Port::Local && ctx.topo.neighbor(self.node, out).is_none() {
+            return None; // dynamically-failed link: the packet waits for heal
+        }
         match vc.out_vc {
             Some(ovc) if self.out_vcs[out.index() * self.vcs_per_port + ovc].credits == 0 => {
                 Some((head.flit.packet, Some(out), BlockReason::Credit))
@@ -912,6 +922,11 @@ impl Router {
         }
         let out = vc.route_out?;
         if !self.has_link[out.index()] {
+            return None;
+        }
+        if out != Port::Local && ctx.topo.neighbor(self.node, out).is_none() {
+            // Fail-stop: never bid over a dynamically-failed link. The VC
+            // (and its worm) waits in place until the link heals.
             return None;
         }
         match vc.out_vc {
@@ -1034,9 +1049,12 @@ impl Router {
                 },
             )),
             _ => {
+                // Credits travel the physical link even while it is marked
+                // faulty (dedicated reverse wires): upstream counters stay
+                // consistent across a dynamic fail/heal pair.
                 let peer = ctx
                     .topo
-                    .neighbor(self.node, in_port)
+                    .raw_neighbor(self.node, in_port)
                     .expect("input arrivals come over existing links");
                 ctx.emit.push((
                     credit_at,
@@ -1081,6 +1099,9 @@ impl Router {
             let out = slot.route_out.expect("absorbed head computed a route");
             if !self.has_link[out.index()] {
                 continue;
+            }
+            if out != Port::Local && ctx.topo.neighbor(self.node, out).is_none() {
+                continue; // dynamically-failed link: re-inject after heal
             }
             let ok = match slot.out_vc {
                 Some(ovc) => self.out_vcs[out.index() * self.vcs_per_port + ovc].credits > 0,
@@ -1200,6 +1221,9 @@ impl Router {
         if !self.has_link[out_port.index()] {
             return None;
         }
+        if out_port != Port::Local && ctx.topo.neighbor(self.node, out_port).is_none() {
+            return None; // dynamically-failed link: popup resumes after heal
+        }
         let vc = &mut self.in_vcs[in_port.index() * self.vcs_per_port + vc_flat];
         let head = vc.buf.front()?;
         if head.arrived >= ctx.now {
@@ -1236,9 +1260,11 @@ impl Router {
                 },
             )),
             _ => {
+                // Physical link: credits survive a dynamic fault (see
+                // `commit_normal`).
                 let peer = ctx
                     .topo
-                    .neighbor(self.node, in_port)
+                    .raw_neighbor(self.node, in_port)
                     .expect("popup pops from a real input port");
                 ctx.emit.push((
                     credit_at,

@@ -78,21 +78,31 @@ impl RouteTables {
         let member_set: HashMap<NodeId, ()> = members.iter().map(|&n| (n, ())).collect();
         let in_region = |n: NodeId| member_set.contains_key(&n);
 
-        // BFS levels from the lowest-id root over surviving links.
-        let root = *members.iter().min().expect("regions are non-empty");
+        // BFS levels over surviving links, restarting from the lowest-id
+        // unleveled member so that every connected component gets its own
+        // root. Faults may split a region; pairs in different components are
+        // simply absent from the tables (explicit unreachability), while
+        // routing within each component keeps working.
+        let mut roots = members.clone();
+        roots.sort_unstable();
         let mut level: HashMap<NodeId, u32> = HashMap::new();
-        level.insert(root, 0);
-        let mut q = VecDeque::from([root]);
-        while let Some(n) = q.pop_front() {
-            let l = level[&n];
-            for p in Port::ALL {
-                if !p.is_mesh() {
-                    continue;
-                }
-                if let Some(m) = topo.neighbor(n, p) {
-                    if in_region(m) && !level.contains_key(&m) {
-                        level.insert(m, l + 1);
-                        q.push_back(m);
+        for &root in &roots {
+            if level.contains_key(&root) {
+                continue;
+            }
+            level.insert(root, 0);
+            let mut q = VecDeque::from([root]);
+            while let Some(n) = q.pop_front() {
+                let l = level[&n];
+                for p in Port::ALL {
+                    if !p.is_mesh() {
+                        continue;
+                    }
+                    if let Some(m) = topo.neighbor(n, p) {
+                        if in_region(m) && !level.contains_key(&m) {
+                            level.insert(m, l + 1);
+                            q.push_back(m);
+                        }
                     }
                 }
             }

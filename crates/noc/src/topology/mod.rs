@@ -2,7 +2,7 @@
 
 pub mod chiplet;
 
-pub use chiplet::{ChipletSystemSpec, SystemKind};
+pub use chiplet::{ChipletPlacement, ChipletSystemSpec, SystemKind};
 
 use crate::ids::{ChipletId, NodeId, Port};
 use serde::{Deserialize, Serialize};

@@ -4,10 +4,35 @@
 //! for every seed.
 
 use proptest::prelude::*;
+use std::collections::{HashSet, VecDeque};
 use std::sync::Arc;
-use upp_noc::ids::Port;
+use upp_noc::ids::{NodeId, Port};
 use upp_noc::routing::{trace_route, ChipletRouting, RouteComputer, RouteTables};
-use upp_noc::topology::{chiplet::inject_random_faults, ChipletSystemSpec, SystemKind};
+use upp_noc::topology::{
+    chiplet::inject_random_faults, ChipletSystemSpec, Region, SystemKind, Topology,
+};
+
+/// Nodes of `region` reachable from `src` over live (non-faulty) links,
+/// ignoring turn restrictions: physical connectivity, the upper bound on
+/// what any routing function could reach.
+fn live_reachable(topo: &Topology, region: Region, src: NodeId) -> HashSet<NodeId> {
+    let members: HashSet<NodeId> = topo.region_nodes(region).iter().copied().collect();
+    let mut seen = HashSet::from([src]);
+    let mut q = VecDeque::from([src]);
+    while let Some(n) = q.pop_front() {
+        for p in Port::ALL {
+            if !p.is_mesh() {
+                continue;
+            }
+            if let Some(m) = topo.neighbor(n, p) {
+                if members.contains(&m) && seen.insert(m) {
+                    q.push_back(m);
+                }
+            }
+        }
+    }
+    seen
+}
 
 fn system_kind() -> impl Strategy<Value = SystemKind> {
     prop_oneof![
@@ -78,6 +103,92 @@ proptest! {
             }
         }
         prop_assert_eq!(hops.last().map(|&(n, _)| n), Some(dest));
+    }
+
+    #[test]
+    fn tables_under_arbitrary_faults_stay_live_and_explicit(
+        nfaults in 0usize..24,
+        fault_seed in 0u64..1_000,
+        ri in 0usize..8,
+        si in 0usize..4096,
+        di in 0usize..4096,
+    ) {
+        // Unlike `faulty_routes_avoid_failed_links`, the fault set here is
+        // arbitrary: it may cut a region in two or violate the invariants
+        // that `inject_random_faults` preserves. Whatever the damage, the
+        // tables must (a) never route over a dead link, (b) reach every
+        // destination that is physically reachable over live links, and
+        // (c) report anything else as an explicit `None` — never a silent
+        // loop.
+        let mut topo = ChipletSystemSpec::baseline().build(0).expect("spec builds");
+        let mesh_links: Vec<(NodeId, Port)> = topo
+            .nodes()
+            .iter()
+            .flat_map(|n| {
+                Port::ALL
+                    .into_iter()
+                    .filter(|p| p.is_mesh())
+                    .filter(|&p| topo.raw_neighbor(n.id, p).is_some())
+                    .map(move |p| (n.id, p))
+            })
+            .collect();
+        // splitmix64 stream over `fault_seed` picks arbitrary links, with no
+        // attempt to keep the topology valid or even connected.
+        let mut s = fault_seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(1);
+        for _ in 0..nfaults {
+            s = s.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = s;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            let (n, p) = mesh_links[(z ^ (z >> 31)) as usize % mesh_links.len()];
+            topo.set_link_faulty(n, p);
+        }
+
+        let tables = RouteTables::build(&topo);
+        if topo.validate().is_ok() {
+            // Fault sets that keep the topology valid must keep every
+            // region fully routable.
+            prop_assert!(tables.verify_full_connectivity(&topo).is_ok());
+        }
+
+        let mut regions: Vec<Region> =
+            topo.chiplets().iter().map(|c| Region::Chiplet(c.id)).collect();
+        regions.push(Region::Interposer);
+        let region = regions[ri % regions.len()];
+        let members = topo.region_nodes(region).to_vec();
+        let (src, dest) = (members[si % members.len()], members[di % members.len()]);
+        prop_assume!(src != dest);
+
+        let reachable = live_reachable(&topo, region, src);
+        let hop_bound = members.len() * Port::ALL.len();
+        let (mut node, mut in_port) = (src, Port::Local);
+        let mut arrived = false;
+        for _ in 0..=hop_bound {
+            if node == dest {
+                arrived = true;
+                break;
+            }
+            let Some(p) = tables.next_port(node, in_port, dest) else {
+                // Explicit unreachability: must only be claimed when the
+                // destination really is cut off over live links.
+                prop_assert!(
+                    !reachable.contains(&dest),
+                    "tables claim {dest} unreachable from {node} but live links connect it"
+                );
+                break;
+            };
+            prop_assert!(p.is_mesh(), "next_port yielded non-mesh {p} short of {dest}");
+            prop_assert!(!topo.is_link_faulty(node, p), "route uses faulty {node}:{p}");
+            let next = topo.neighbor(node, p);
+            prop_assert!(next.is_some(), "route walks off a dead/absent link at {node}:{p}");
+            in_port = p.opposite();
+            node = next.unwrap();
+        }
+        if reachable.contains(&dest) {
+            prop_assert!(arrived, "silent loop: never reached {dest} from {src} in {hop_bound} hops");
+        } else {
+            prop_assert!(!arrived, "reached {dest} which live links cannot connect");
+        }
     }
 
     #[test]

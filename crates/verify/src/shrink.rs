@@ -1,0 +1,211 @@
+//! Delta-debugging reduction of failing scenarios.
+//!
+//! Given a failing [`Scenario`] and a predicate that re-runs it, the
+//! shrinker reduces first the dynamic fault schedule and then the offered
+//! traffic with a ddmin-style search, keeping the failure alive at every
+//! step. Disruptions shrink as atomic *units* — a `FailLink` travels with
+//! its `HealLink`, a pause with its resume — so intermediate candidates
+//! never leave a link dead or an endpoint throttled forever, which would
+//! manufacture failures the original scenario did not contain.
+
+use upp_noc::fault::{FaultAction, FaultEvent};
+
+use crate::scenario::Scenario;
+
+/// Outcome of a shrink run.
+#[derive(Debug, Clone)]
+pub struct ShrinkReport {
+    /// The reduced scenario (still failing under the predicate).
+    pub scenario: Scenario,
+    /// Predicate evaluations spent.
+    pub evaluations: usize,
+    /// Traffic entries before and after.
+    pub traffic: (usize, usize),
+    /// Fault events before and after.
+    pub faults: (usize, usize),
+}
+
+/// Groups a fault schedule into atomic disruption units: each `Fail`/`Heal`
+/// and `Pause`/`Resume` pair forms one unit (unpaired events stand alone).
+fn fault_units(events: &[FaultEvent]) -> Vec<Vec<FaultEvent>> {
+    let mut used = vec![false; events.len()];
+    let mut units = Vec::new();
+    for i in 0..events.len() {
+        if used[i] {
+            continue;
+        }
+        used[i] = true;
+        let mut unit = vec![events[i]];
+        let partner = |a: FaultAction, b: FaultAction| -> bool {
+            use FaultAction::*;
+            matches!(
+                (a, b),
+                (FailLink { node: n1, port: p1 }, HealLink { node: n2, port: p2 })
+                    if n1 == n2 && p1 == p2
+            ) || matches!(
+                (a, b),
+                (PauseInjection { node: n1 }, ResumeInjection { node: n2 }) if n1 == n2
+            ) || matches!(
+                (a, b),
+                (PauseConsumption { node: n1 }, ResumeConsumption { node: n2 }) if n1 == n2
+            )
+        };
+        if let Some(j) =
+            (i + 1..events.len()).find(|&j| !used[j] && partner(events[i].action, events[j].action))
+        {
+            used[j] = true;
+            unit.push(events[j]);
+        }
+        units.push(unit);
+    }
+    units
+}
+
+/// ddmin over a list: repeatedly tries dropping chunks (complement testing),
+/// doubling granularity when nothing can be dropped. `test` returns true
+/// when the candidate still fails. Spends at most `*budget` evaluations.
+fn ddmin<T: Clone>(
+    mut cur: Vec<T>,
+    mut test: impl FnMut(&[T]) -> bool,
+    budget: &mut usize,
+) -> Vec<T> {
+    let mut n = 2usize;
+    while cur.len() >= 2 && *budget > 0 {
+        let chunk = cur.len().div_ceil(n);
+        let mut reduced = false;
+        let mut start = 0;
+        while start < cur.len() && *budget > 0 {
+            let end = (start + chunk).min(cur.len());
+            let mut cand = Vec::with_capacity(cur.len() - (end - start));
+            cand.extend_from_slice(&cur[..start]);
+            cand.extend_from_slice(&cur[end..]);
+            *budget -= 1;
+            if !cand.is_empty() && test(&cand) {
+                cur = cand;
+                n = 2.max(n.saturating_sub(1));
+                reduced = true;
+                break;
+            }
+            start = end;
+        }
+        if !reduced {
+            if chunk <= 1 {
+                break;
+            }
+            n = (n * 2).min(cur.len());
+        }
+    }
+    cur
+}
+
+/// Shrinks a failing scenario while `still_fails` keeps returning true,
+/// spending at most `max_evaluations` predicate runs.
+///
+/// The caller's predicate should re-run the candidate through the harness
+/// and report whether the *same class* of failure is still present.
+pub fn shrink(
+    original: &Scenario,
+    mut still_fails: impl FnMut(&Scenario) -> bool,
+    max_evaluations: usize,
+) -> ShrinkReport {
+    let mut budget = max_evaluations;
+    let mut best = original.clone();
+
+    // Phase 1: drop whole disruption units.
+    let units = fault_units(&best.faults);
+    let kept_units = ddmin(
+        units,
+        |us| {
+            let mut cand = best.clone();
+            cand.faults = us.iter().flatten().copied().collect();
+            cand.faults.sort_by_key(|e| e.at);
+            still_fails(&cand)
+        },
+        &mut budget,
+    );
+    best.faults = kept_units.iter().flatten().copied().collect();
+    best.faults.sort_by_key(|e| e.at);
+    // An empty-fault candidate is never proposed by complement testing when
+    // only one unit remains, so probe it explicitly.
+    if !best.faults.is_empty() && budget > 0 {
+        let mut cand = best.clone();
+        cand.faults.clear();
+        budget -= 1;
+        if still_fails(&cand) {
+            best.faults.clear();
+        }
+    }
+
+    // Phase 2: drop traffic entries.
+    let kept_traffic = ddmin(
+        best.traffic.clone(),
+        |tr| {
+            let mut cand = best.clone();
+            cand.traffic = tr.to_vec();
+            still_fails(&cand)
+        },
+        &mut budget,
+    );
+    best.traffic = kept_traffic;
+
+    ShrinkReport {
+        evaluations: max_evaluations - budget,
+        traffic: (original.traffic.len(), best.traffic.len()),
+        faults: (original.faults.len(), best.faults.len()),
+        scenario: best,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use upp_noc::ids::{NodeId, Port};
+
+    #[test]
+    fn units_pair_fail_with_heal() {
+        let node = NodeId(3);
+        let port = Port::East;
+        let events = vec![
+            FaultEvent {
+                at: 10,
+                action: FaultAction::FailLink { node, port },
+            },
+            FaultEvent {
+                at: 15,
+                action: FaultAction::PauseInjection { node },
+            },
+            FaultEvent {
+                at: 20,
+                action: FaultAction::HealLink { node, port },
+            },
+            FaultEvent {
+                at: 25,
+                action: FaultAction::ResumeInjection { node },
+            },
+        ];
+        let units = fault_units(&events);
+        assert_eq!(units.len(), 2);
+        assert_eq!(units[0].len(), 2);
+        assert_eq!(units[1].len(), 2);
+    }
+
+    #[test]
+    fn ddmin_finds_a_single_culprit() {
+        let items: Vec<u32> = (0..100).collect();
+        let mut budget = 200;
+        let out = ddmin(items, |xs| xs.contains(&37), &mut budget);
+        assert_eq!(out, vec![37]);
+    }
+
+    #[test]
+    fn ddmin_keeps_interacting_pair() {
+        let items: Vec<u32> = (0..64).collect();
+        let mut budget = 300;
+        let out = ddmin(items, |xs| xs.contains(&3) && xs.contains(&59), &mut budget);
+        assert!(out.contains(&3) && out.contains(&59));
+        assert!(
+            out.len() <= 4,
+            "pair should shrink close to minimal: {out:?}"
+        );
+    }
+}

@@ -1,0 +1,119 @@
+//! Golden test for [`upp_noc::StallReport::render_text`]: a known scenario
+//! wedges the unprotected reference scheme into a true deadlock, and the
+//! forensic text report must match the committed golden byte-for-byte.
+//!
+//! The report is the first thing a developer reads when a nightly campaign
+//! fails, so its exact shape (verdict line, hold/wait chains, circular-wait
+//! channel chain, occupancy map) is pinned here. Refresh intentionally with
+//! `UPP_UPDATE_GOLDENS=1`.
+
+use std::path::{Path, PathBuf};
+
+use upp_noc::config::NocConfig;
+use upp_noc::ni::ConsumePolicy;
+use upp_verify::scenario::{scheme_kind, system_spec};
+use upp_verify::TrafficTrace;
+use upp_workloads::runner::build_system;
+
+fn goldens_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/goldens")
+}
+
+/// Compares `actual` against the committed golden `name`, or rewrites the
+/// golden when `UPP_UPDATE_GOLDENS=1`.
+fn check_golden(name: &str, actual: &str) {
+    let path = goldens_dir().join(name);
+    if std::env::var("UPP_UPDATE_GOLDENS").is_ok_and(|v| v == "1") {
+        std::fs::create_dir_all(goldens_dir()).expect("goldens dir");
+        std::fs::write(&path, actual).expect("write golden");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden {} ({e}); run with UPP_UPDATE_GOLDENS=1 to record",
+            path.display()
+        )
+    });
+    assert!(
+        expected == actual,
+        "{name}: stall report differs from committed golden.\n\
+         If the change is intentional, refresh with UPP_UPDATE_GOLDENS=1.\n\
+         --- golden ---\n{expected}\n--- actual ---\n{actual}"
+    );
+}
+
+#[test]
+fn no_scheme_deadlock_stall_report_matches_golden() {
+    // The verify crate's "liar" recipe: heavy uniform-random traffic on the
+    // mini two-chiplet system with no recovery scheme wedges deterministically
+    // at seed 0.
+    let spec = system_spec("mini").expect("mini system");
+    let kind = scheme_kind("none").expect("unprotected scheme");
+    let seed = 0u64;
+    let cfg = NocConfig::default().with_vcs_per_vnet(2);
+    let mut built = build_system(&spec, cfg, &kind, 0, seed, ConsumePolicy::External);
+    let trace = {
+        let topo = built.sys.net().topo();
+        TrafficTrace::random(topo, seed, 500, 0.25)
+    };
+
+    // Offer the trace retry-until-accepted and consume deliveries every
+    // cycle (as the differential harness does), then stop once the network
+    // has made no progress for a full detection window: the remaining
+    // in-flight packets are wedged in the fabric, not at endpoints.
+    let endpoints: Vec<upp_noc::ids::NodeId> = {
+        let topo = built.sys.net().topo();
+        topo.chiplets()
+            .iter()
+            .flat_map(|c| c.routers.iter().copied())
+            .collect()
+    };
+    let num_vnets = built.sys.net().router(endpoints[0]).num_vnets();
+    let mut pending: std::collections::VecDeque<usize> = Default::default();
+    let mut next_entry = 0usize;
+    const STALL_WINDOW: u64 = 1_000;
+    const MAX_CYCLES: u64 = 4_000;
+    loop {
+        let now = built.sys.net().cycle();
+        while next_entry < trace.entries.len() && trace.entries[next_entry].at <= now {
+            pending.push_back(next_entry);
+            next_entry += 1;
+        }
+        for _ in 0..pending.len() {
+            let i = pending.pop_front().expect("non-empty");
+            let e = &trace.entries[i];
+            if built.sys.send(e.src, e.dest, e.vnet, e.len_flits).is_none() {
+                pending.push_back(i);
+            }
+        }
+        built.sys.step();
+        for &node in &endpoints {
+            for v in 0..num_vnets {
+                while built
+                    .sys
+                    .net_mut()
+                    .pop_delivered(node, upp_noc::ids::VnetId(v as u8))
+                    .is_some()
+                {}
+            }
+        }
+        let net = built.sys.net();
+        if net.cycle().saturating_sub(net.last_progress()) >= STALL_WINDOW {
+            break;
+        }
+        assert!(
+            net.cycle() < MAX_CYCLES,
+            "scenario failed to wedge within {MAX_CYCLES} cycles"
+        );
+    }
+
+    let report = built.sys.stall_report();
+    assert!(
+        report.is_deadlock(),
+        "stall must be a circular wait, got:\n{}",
+        report.render_text()
+    );
+    assert!(!report.wedged.is_empty());
+    assert!(report.held_flits() > 0);
+    check_golden("stall_report.txt", &report.render_text());
+}
