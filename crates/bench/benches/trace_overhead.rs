@@ -68,6 +68,9 @@ fn bench_trace_overhead(c: &mut Criterion) {
     group.bench_function("ring_64k", |b| {
         b.iter(|| black_box(run_once(Tracer::ring(1 << 16))))
     });
+    group.bench_function("profiler", |b| {
+        b.iter(|| black_box(run_once(Tracer::profiling())))
+    });
     group.bench_function("chrome_buffered", |b| {
         b.iter(|| black_box(run_once(Tracer::chrome())))
     });

@@ -17,9 +17,12 @@ use std::process::exit;
 use upp_core::{UppConfig, UppStats};
 use upp_noc::config::NocConfig;
 use upp_noc::ni::ConsumePolicy;
+use upp_noc::profile::SpanRecorder;
 use upp_noc::topology::{ChipletSystemSpec, SystemKind};
 use upp_noc::trace::{MetricsSampler, Tracer};
 use upp_noc::viz::{stall_svg, topology_svg};
+use upp_tracetools::render::analyze_text;
+use upp_tracetools::ProfileSummary;
 use upp_workloads::runner::{build_system, SchemeKind, SweepWindows};
 use upp_workloads::synthetic::{Pattern, SyntheticTraffic};
 
@@ -36,6 +39,9 @@ struct Args {
     svg: Option<String>,
     trace: Option<String>,
     chrome_trace: Option<String>,
+    trace_ring_cap: Option<usize>,
+    profile: bool,
+    profile_out: Option<String>,
     metrics_every: Option<u64>,
     metrics_out: Option<String>,
     stall_report: bool,
@@ -61,6 +67,13 @@ fn usage() -> ! {
          --svg PATH                          write final occupancy heat map\n\
          --trace PATH                        stream trace events as JSONL\n\
          --chrome-trace PATH                 write a Chrome/Perfetto trace JSON\n\
+         --trace-ring-cap N                  keep only the last N events of an\n\
+                                             in-memory trace (bounds --chrome-trace\n\
+                                             memory; dropped events are reported)\n\
+         --profile                           attribute per-packet latency to\n\
+                                             phases and print the breakdown\n\
+         --profile-out PATH                  write the profile summary JSON for\n\
+                                             `upp-trace` (implies --profile)\n\
          --metrics-every N                   sample epoch metrics every N cycles\n\
          --metrics-out PATH                  write the metrics time series (CSV;\n\
                                              stdout when omitted)\n\
@@ -98,6 +111,9 @@ fn parse() -> Args {
         svg: None,
         trace: None,
         chrome_trace: None,
+        trace_ring_cap: None,
+        profile: false,
+        profile_out: None,
         metrics_every: None,
         metrics_out: None,
         stall_report: false,
@@ -139,6 +155,18 @@ fn parse() -> Args {
             "--svg" => a.svg = Some(val()),
             "--trace" => a.trace = Some(val()),
             "--chrome-trace" => a.chrome_trace = Some(val()),
+            "--trace-ring-cap" => {
+                let n: usize = val().parse().unwrap_or_else(|_| usage());
+                if n == 0 {
+                    usage();
+                }
+                a.trace_ring_cap = Some(n);
+            }
+            "--profile" => a.profile = true,
+            "--profile-out" => {
+                a.profile = true;
+                a.profile_out = Some(val());
+            }
             "--metrics-every" => a.metrics_every = Some(val().parse().unwrap_or_else(|_| usage())),
             "--metrics-out" => a.metrics_out = Some(val()),
             "--stall-report" => a.stall_report = true,
@@ -239,13 +267,20 @@ fn run_sweep(args: &Args, rates: &[f64]) {
         args.seed,
     );
     println!(
-        "{:>8} {:>10} {:>10} {:>12} {:>10} {:>9}",
-        "rate", "latency", "queueing", "throughput", "ejected", "deadlock"
+        "{:>8} {:>10} {:>10} {:>9} {:>9} {:>12} {:>10} {:>9}",
+        "rate", "latency", "queueing", "p95", "p99", "throughput", "ejected", "deadlock"
     );
     for p in &points {
         println!(
-            "{:>8} {:>10.2} {:>10.2} {:>12.4} {:>10} {:>9}",
-            p.rate, p.net_latency, p.queue_latency, p.throughput, p.packets_ejected, p.deadlocked
+            "{:>8} {:>10.2} {:>10.2} {:>9.1} {:>9.1} {:>12.4} {:>10} {:>9}",
+            p.rate,
+            p.net_latency,
+            p.queue_latency,
+            p.p95,
+            p.p99,
+            p.throughput,
+            p.packets_ejected,
+            p.deadlocked
         );
     }
     if let Some(path) = &args.json {
@@ -284,21 +319,55 @@ fn main() {
     );
     let mut sys = built.sys;
 
-    // Flight recorder: a Chrome trace buffers in memory; a JSONL trace
-    // streams straight to disk.
+    // Flight recorder: a Chrome trace buffers in memory (bounded by
+    // --trace-ring-cap when given); a JSONL trace streams straight to disk;
+    // a bare --trace-ring-cap arms an in-memory ring for post-mortems.
     if args.chrome_trace.is_some() {
         if args.trace.is_some() {
             eprintln!("--chrome-trace takes precedence over --trace; JSONL output disabled");
         }
-        sys.net_mut().set_tracer(Tracer::chrome());
+        sys.net_mut().set_tracer(match args.trace_ring_cap {
+            Some(cap) => Tracer::ring(cap),
+            None => Tracer::chrome(),
+        });
     } else if let Some(path) = &args.trace {
+        if args.trace_ring_cap.is_some() {
+            eprintln!("--trace-ring-cap only bounds in-memory traces; ignored with --trace");
+        }
         let file = std::fs::File::create(path).unwrap_or_else(|e| {
             eprintln!("could not create {path}: {e}");
             exit(1);
         });
         sys.net_mut()
             .set_tracer(Tracer::jsonl(Box::new(std::io::BufWriter::new(file))));
+    } else if let Some(cap) = args.trace_ring_cap {
+        sys.net_mut().set_tracer(Tracer::ring(cap));
     }
+    // The latency profiler rides inside the tracer alongside any sink.
+    let mut profile = if args.profile {
+        sys.net_mut()
+            .tracer_mut()
+            .set_profiler(Some(Box::new(SpanRecorder::new())));
+        Some(ProfileSummary::new(
+            format!("{:?}", args.system),
+            args.scheme.label(),
+        ))
+    } else {
+        None
+    };
+    // Folds finished spans into the summary as the run progresses, so long
+    // profiled runs never hold more than a window of spans in memory.
+    let drain_spans = |sys: &mut upp_noc::sim::System, summary: &mut Option<ProfileSummary>| {
+        if let Some(s) = summary.as_mut() {
+            if let Some(p) = sys.net_mut().tracer_mut().profiler_mut() {
+                if p.finished().len() >= 4096 {
+                    for span in p.drain_finished() {
+                        s.absorb_span(&span);
+                    }
+                }
+            }
+        }
+    };
     let mut sampler = args
         .metrics_every
         .map(|n| MetricsSampler::new(n.max(1), sys.net().topo().num_endpoints()));
@@ -320,20 +389,25 @@ fn main() {
         if let Some(s) = sampler.as_mut() {
             s.maybe_sample(sys.net());
         }
+        drain_spans(&mut sys, &mut profile);
         if sys.net().stalled() {
             eprintln!("network stalled (deadlock) at cycle {cycle}");
             break;
         }
     }
-    let outcome = if let Some(s) = sampler.as_mut() {
-        // Manual drain loop so epoch sampling continues to the end; the
-        // zero-budget call afterwards just classifies the final state.
+    let outcome = if sampler.is_some() || profile.is_some() {
+        // Manual drain loop so epoch sampling and span streaming continue
+        // to the end; the zero-budget call afterwards just classifies the
+        // final state.
         for _ in 0..args.cycles {
             if sys.net().in_flight() == 0 || sys.net().stalled() {
                 break;
             }
             sys.step();
-            s.maybe_sample(sys.net());
+            if let Some(s) = sampler.as_mut() {
+                s.maybe_sample(sys.net());
+            }
+            drain_spans(&mut sys, &mut profile);
         }
         sys.run_until_drained(0)
     } else {
@@ -405,6 +479,28 @@ fn main() {
     } else if args.trace.is_some() {
         tracer.flush();
     }
+    let trace_dropped = tracer.dropped();
+    if trace_dropped > 0 {
+        eprintln!(
+            "warning: trace ring overflowed; {trace_dropped} oldest events \
+             dropped (raise --trace-ring-cap)"
+        );
+    }
+
+    // Finish the latency profile: the recorder's per-router/per-link
+    // counters fold in exactly once, here.
+    if let (Some(summary), Some(mut rec)) = (profile.as_mut(), tracer.set_profiler(None)) {
+        summary.absorb_recorder(&mut rec);
+    }
+    if let Some(summary) = &profile {
+        match &args.profile_out {
+            Some(path) => match std::fs::write(path, summary.to_json()) {
+                Ok(()) => eprintln!("wrote {path} ({} packets profiled)", summary.packets),
+                Err(e) => eprintln!("could not write {path}: {e}"),
+            },
+            None => print!("{}", analyze_text(summary)),
+        }
+    }
 
     // Epoch-metrics time series.
     if let Some(s) = &sampler {
@@ -430,7 +526,7 @@ fn main() {
             None => "null".to_string(),
         };
         let payload = format!(
-            "{{\n  \"outcome\": \"{outcome:?}\",\n  \"cycles\": {},\n  \"endpoints\": {nodes},\n  \"net\": {net_json},\n  \"upp\": {upp_json}\n}}\n",
+            "{{\n  \"outcome\": \"{outcome:?}\",\n  \"cycles\": {},\n  \"endpoints\": {nodes},\n  \"trace_dropped\": {trace_dropped},\n  \"net\": {net_json},\n  \"upp\": {upp_json}\n}}\n",
             sys.net().cycle()
         );
         match std::fs::write(path, payload) {

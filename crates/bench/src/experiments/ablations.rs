@@ -76,6 +76,10 @@ fn sweep_custom(
             packets_ejected: stats.packets_ejected,
             upward_packets: 0,
             control_hops: stats.control_hops,
+            p50: stats.latency_percentile(0.5),
+            p95: stats.latency_percentile(0.95),
+            p99: stats.latency_percentile(0.99),
+            p999: stats.latency_percentile(0.999),
             deadlocked: stats.packets_ejected == 0,
         }
     })

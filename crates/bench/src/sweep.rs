@@ -373,6 +373,12 @@ impl FromJsonValue for SweepPoint {
             packets_ejected: v.get("packets_ejected")?.as_u64()?,
             upward_packets: v.get("upward_packets")?.as_u64()?,
             control_hops: v.get("control_hops")?.as_u64()?,
+            // Journals from before the percentile columns lack these keys;
+            // returning None makes the engine re-run the point.
+            p50: v.get("p50")?.as_f64()?,
+            p95: v.get("p95")?.as_f64()?,
+            p99: v.get("p99")?.as_f64()?,
+            p999: v.get("p999")?.as_f64()?,
             deadlocked: matches!(v.get("deadlocked")?, Value::Bool(true)),
         })
     }
@@ -599,6 +605,10 @@ mod tests {
             packets_ejected: 1234,
             upward_packets: 7,
             control_hops: 99,
+            p50: 21.0,
+            p95: 48.5,
+            p99: 62.25,
+            p999: 80.0,
             deadlocked: false,
         };
         let v = serde_json::to_value(p).unwrap();

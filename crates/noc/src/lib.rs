@@ -60,6 +60,7 @@ pub mod ids;
 pub mod network;
 pub mod ni;
 pub mod packet;
+pub mod profile;
 pub mod router;
 pub mod routing;
 pub mod scheme;
@@ -73,6 +74,7 @@ pub use config::NocConfig;
 pub use fault::{FaultAction, FaultEvent, FaultPlan};
 pub use ids::{ChipletId, Cycle, NodeId, PacketId, Port, VcId, VnetId};
 pub use network::Network;
+pub use profile::{PacketSpan, SpanRecorder};
 pub use scheme::{NoScheme, Scheme, SchemeProperties};
 pub use sim::{RunOutcome, System};
 pub use trace::{MetricsSampler, MetricsSnapshot, StallReport, TraceEvent, TraceSink, Tracer};

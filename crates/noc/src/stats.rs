@@ -161,6 +161,33 @@ impl NetStats {
             .unwrap_or(0)
     }
 
+    /// Estimates the `q`-quantile (`0.0..=1.0`) of total packet latency by
+    /// linear interpolation inside the power-of-two histogram buckets. The
+    /// estimate is exact at bucket boundaries and never exceeds the worst
+    /// observed latency; with no ejected packets it is `0.0`.
+    pub fn latency_percentile(&self, q: f64) -> f64 {
+        let total: u64 = self.latency_histogram.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let target = q.clamp(0.0, 1.0) * total as f64;
+        let mut cum = 0.0;
+        for (i, &n) in self.latency_histogram.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            let next = cum + n as f64;
+            if next >= target {
+                let lo = (1u64 << i) as f64;
+                let hi = (1u64 << (i + 1)) as f64;
+                let frac = ((target - cum) / n as f64).clamp(0.0, 1.0);
+                return (lo + frac * (hi - lo)).min(self.max_latency.max(1) as f64);
+            }
+            cum = next;
+        }
+        self.max_latency as f64
+    }
+
     /// Delivered throughput in flits per cycle per node.
     pub fn throughput(&self, cycles: u64, nodes: usize) -> f64 {
         if cycles == 0 || nodes == 0 {
@@ -286,6 +313,29 @@ mod tests {
         s.record_ejection(&r, 5); // latency 5 -> bucket 2
         assert_eq!(s.latency_histogram[0], 1);
         assert_eq!(s.latency_histogram[2], 1);
+    }
+
+    #[test]
+    fn percentiles_interpolate_within_buckets() {
+        let mut s = NetStats::new(1);
+        assert_eq!(s.latency_percentile(0.5), 0.0, "empty stats report 0");
+        let mut r = rec(0);
+        r.injected_at = Some(0);
+        // 8 packets at latency 1 (bucket 0), 2 at latency 100 (bucket 6).
+        for _ in 0..8 {
+            s.record_ejection(&r, 1);
+        }
+        for _ in 0..2 {
+            s.record_ejection(&r, 100);
+        }
+        let p50 = s.latency_percentile(0.5);
+        assert!((1.0..2.0).contains(&p50), "p50 in bucket 0: {p50}");
+        let p95 = s.latency_percentile(0.95);
+        assert!((64.0..=100.0).contains(&p95), "p95 in top bucket: {p95}");
+        assert!(
+            s.latency_percentile(1.0) <= s.max_latency as f64,
+            "never exceeds the observed max"
+        );
     }
 
     #[test]

@@ -25,6 +25,7 @@
 
 use crate::control::{ControlClass, ControlRoute};
 use crate::ids::{Cycle, NodeId, PacketId, Port, VnetId};
+use crate::profile::SpanRecorder;
 use crate::routing::GlobalChannel;
 use serde::Serialize;
 use std::collections::VecDeque;
@@ -32,6 +33,13 @@ use std::fmt::Write as _;
 use std::io::Write;
 
 // --------------------------------------------------------------- events
+
+/// Renders a string as a JSON string literal (quotes included) through the
+/// serde_json writer, so quotes, backslashes and control characters are
+/// escaped exactly as a conforming serializer would.
+fn json_str(s: &str) -> String {
+    serde_json::to_string(&s).expect("string serialization is infallible")
+}
 
 /// Why a buffered head-of-line flit failed to advance this cycle.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
@@ -263,14 +271,20 @@ impl TraceEvent {
     }
 
     /// Renders the event's payload as a JSON object (the Chrome trace
-    /// `args` field and the JSONL line body). Hand-rendered so the tracer
-    /// needs no serializer in its hot path.
+    /// `args` field and the JSONL line body). Numbers are hand-rendered so
+    /// the tracer needs no serializer in its hot path, but every string
+    /// field goes through the serde_json writer's escaping
+    /// ([`json_str`]) — stage labels and port names can never corrupt the
+    /// output, however hostile their contents.
     pub fn args_json(&self) -> String {
         fn opt_port(p: Option<Port>) -> String {
             match p {
-                Some(p) => format!("\"{p}\""),
+                Some(p) => json_str(&p.to_string()),
                 None => "null".into(),
             }
+        }
+        fn port(p: Port) -> String {
+            json_str(&p.to_string())
         }
         match *self {
             TraceEvent::PacketCreated { at, packet, src, dest, vnet, len_flits } => format!(
@@ -285,43 +299,46 @@ impl TraceEvent {
                 packet.0, node.0
             ),
             TraceEvent::VcAllocated { at, packet, node, in_port, vc_flat, out_port, out_vc } => format!(
-                "{{\"at\":{at},\"packet\":{},\"node\":{},\"in_port\":\"{in_port}\",\"vc_flat\":{vc_flat},\"out_port\":\"{out_port}\",\"out_vc\":{out_vc}}}",
-                packet.0, node.0
+                "{{\"at\":{at},\"packet\":{},\"node\":{},\"in_port\":{},\"vc_flat\":{vc_flat},\"out_port\":{},\"out_vc\":{out_vc}}}",
+                packet.0, node.0, port(in_port), port(out_port)
             ),
             TraceEvent::Blocked { at, packet, node, in_port, vc_flat, out_port, reason } => format!(
-                "{{\"at\":{at},\"packet\":{},\"node\":{},\"in_port\":\"{in_port}\",\"vc_flat\":{vc_flat},\"out_port\":{},\"reason\":\"{}\"}}",
-                packet.0, node.0, opt_port(out_port), reason.label()
+                "{{\"at\":{at},\"packet\":{},\"node\":{},\"in_port\":{},\"vc_flat\":{vc_flat},\"out_port\":{},\"reason\":{}}}",
+                packet.0, node.0, port(in_port), opt_port(out_port), json_str(reason.label())
             ),
             TraceEvent::BypassPop { at, packet, node, in_port, vc_flat, out_port } => format!(
-                "{{\"at\":{at},\"packet\":{},\"node\":{},\"in_port\":\"{in_port}\",\"vc_flat\":{vc_flat},\"out_port\":\"{out_port}\"}}",
-                packet.0, node.0
+                "{{\"at\":{at},\"packet\":{},\"node\":{},\"in_port\":{},\"vc_flat\":{vc_flat},\"out_port\":{}}}",
+                packet.0, node.0, port(in_port), port(out_port)
             ),
             TraceEvent::BypassHop { at, packet, node, out_port } => format!(
-                "{{\"at\":{at},\"packet\":{},\"node\":{},\"out_port\":\"{out_port}\"}}",
-                packet.0, node.0
+                "{{\"at\":{at},\"packet\":{},\"node\":{},\"out_port\":{}}}",
+                packet.0, node.0, port(out_port)
             ),
             TraceEvent::ControlHop { at, node, out_port, class, bits, vnet, origin, routing } => format!(
-                "{{\"at\":{at},\"node\":{},\"out_port\":\"{out_port}\",\"class\":\"{}\",\"bits\":{bits},\"vnet\":{},\"origin\":{},\"routing\":\"{}\"}}",
+                "{{\"at\":{at},\"node\":{},\"out_port\":{},\"class\":{},\"bits\":{bits},\"vnet\":{},\"origin\":{},\"routing\":{}}}",
                 node.0,
-                match class {
+                port(out_port),
+                json_str(match class {
                     ControlClass::ReqLike => "req",
                     ControlClass::AckLike => "ack",
-                },
+                }),
                 vnet.0,
                 origin.0,
-                match routing {
+                json_str(match routing {
                     ControlRoute::Forward => "forward",
                     ControlRoute::Reverse => "reverse",
-                },
+                }),
             ),
             TraceEvent::PopupStage { at, node, vnet, packet, from, to } => format!(
-                "{{\"at\":{at},\"node\":{},\"vnet\":{},\"packet\":{},\"from\":\"{from}\",\"to\":\"{to}\"}}",
+                "{{\"at\":{at},\"node\":{},\"vnet\":{},\"packet\":{},\"from\":{},\"to\":{}}}",
                 node.0,
                 vnet.0,
                 match packet {
                     Some(p) => p.0.to_string(),
                     None => "null".into(),
                 },
+                json_str(from),
+                json_str(to),
             ),
             TraceEvent::PopupSpan { node, vnet, packet, detected_at, completed_at, wait_ack, locate, pop } => format!(
                 "{{\"node\":{},\"vnet\":{},\"packet\":{},\"detected_at\":{detected_at},\"completed_at\":{completed_at},\"wait_ack\":{wait_ack},\"locate\":{locate},\"pop\":{pop}}}",
@@ -334,8 +351,8 @@ impl TraceEvent {
     /// newline).
     pub fn jsonl(&self) -> String {
         format!(
-            "{{\"event\":\"{}\",\"args\":{}}}",
-            self.name(),
+            "{{\"event\":{},\"args\":{}}}",
+            json_str(self.name()),
             self.args_json()
         )
     }
@@ -348,15 +365,15 @@ impl TraceEvent {
         let tid = self.node().map(|n| n.0).unwrap_or(0);
         match *self {
             TraceEvent::PopupSpan { detected_at, completed_at, .. } => format!(
-                "{{\"name\":\"{}\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":0,\"tid\":{tid},\"args\":{}}}",
-                self.name(),
+                "{{\"name\":{},\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":0,\"tid\":{tid},\"args\":{}}}",
+                json_str(self.name()),
                 detected_at,
                 completed_at.saturating_sub(detected_at).max(1),
                 self.args_json()
             ),
             _ => format!(
-                "{{\"name\":\"{}\",\"ph\":\"i\",\"ts\":{},\"pid\":0,\"tid\":{tid},\"s\":\"t\",\"args\":{}}}",
-                self.name(),
+                "{{\"name\":{},\"ph\":\"i\",\"ts\":{},\"pid\":0,\"tid\":{tid},\"s\":\"t\",\"args\":{}}}",
+                json_str(self.name()),
                 self.at(),
                 self.args_json()
             ),
@@ -411,8 +428,15 @@ enum SinkState {
 
 /// The flight recorder. Owned by [`crate::network::Network`]; disabled by
 /// default.
+///
+/// Besides the event sink, a [`SpanRecorder`] can ride along (see
+/// [`Tracer::set_profiler`]): it observes every recorded event and folds
+/// the stream into per-packet latency spans. A profiler alone (sink
+/// disabled) turns [`Tracer::enabled`] on, so the instrumentation sites
+/// feed it without any extra branches.
 pub struct Tracer {
     state: SinkState,
+    profiler: Option<Box<SpanRecorder>>,
 }
 
 impl Default for Tracer {
@@ -432,6 +456,7 @@ impl std::fmt::Debug for Tracer {
         f.debug_struct("Tracer")
             .field("sink", &kind)
             .field("events", &len)
+            .field("profiling", &self.profiler.is_some())
             .finish()
     }
 }
@@ -441,6 +466,7 @@ impl Tracer {
     pub fn disabled() -> Self {
         Self {
             state: SinkState::Disabled,
+            profiler: None,
         }
     }
 
@@ -456,7 +482,18 @@ impl Tracer {
             TraceSink::Jsonl(out) => SinkState::Jsonl { out, written: 0 },
             TraceSink::Chrome => SinkState::Chrome { buf: Vec::new() },
         };
-        Self { state }
+        Self {
+            state,
+            profiler: None,
+        }
+    }
+
+    /// A tracer with no sink but a fresh span recorder: events feed the
+    /// per-packet latency profiler and are otherwise discarded.
+    pub fn profiling() -> Self {
+        let mut t = Self::disabled();
+        t.profiler = Some(Box::new(SpanRecorder::new()));
+        t
     }
 
     /// A ring-buffer tracer holding the latest `capacity` events.
@@ -475,17 +512,41 @@ impl Tracer {
         Self::new(TraceSink::Chrome)
     }
 
-    /// True when events are being recorded. Instrumentation sites branch on
-    /// this before building event payloads, so a disabled tracer costs one
-    /// predictable branch per site.
+    /// True when events are being recorded (a sink is armed or a profiler
+    /// is installed). Instrumentation sites branch on this before building
+    /// event payloads, so a disabled tracer costs one predictable branch
+    /// per site.
     #[inline(always)]
     pub fn enabled(&self) -> bool {
-        !matches!(self.state, SinkState::Disabled)
+        self.profiler.is_some() || !matches!(self.state, SinkState::Disabled)
+    }
+
+    /// Installs (or removes) the per-packet span recorder, returning the
+    /// previous one with whatever it has accumulated.
+    pub fn set_profiler(
+        &mut self,
+        profiler: Option<Box<SpanRecorder>>,
+    ) -> Option<Box<SpanRecorder>> {
+        std::mem::replace(&mut self.profiler, profiler)
+    }
+
+    /// The installed span recorder, when any.
+    pub fn profiler(&self) -> Option<&SpanRecorder> {
+        self.profiler.as_deref()
+    }
+
+    /// Mutable access to the installed span recorder (drivers drain
+    /// finished spans through this).
+    pub fn profiler_mut(&mut self) -> Option<&mut SpanRecorder> {
+        self.profiler.as_deref_mut()
     }
 
     /// Records one event (no-op when disabled).
     #[inline]
     pub fn record(&mut self, ev: TraceEvent) {
+        if let Some(p) = &mut self.profiler {
+            p.observe(&ev);
+        }
         match &mut self.state {
             SinkState::Disabled => {}
             SinkState::Ring {
@@ -606,6 +667,14 @@ pub struct MetricsSnapshot {
     pub mean_link_util: f64,
     /// Largest per-link flits-per-cycle during the epoch.
     pub max_link_util: f64,
+    /// UPP wait-ack stage cycles accumulated during the epoch (from the
+    /// scheme's stage counters via [`MetricsSampler::set_upp_probe`]; zero
+    /// when no probe is installed).
+    pub upp_wait_ack_cycles: u64,
+    /// UPP locate stage cycles accumulated during the epoch.
+    pub upp_locate_cycles: u64,
+    /// UPP pop stage cycles accumulated during the epoch.
+    pub upp_pop_cycles: u64,
     /// Per-router buffered flits at the sample cycle (dense by node id).
     pub router_occupancy: Vec<usize>,
     /// Per-link flits moved during the epoch, flat-indexed
@@ -617,10 +686,17 @@ pub struct MetricsSnapshot {
 /// Columns of [`MetricsSampler::to_csv`].
 pub const METRICS_CSV_HEADER: &str = "cycle,epoch_cycles,packets_created,packets_ejected,\
 flits_injected,flits_ejected,injection_rate,ejection_rate,in_flight,buffered_flits,\
-max_router_occupancy,req_buf_total,ack_buf_total,mean_link_util,max_link_util";
+max_router_occupancy,req_buf_total,ack_buf_total,mean_link_util,max_link_util,\
+upp_wait_ack_cycles,upp_locate_cycles,upp_pop_cycles";
+
+/// Reads the scheme's cumulative UPP stage counters as
+/// `[wait_ack, locate, pop]` total cycles. The sampler differences
+/// consecutive reads into per-epoch deltas, so the closure just returns the
+/// running totals (e.g. from `UppStats`).
+pub type UppStageProbe = std::sync::Arc<dyn Fn() -> [u64; 3] + Send + Sync>;
 
 /// Samples epoch metrics every K cycles into a time series.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct MetricsSampler {
     every: u64,
     endpoints: usize,
@@ -630,7 +706,20 @@ pub struct MetricsSampler {
     last_flits_injected: u64,
     last_flits_ejected: u64,
     last_link_flits: Vec<u64>,
+    last_upp: [u64; 3],
+    upp_probe: Option<UppStageProbe>,
     history: Vec<MetricsSnapshot>,
+}
+
+impl std::fmt::Debug for MetricsSampler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MetricsSampler")
+            .field("every", &self.every)
+            .field("endpoints", &self.endpoints)
+            .field("samples", &self.history.len())
+            .field("upp_probe", &self.upp_probe.is_some())
+            .finish()
+    }
 }
 
 impl MetricsSampler {
@@ -647,8 +736,19 @@ impl MetricsSampler {
             last_flits_injected: 0,
             last_flits_ejected: 0,
             last_link_flits: Vec::new(),
+            last_upp: [0; 3],
+            upp_probe: None,
             history: Vec::new(),
         }
+    }
+
+    /// Installs a probe for the scheme's cumulative UPP stage counters so
+    /// epoch snapshots carry per-epoch wait-ack/locate/pop cycle deltas.
+    /// The `noc` crate does not know any scheme's stats type, so callers
+    /// (e.g. the `simulate` CLI) adapt their `UppStats` behind this closure.
+    pub fn set_upp_probe(&mut self, probe: UppStageProbe) {
+        self.last_upp = probe();
+        self.upp_probe = Some(probe);
     }
 
     /// Epoch length in cycles.
@@ -702,6 +802,12 @@ impl MetricsSampler {
 
         let flits_injected = stats.flits_injected - self.last_flits_injected;
         let flits_ejected = stats.flits_ejected - self.last_flits_ejected;
+        let cur_upp = self.upp_probe.as_ref().map(|p| p()).unwrap_or([0; 3]);
+        let upp_delta = [
+            cur_upp[0].saturating_sub(self.last_upp[0]),
+            cur_upp[1].saturating_sub(self.last_upp[1]),
+            cur_upp[2].saturating_sub(self.last_upp[2]),
+        ];
         let snap = MetricsSnapshot {
             cycle,
             epoch_cycles,
@@ -720,9 +826,13 @@ impl MetricsSampler {
             ack_buf_max: ack_max,
             mean_link_util,
             max_link_util,
+            upp_wait_ack_cycles: upp_delta[0],
+            upp_locate_cycles: upp_delta[1],
+            upp_pop_cycles: upp_delta[2],
             router_occupancy,
             link_flits,
         };
+        self.last_upp = cur_upp;
         self.last_cycle = cycle;
         self.last_packets_created = stats.packets_created;
         self.last_packets_ejected = stats.packets_ejected;
@@ -745,7 +855,7 @@ impl MetricsSampler {
         for s in &self.history {
             let _ = writeln!(
                 out,
-                "{},{},{},{},{},{},{:.6},{:.6},{},{},{},{},{},{:.6},{:.6}",
+                "{},{},{},{},{},{},{:.6},{:.6},{},{},{},{},{},{:.6},{:.6},{},{},{}",
                 s.cycle,
                 s.epoch_cycles,
                 s.packets_created,
@@ -761,6 +871,9 @@ impl MetricsSampler {
                 s.ack_buf_total,
                 s.mean_link_util,
                 s.max_link_util,
+                s.upp_wait_ack_cycles,
+                s.upp_locate_cycles,
+                s.upp_pop_cycles,
             );
         }
         out
@@ -1295,6 +1408,9 @@ mod tests {
             ack_buf_max: 0,
             mean_link_util: 0.2,
             max_link_util: 0.9,
+            upp_wait_ack_cycles: 12,
+            upp_locate_cycles: 3,
+            upp_pop_cycles: 5,
             router_occupancy: vec![0, 4, 3],
             link_flits: vec![0, 20, 30],
         });
@@ -1309,5 +1425,85 @@ mod tests {
             cols,
             "row arity matches header"
         );
+        assert!(
+            lines[1].ends_with(",12,3,5"),
+            "UPP stage columns are last: {}",
+            lines[1]
+        );
+    }
+
+    #[test]
+    fn hostile_strings_round_trip_through_serde_json_escaping() {
+        // &'static str fields can legally contain quotes, backslashes and
+        // control characters; the renderers must escape them, not trust
+        // them.
+        let hostile = TraceEvent::PopupStage {
+            at: 3,
+            node: NodeId(1),
+            vnet: VnetId(0),
+            packet: None,
+            from: "quo\"te\\back\nline\ttab",
+            to: "}{\"pwn\":1,\"x\":\"",
+        };
+        for rendered in [hostile.jsonl(), hostile.chrome_json(), hostile.args_json()] {
+            assert!(json_is_wellformed(&rendered), "malformed: {rendered}");
+            let v = serde_json::from_str(&rendered).expect("parses back");
+            let obj = if rendered == hostile.args_json() {
+                v
+            } else {
+                v.get("args").cloned().expect("args object")
+            };
+            assert_eq!(
+                obj.get("from").and_then(|s| s.as_str()),
+                Some("quo\"te\\back\nline\ttab")
+            );
+            assert_eq!(
+                obj.get("to").and_then(|s| s.as_str()),
+                Some("}{\"pwn\":1,\"x\":\"")
+            );
+        }
+    }
+
+    #[test]
+    fn profiling_tracer_feeds_spans_without_a_sink() {
+        let mut t = Tracer::profiling();
+        assert!(t.enabled(), "profiler alone must light the hook sites");
+        for ev in sample_events() {
+            t.record(ev);
+        }
+        assert!(t.is_empty(), "no sink: no retained events");
+        let spans = t
+            .profiler_mut()
+            .expect("profiler installed")
+            .drain_finished();
+        assert_eq!(spans.len(), 1);
+        let s = &spans[0];
+        assert_eq!(s.packet, PacketId(7));
+        assert_eq!(s.net_latency(), 28);
+        assert_eq!(s.total_latency(), 30);
+        assert_eq!(s.wait_ack, 12);
+        assert_eq!(s.pop, 9);
+        // Moving the profiler out leaves a plain disabled tracer.
+        let p = t.set_profiler(None);
+        assert!(p.is_some());
+        assert!(!t.enabled());
+    }
+
+    #[test]
+    fn upp_probe_latches_totals_at_install() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        use std::sync::Arc;
+        let counter = Arc::new(AtomicU64::new(100));
+        let c2 = Arc::clone(&counter);
+        let mut s = MetricsSampler::new(10, 4);
+        // Installing the probe snapshots the current totals so the first
+        // sampled epoch reports growth from now on, not all of history.
+        s.set_upp_probe(Arc::new(move || {
+            let v = c2.load(Ordering::Relaxed);
+            [v, v / 2, v / 4]
+        }));
+        assert_eq!(s.last_upp, [100, 50, 25]);
+        counter.store(160, Ordering::Relaxed);
+        assert_eq!(s.upp_probe.as_ref().unwrap()(), [160, 80, 40]);
     }
 }

@@ -10,7 +10,10 @@
 //!   terminal output;
 //! * [`stall_svg`] — the plan view annotated with a
 //!   [`crate::trace::StallReport`]: the circular-wait channels drawn as
-//!   thick red arrows and the wedged packets' held VCs ringed.
+//!   thick red arrows and the wedged packets' held VCs ringed;
+//! * [`contention_svg`] — the plan view as a contention heatmap: node fill
+//!   encodes per-router heat, link strokes per-directed-link heat (e.g.
+//!   blocked VC-cycles from the [`crate::profile::SpanRecorder`]).
 
 use crate::ids::{NodeId, Port};
 use crate::topology::Topology;
@@ -206,6 +209,117 @@ pub fn stall_svg(topo: &Topology, report: &StallReport) -> String {
     base.replace("</svg>\n", &format!("{overlay}</svg>\n"))
 }
 
+/// Renders a contention heatmap over the plan view. `node_heat` colours
+/// routers white → red relative to the hottest router; `link_heat` draws
+/// one overlay stroke per hot directed link `(from, out_port, heat)`,
+/// offset a few pixels perpendicular to the link so both directions of a
+/// physical link stay distinguishable, with stroke width and colour scaling
+/// with heat. Heat units are the caller's (the profiling pipeline feeds
+/// blocked VC-cycles); only relative magnitude matters. The `title` is
+/// rendered verbatim after XML escaping.
+pub fn contention_svg(
+    topo: &Topology,
+    node_heat: &[(NodeId, u64)],
+    link_heat: &[(NodeId, Port, u64)],
+    title: &str,
+) -> String {
+    let pos = layout(topo);
+    let nh: HashMap<NodeId, u64> = node_heat.iter().copied().collect();
+    let max_node = nh.values().copied().max().unwrap_or(0);
+    let max_link = link_heat.iter().map(|&(_, _, v)| v).max().unwrap_or(0);
+    let width = pos.values().map(|&(x, _)| x).fold(0.0, f64::max) + NODE + MARGIN;
+    let height = pos.values().map(|&(_, y)| y).fold(0.0, f64::max) + NODE + MARGIN;
+
+    let mut svg = String::new();
+    let _ = writeln!(
+        svg,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{width:.0}" height="{height:.0}" viewBox="0 0 {width:.0} {height:.0}">"#
+    );
+    let _ = writeln!(
+        svg,
+        r##"<rect width="100%" height="100%" fill="#fafafa"/>"##
+    );
+
+    // Plain links underneath, as in the topology view.
+    for n in topo.nodes() {
+        for (p, peer) in n.links() {
+            if peer < n.id {
+                continue;
+            }
+            let (x1, y1) = pos[&n.id];
+            let (x2, y2) = pos[&peer];
+            let dash = if p.is_vertical() {
+                r#" stroke-dasharray="6,4""#
+            } else {
+                ""
+            };
+            let _ = writeln!(
+                svg,
+                r##"<line x1="{x1:.0}" y1="{y1:.0}" x2="{x2:.0}" y2="{y2:.0}" stroke="#d8d8d8" stroke-width="2"{dash}/>"##
+            );
+        }
+    }
+    // Hot directed links on top.
+    for &(n, p, v) in link_heat {
+        if v == 0 {
+            continue;
+        }
+        let Some(peer) = topo.raw_neighbor(n, p) else {
+            continue;
+        };
+        let (x1, y1) = pos[&n];
+        let (x2, y2) = pos[&peer];
+        let (dx, dy) = (x2 - x1, y2 - y1);
+        let len = (dx * dx + dy * dy).sqrt().max(1.0);
+        // Perpendicular offset keeps the two directions side by side.
+        let (ox, oy) = (-dy / len * 3.0, dx / len * 3.0);
+        let t = v as f64 / max_link as f64;
+        let stroke = heat_color((t * 1000.0) as usize, 1000);
+        let _ = writeln!(
+            svg,
+            r#"<line x1="{:.0}" y1="{:.0}" x2="{:.0}" y2="{:.0}" stroke="{stroke}" stroke-width="{:.1}" opacity="0.9"/>"#,
+            x1 + ox,
+            y1 + oy,
+            x2 + ox,
+            y2 + oy,
+            2.0 + 3.0 * t,
+        );
+    }
+    // Nodes coloured by heat.
+    for n in topo.nodes() {
+        let (x, y) = pos[&n.id];
+        let heat = nh.get(&n.id).copied().unwrap_or(0);
+        let fill = heat_color(
+            ((heat as f64 / max_node.max(1) as f64) * 1000.0) as usize,
+            1000,
+        );
+        let stroke = if n.boundary { "#4060c0" } else { "#404040" };
+        let shape = if topo.is_interposer(n.id) { 4.0 } else { 8.0 };
+        let _ = writeln!(
+            svg,
+            r#"<rect x="{:.0}" y="{:.0}" width="{NODE:.0}" height="{NODE:.0}" rx="{shape}" fill="{fill}" stroke="{stroke}" stroke-width="2"/>"#,
+            x - NODE / 2.0,
+            y - NODE / 2.0,
+        );
+        let _ = writeln!(
+            svg,
+            r#"<text x="{x:.0}" y="{:.0}" font-size="9" text-anchor="middle" font-family="monospace">{}</text>"#,
+            y + 3.0,
+            n.id.0
+        );
+    }
+    let escaped = title
+        .replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;");
+    let _ = writeln!(
+        svg,
+        r#"<text x="{MARGIN:.0}" y="14" font-size="12" font-family="monospace">{escaped}</text>"#
+    );
+    svg.push_str("</svg>\n");
+    svg
+}
+
 /// Renders occupancy as per-region digit grids (`.` for empty, `1`-`9`,
 /// then `#` for ten or more buffered flits).
 pub fn occupancy_ascii(topo: &Topology, occupancy: &[(NodeId, usize)]) -> String {
@@ -291,6 +405,28 @@ mod tests {
         t.set_link_faulty(b, Port::East);
         let svg = topology_svg(&t, &[]);
         assert!(svg.contains(r##"stroke="#d02020""##));
+    }
+
+    #[test]
+    fn contention_svg_colours_hot_nodes_and_links() {
+        let t = topo();
+        let hot = t.chiplets()[0].routers[0];
+        let svg = contention_svg(
+            &t,
+            &[(hot, 500)],
+            &[(hot, Port::East, 120), (hot, Port::North, 0)],
+            "blocked cycles <test> & co",
+        );
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>\n"));
+        assert_eq!(svg.matches("<rect x=").count(), t.num_nodes());
+        assert!(
+            svg.contains(r##"fill="#ff0000""##),
+            "hottest node is pure red"
+        );
+        // Exactly one hot-link overlay (zero-heat links are skipped).
+        assert_eq!(svg.matches(r#"opacity="0.9""#).count(), 1);
+        assert!(svg.contains("blocked cycles &lt;test&gt; &amp; co"));
     }
 
     #[test]

@@ -1,0 +1,266 @@
+//! Mergeable log-bucketed histograms for latency distributions.
+//!
+//! Values below [`LINEAR_MAX`] get one exact bucket each; above that, every
+//! power-of-two octave is split into [`SUB`] equal sub-buckets, so the
+//! bucket width at value `v` is at most `v / SUB` and the midpoint
+//! representative is within a **relative error of `1 / (2 * SUB) = 1/64`**
+//! of any value the bucket absorbed. The bucket array is a plain counter
+//! vector, which makes merging an exact element-wise add: merged quantiles
+//! are computed over the union of the recorded values' buckets, never by
+//! approximating quantiles of quantiles.
+
+use serde::Serialize;
+use serde_json::Value;
+
+/// Sub-buckets per power-of-two octave.
+pub const SUB: usize = 32;
+
+/// Values below this get exact single-value buckets.
+pub const LINEAR_MAX: u64 = 32;
+
+/// A mergeable log-bucketed histogram of `u64` samples (latencies in
+/// cycles).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize)]
+pub struct Histogram {
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bucket index for a value: exact below [`LINEAR_MAX`], then
+    /// `SUB` sub-buckets per octave, continuous at the boundary.
+    fn index(v: u64) -> usize {
+        if v < LINEAR_MAX {
+            v as usize
+        } else {
+            let e = 63 - v.leading_zeros() as usize; // e >= 5
+            let sub = ((v >> (e - 5)) & 31) as usize;
+            32 + (e - 5) * SUB + sub
+        }
+    }
+
+    /// Half-open value range `[lo, hi)` covered by a bucket.
+    fn bounds(idx: usize) -> (u64, u64) {
+        if idx < 32 {
+            (idx as u64, idx as u64 + 1)
+        } else {
+            let e = 5 + (idx - 32) / SUB;
+            let sub = ((idx - 32) % SUB) as u64;
+            let w = 1u64 << (e - 5);
+            let lo = (1u64 << e) + sub * w;
+            (lo, lo + w)
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, v: u64) {
+        let idx = Self::index(v);
+        if self.buckets.len() <= idx {
+            self.buckets.resize(idx + 1, 0);
+        }
+        self.buckets[idx] += 1;
+        if self.count == 0 {
+            self.min = v;
+            self.max = v;
+        } else {
+            self.min = self.min.min(v);
+            self.max = self.max.max(v);
+        }
+        self.count += 1;
+        self.sum += v;
+    }
+
+    /// Adds every sample of `other` into `self` (exact element-wise count
+    /// merge; associative and commutative).
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.count == 0 {
+            return;
+        }
+        if self.buckets.len() < other.buckets.len() {
+            self.buckets.resize(other.buckets.len(), 0);
+        }
+        for (s, &o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *s += o;
+        }
+        if self.count == 0 {
+            self.min = other.min;
+            self.max = other.max;
+        } else {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of recorded samples.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest recorded sample (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded sample (0 when empty).
+    pub fn max(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.max
+        }
+    }
+
+    /// Mean of recorded samples (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The `q`-quantile (`0.0..=1.0`) as the midpoint of the bucket holding
+    /// the rank-`ceil(q * count)` sample, clamped to the observed
+    /// `[min, max]`. Deterministic and integer-valued; within the 1/64
+    /// relative-error bound of the true order statistic.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut cum = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            cum += n;
+            if n > 0 && cum >= target {
+                let (lo, hi) = Self::bounds(i);
+                return ((lo + hi) / 2).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Renders as a deterministic JSON object with sparse buckets.
+    pub fn to_json(&self) -> String {
+        let mut pairs = String::new();
+        for (i, &n) in self.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            if !pairs.is_empty() {
+                pairs.push(',');
+            }
+            pairs.push_str(&format!("[{i},{n}]"));
+        }
+        format!(
+            "{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"buckets\":[{pairs}]}}",
+            self.count,
+            self.sum,
+            self.min(),
+            self.max()
+        )
+    }
+
+    /// Rebuilds a histogram from the [`Histogram::to_json`] shape.
+    pub fn from_value(v: &Value) -> Option<Self> {
+        let count = v.get("count")?.as_u64()?;
+        let sum = v.get("sum")?.as_u64()?;
+        let min = v.get("min")?.as_u64()?;
+        let max = v.get("max")?.as_u64()?;
+        let mut buckets = Vec::new();
+        for pair in v.get("buckets")?.as_array()? {
+            let p = pair.as_array()?;
+            let idx = p.first()?.as_u64()? as usize;
+            let n = p.get(1)?.as_u64()?;
+            if buckets.len() <= idx {
+                buckets.resize(idx + 1, 0);
+            }
+            buckets[idx] = n;
+        }
+        Some(Self {
+            buckets,
+            count,
+            sum,
+            min,
+            max,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = Histogram::new();
+        for v in 0..LINEAR_MAX {
+            h.record(v);
+            assert_eq!(Histogram::bounds(Histogram::index(v)), (v, v + 1));
+        }
+        assert_eq!(h.count(), 32);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 31);
+    }
+
+    #[test]
+    fn indexing_is_continuous_and_monotonic() {
+        let mut prev = 0;
+        for v in 0..100_000u64 {
+            let idx = Histogram::index(v);
+            assert!(idx >= prev, "monotonic at {v}");
+            prev = idx;
+            let (lo, hi) = Histogram::bounds(idx);
+            assert!(lo <= v && v < hi, "bounds contain {v}: [{lo},{hi})");
+        }
+    }
+
+    #[test]
+    fn quantiles_hit_known_ranks() {
+        let mut h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let p50 = h.quantile(0.5);
+        assert!(
+            (p50 as f64 - 500.0).abs() <= 500.0 / 64.0 + 1.0,
+            "p50 near 500: {p50}"
+        );
+        let p999 = h.quantile(0.999);
+        assert!(
+            (p999 as f64 - 999.0).abs() <= 999.0 / 64.0 + 1.0,
+            "p999 near 999: {p999}"
+        );
+        assert_eq!(h.quantile(1.0), 1000, "max rank clamps to observed max");
+        assert_eq!(h.quantile(0.0), 1, "min rank clamps to observed min");
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let mut h = Histogram::new();
+        for v in [0, 1, 31, 32, 33, 1_000, 123_456_789] {
+            h.record(v);
+        }
+        let v = serde_json::from_str(&h.to_json()).expect("valid JSON");
+        let back = Histogram::from_value(&v).expect("parses");
+        assert_eq!(back, h);
+    }
+}

@@ -1,0 +1,314 @@
+//! Human-facing renderers: analysis text, contention heatmaps,
+//! critical-path listings and run-vs-run diffs.
+
+use std::fmt::Write as _;
+
+use upp_noc::ids::{NodeId, Port};
+use upp_noc::topology::{ChipletSystemSpec, SystemKind, Topology};
+
+use crate::summary::{PhaseTotals, ProfileSummary};
+
+/// Resolves a recorded system label (the `simulate --system` spelling or
+/// the `Debug` rendering of [`SystemKind`]) to a topology for SVG layout.
+/// Unknown labels return `None`; callers fall back to CSV-only output.
+pub fn topology_for(system: &str) -> Option<Topology> {
+    let kind = match system {
+        "baseline" | "Baseline" => SystemKind::Baseline,
+        "large" | "Large" => SystemKind::Large,
+        "b2" | "BoundaryCount(2)" => SystemKind::BoundaryCount(2),
+        "b8" | "BoundaryCount(8)" => SystemKind::BoundaryCount(8),
+        _ => return None,
+    };
+    ChipletSystemSpec::of_kind(kind).build(0).ok()
+}
+
+/// Renders the summary as a human-readable analysis report.
+pub fn analyze_text(p: &ProfileSummary) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "profile: system {} | scheme {} | {} packets | {} popups",
+        if p.system.is_empty() { "?" } else { &p.system },
+        if p.scheme.is_empty() { "?" } else { &p.scheme },
+        p.packets,
+        p.popups,
+    );
+    for (label, h) in [("net", &p.net), ("total", &p.total)] {
+        let _ = writeln!(
+            out,
+            "{label:>7} latency: mean {:.1} | p50 {} | p95 {} | p99 {} | p999 {} | max {}",
+            h.mean(),
+            h.quantile(0.5),
+            h.quantile(0.95),
+            h.quantile(0.99),
+            h.quantile(0.999),
+            h.max(),
+        );
+    }
+    let _ = writeln!(
+        out,
+        "  hops/packet {:.2} | bypass hops/packet {:.3}",
+        p.hops as f64 / p.packets.max(1) as f64,
+        p.bypass_hops as f64 / p.packets.max(1) as f64,
+    );
+    let _ = writeln!(out, "phase attribution (cycles/packet, share of total):");
+    let total: u64 = p.phases.values().iter().sum();
+    for (label, mean) in PhaseTotals::LABELS.iter().zip(p.phase_means()) {
+        let cycles = p.phases.values()[PhaseTotals::LABELS
+            .iter()
+            .position(|l| l == label)
+            .expect("label present")];
+        let _ = writeln!(
+            out,
+            "  {label:>14}: {mean:>9.2}  ({:>5.1}%)",
+            100.0 * cycles as f64 / total.max(1) as f64,
+        );
+    }
+    let _ = writeln!(
+        out,
+        "  upp recovery total: {:.2} cycles/packet",
+        p.phases.upp_recovery() as f64 / p.packets.max(1) as f64,
+    );
+    out
+}
+
+/// Per-router contention as CSV (`node,blocked_cycles`), hottest data is in
+/// the numbers, order is dense by node id.
+pub fn router_csv(p: &ProfileSummary) -> String {
+    let mut out = String::from("node,blocked_cycles\n");
+    for (i, &v) in p.router_blocked.iter().enumerate() {
+        let _ = writeln!(out, "{i},{v}");
+    }
+    out
+}
+
+/// Per-directed-link contention as CSV (`node,port,blocked_cycles`),
+/// zero-heat links omitted.
+pub fn link_csv(p: &ProfileSummary) -> String {
+    let mut out = String::from("node,port,blocked_cycles\n");
+    for (i, &v) in p.link_blocked.iter().enumerate() {
+        if v == 0 {
+            continue;
+        }
+        let node = i / Port::COUNT;
+        let port = Port::ALL[i % Port::COUNT];
+        let _ = writeln!(out, "{node},{port},{v}");
+    }
+    out
+}
+
+/// Contention heatmap SVG over the recorded system's plan view, or `None`
+/// when the system label is unknown.
+pub fn heatmap_svg(p: &ProfileSummary) -> Option<String> {
+    let topo = topology_for(&p.system)?;
+    let nodes: Vec<(NodeId, u64)> = p
+        .router_blocked
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| (NodeId(i as u32), v))
+        .collect();
+    let links: Vec<(NodeId, Port, u64)> = p
+        .link_blocked
+        .iter()
+        .enumerate()
+        .filter(|&(_, &v)| v > 0)
+        .map(|(i, &v)| {
+            (
+                NodeId((i / Port::COUNT) as u32),
+                Port::ALL[i % Port::COUNT],
+                v,
+            )
+        })
+        .collect();
+    Some(upp_noc::viz::contention_svg(
+        &topo,
+        &nodes,
+        &links,
+        &format!(
+            "blocked VC-cycles | {} / {} | {} packets",
+            p.system, p.scheme, p.packets
+        ),
+    ))
+}
+
+/// Renders the slowest packets with their full phase decomposition and
+/// per-router wait chain, slowest first.
+pub fn critical_path_text(p: &ProfileSummary, top: usize) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "critical path: {} slowest of {} packets ({} / {})",
+        p.slowest.len().min(top),
+        p.packets,
+        if p.system.is_empty() { "?" } else { &p.system },
+        if p.scheme.is_empty() { "?" } else { &p.scheme },
+    );
+    for s in p.slowest.iter().take(top) {
+        let _ = writeln!(
+            out,
+            "p{} n{}->n{} v{} len{}: total {} (net {}) = inj_queue {} + vc {} + sa {} \
+             + credit {} + wait_ack {} + locate {} + pop {} + serial {} | {} hops",
+            s.packet.0,
+            s.src.0,
+            s.dest.0,
+            s.vnet.0,
+            s.len_flits,
+            s.total_latency(),
+            s.net_latency(),
+            s.inj_queue,
+            s.vc_alloc,
+            s.sa_wait,
+            s.credit,
+            s.wait_ack,
+            s.locate,
+            s.pop,
+            s.serialization,
+            s.hops,
+        );
+        if !s.waits.is_empty() {
+            let mut waits = s.waits.clone();
+            waits.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+            let chain: Vec<String> = waits
+                .iter()
+                .take(6)
+                .map(|(n, c)| format!("n{}:{c}", n.0))
+                .collect();
+            let _ = writeln!(out, "    blocked at: {}", chain.join(" "));
+        }
+    }
+    out
+}
+
+/// Side-by-side diff of two profiles: per-phase cycles/packet, percentile
+/// latencies and path-shape metrics, with deltas. This is the Fig. 13
+/// story in one table — UPP's extra cycles land in wait_ack/locate/pop,
+/// a detour baseline's in extra hops and serialization.
+pub fn diff_text(a: &ProfileSummary, b: &ProfileSummary) -> String {
+    let la = if a.scheme.is_empty() { "A" } else { &a.scheme };
+    let lb = if b.scheme.is_empty() { "B" } else { &b.scheme };
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "diff: {la} ({} packets) vs {lb} ({} packets) on {}",
+        a.packets,
+        b.packets,
+        if a.system.is_empty() { "?" } else { &a.system },
+    );
+    let _ = writeln!(out, "{:>16} {la:>12} {lb:>12} {:>12}", "metric", "delta");
+    let mut row = |name: &str, va: f64, vb: f64| {
+        let _ = writeln!(out, "{name:>16} {va:>12.2} {vb:>12.2} {:>+12.2}", vb - va);
+    };
+    for (label, (ma, mb)) in PhaseTotals::LABELS
+        .iter()
+        .zip(a.phase_means().into_iter().zip(b.phase_means()))
+    {
+        row(label, ma, mb);
+    }
+    row(
+        "upp_recovery",
+        a.phases.upp_recovery() as f64 / a.packets.max(1) as f64,
+        b.phases.upp_recovery() as f64 / b.packets.max(1) as f64,
+    );
+    row(
+        "hops/packet",
+        a.hops as f64 / a.packets.max(1) as f64,
+        b.hops as f64 / b.packets.max(1) as f64,
+    );
+    row(
+        "popups/kpkt",
+        1000.0 * a.popups as f64 / a.packets.max(1) as f64,
+        1000.0 * b.popups as f64 / b.packets.max(1) as f64,
+    );
+    for q in [0.5, 0.95, 0.99, 0.999] {
+        row(
+            &format!("net p{}", (q * 1000.0) as u32),
+            a.net.quantile(q) as f64,
+            b.net.quantile(q) as f64,
+        );
+    }
+    row("net mean", a.net.mean(), b.net.mean());
+    row("total mean", a.total.mean(), b.total.mean());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use upp_noc::ids::{PacketId, VnetId};
+    use upp_noc::profile::PacketSpan;
+
+    fn summary(scheme: &str, wait_ack: u64, hops: u32) -> ProfileSummary {
+        let mut p = ProfileSummary::new("Baseline", scheme);
+        for i in 0..10u64 {
+            p.absorb_span(&PacketSpan {
+                packet: PacketId(i),
+                src: NodeId(0),
+                dest: NodeId(9),
+                vnet: VnetId(0),
+                len_flits: 5,
+                created_at: 0,
+                injected_at: 1,
+                ejected_at: 40 + wait_ack,
+                inj_queue: 1,
+                vc_alloc: 2,
+                sa_wait: 1,
+                credit: 4,
+                wait_ack,
+                locate: 0,
+                pop: 0,
+                serialization: 32,
+                hops,
+                bypass_hops: 0,
+                waits: vec![(NodeId(4), 7)],
+            });
+        }
+        p.router_blocked = vec![0, 0, 0, 0, 70];
+        p.link_blocked = {
+            let mut v = vec![0; 5 * Port::COUNT];
+            v[4 * Port::COUNT + Port::East.index()] = 70;
+            v
+        };
+        p
+    }
+
+    #[test]
+    fn analyze_names_phases_and_percentiles() {
+        let text = analyze_text(&summary("upp", 8, 6));
+        assert!(text.contains("scheme upp"));
+        assert!(text.contains("wait_ack"));
+        assert!(text.contains("p999"));
+        assert!(text.contains("upp recovery total"));
+    }
+
+    #[test]
+    fn heatmap_outputs_exist_for_known_system() {
+        let p = summary("upp", 8, 6);
+        assert!(router_csv(&p).contains("4,70"));
+        assert!(link_csv(&p).contains("4,E,70"));
+        let svg = heatmap_svg(&p).expect("Baseline is known");
+        assert!(svg.starts_with("<svg"));
+        let mut unknown = p.clone();
+        unknown.system = "mystery".into();
+        assert!(heatmap_svg(&unknown).is_none());
+    }
+
+    #[test]
+    fn critical_path_lists_slowest_with_wait_chain() {
+        let text = critical_path_text(&summary("upp", 8, 6), 4);
+        assert!(text.contains("4 slowest of 10"));
+        assert!(text.contains("wait_ack 8"));
+        assert!(text.contains("blocked at: n4:7"));
+    }
+
+    #[test]
+    fn diff_shows_phase_deltas() {
+        let upp = summary("upp", 20, 6);
+        let rc = summary("remote-control", 0, 11);
+        let text = diff_text(&upp, &rc);
+        assert!(text.contains("upp"));
+        assert!(text.contains("remote-control"));
+        assert!(text.contains("wait_ack"), "phase rows present");
+        assert!(text.contains("-20.00"), "wait_ack delta attributed");
+        assert!(text.contains("+5.00"), "hop delta attributed");
+    }
+}

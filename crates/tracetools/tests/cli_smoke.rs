@@ -1,0 +1,173 @@
+//! End-to-end tests of the `upp-trace` binary: a synthetic JSONL trace is
+//! analyzed into a profile document, the document re-analyzes to the same
+//! bytes, and the heatmap/critical-path/diff subcommands all run over it.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+use upp_noc::ids::{NodeId, PacketId, Port, VnetId};
+use upp_noc::trace::{BlockReason, TraceEvent};
+
+fn tmp_path(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("upp-trace-cli-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir.join(name)
+}
+
+/// Runs `upp-trace` with the given args, asserting success, and returns
+/// captured stdout.
+fn upp_trace(args: &[&str]) -> String {
+    let out = Command::new(env!("CARGO_BIN_EXE_upp-trace"))
+        .args(args)
+        .output()
+        .expect("upp-trace binary runs");
+    assert!(
+        out.status.success(),
+        "upp-trace {args:?} failed: {}\n{}",
+        out.status,
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).expect("utf-8 output")
+}
+
+/// A small trace: two packets, one of which goes through a full popup.
+fn sample_trace(latency_scale: u64) -> String {
+    let events = vec![
+        TraceEvent::PacketCreated {
+            at: 0,
+            packet: PacketId(1),
+            src: NodeId(0),
+            dest: NodeId(9),
+            vnet: VnetId(0),
+            len_flits: 4,
+        },
+        TraceEvent::PacketInjected {
+            at: 3,
+            packet: PacketId(1),
+            node: NodeId(0),
+        },
+        TraceEvent::Blocked {
+            at: 5,
+            packet: PacketId(1),
+            node: NodeId(4),
+            in_port: Port::West,
+            vc_flat: 0,
+            out_port: Some(Port::East),
+            reason: BlockReason::Credit,
+        },
+        TraceEvent::PacketEjected {
+            at: 10 * latency_scale,
+            packet: PacketId(1),
+            node: NodeId(9),
+            net_latency: 10 * latency_scale - 3,
+            total_latency: 10 * latency_scale,
+        },
+        TraceEvent::PacketCreated {
+            at: 2,
+            packet: PacketId(2),
+            src: NodeId(3),
+            dest: NodeId(7),
+            vnet: VnetId(1),
+            len_flits: 2,
+        },
+        TraceEvent::PacketInjected {
+            at: 4,
+            packet: PacketId(2),
+            node: NodeId(3),
+        },
+        TraceEvent::PopupSpan {
+            node: NodeId(5),
+            vnet: VnetId(1),
+            packet: PacketId(2),
+            detected_at: 6,
+            completed_at: 6 + 4 * latency_scale,
+            wait_ack: 2 * latency_scale,
+            locate: latency_scale,
+            pop: latency_scale,
+        },
+        TraceEvent::BypassHop {
+            at: 8,
+            packet: PacketId(2),
+            node: NodeId(5),
+            out_port: Port::Up,
+        },
+        TraceEvent::PacketEjected {
+            at: 9 + 4 * latency_scale,
+            packet: PacketId(2),
+            node: NodeId(7),
+            net_latency: 5 + 4 * latency_scale,
+            total_latency: 7 + 4 * latency_scale,
+        },
+    ];
+    events.iter().map(|e| e.jsonl() + "\n").collect()
+}
+
+#[test]
+fn analyze_is_idempotent_across_input_shapes() {
+    let trace = tmp_path("trace.jsonl");
+    std::fs::write(&trace, sample_trace(2)).expect("write trace");
+    let trace = trace.to_str().expect("utf-8 path");
+
+    // JSONL -> profile document.
+    let profile_path = tmp_path("profile.json");
+    upp_trace(&[
+        "analyze",
+        trace,
+        "--json",
+        "--out",
+        profile_path.to_str().expect("utf-8 path"),
+        "--system",
+        "baseline",
+        "--scheme",
+        "UPP",
+    ]);
+    let profile = std::fs::read_to_string(&profile_path).expect("profile written");
+    assert!(profile.contains("\"upp_profile\":1"));
+
+    // Re-analyzing the profile document gives the same bytes back.
+    let again = upp_trace(&["analyze", profile_path.to_str().expect("utf-8"), "--json"]);
+    assert_eq!(again, profile, "profile -> analyze --json is a fixed point");
+
+    // The human report shows the popup attribution from the trace.
+    let report = upp_trace(&["analyze", trace, "--system", "baseline", "--scheme", "UPP"]);
+    assert!(report.contains("packets"), "report renders:\n{report}");
+    assert!(report.contains("wait_ack"), "phases listed:\n{report}");
+}
+
+#[test]
+fn heatmap_critical_path_and_diff_run_end_to_end() {
+    let a = tmp_path("a.jsonl");
+    let b = tmp_path("b.jsonl");
+    std::fs::write(&a, sample_trace(2)).expect("write");
+    std::fs::write(&b, sample_trace(5)).expect("write");
+    let (a, b) = (a.to_str().expect("utf-8"), b.to_str().expect("utf-8"));
+
+    let csv = tmp_path("heat.csv");
+    let svg = tmp_path("heat.svg");
+    upp_trace(&[
+        "heatmap",
+        a,
+        "--system",
+        "baseline",
+        "--csv-out",
+        csv.to_str().expect("utf-8"),
+        "--svg-out",
+        svg.to_str().expect("utf-8"),
+    ]);
+    let csv = std::fs::read_to_string(&csv).expect("csv written");
+    assert!(csv.starts_with("node,blocked_cycles"), "csv header:\n{csv}");
+    let svg = std::fs::read_to_string(&svg).expect("svg written");
+    assert!(svg.starts_with("<svg"), "svg rendered");
+
+    let crit = upp_trace(&["critical-path", a, "--top", "2"]);
+    assert!(
+        crit.contains("packet"),
+        "critical path lists packets:\n{crit}"
+    );
+
+    let diff = upp_trace(&["diff", a, b]);
+    assert!(
+        diff.contains("wait_ack"),
+        "diff shows phase deltas:\n{diff}"
+    );
+}

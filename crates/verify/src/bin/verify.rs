@@ -17,6 +17,7 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use upp_bench::sweep::SweepEngine;
+use upp_tracetools::{PhaseTotals, ProfileSummary};
 use upp_verify::scenario::{random_scenario, CampaignParams};
 use upp_verify::{oracle_for, run_differential, run_scenario, shrink, Scenario};
 
@@ -120,6 +121,34 @@ fn campaign(o: CampaignOpts) -> ExitCode {
         (seed, base, diff)
     });
 
+    // Aggregate latency attribution per scheme over the whole campaign:
+    // even an all-green campaign should explain where each scheme's cycles
+    // went (e.g. UPP's extra cycles sit in wait_ack/locate/pop, not in the
+    // steady-state phases).
+    let mut by_scheme: Vec<(String, ProfileSummary)> = Vec::new();
+    for (_, _, diff) in &results {
+        for report in &diff.reports {
+            match by_scheme.iter_mut().find(|(s, _)| *s == report.scheme) {
+                Some((_, agg)) => agg.merge(&report.profile),
+                None => by_scheme.push((report.scheme.clone(), report.profile.clone())),
+            }
+        }
+    }
+    println!("latency attribution (cycles/packet over the campaign):");
+    for (scheme, agg) in &by_scheme {
+        let parts: Vec<String> = PhaseTotals::LABELS
+            .iter()
+            .zip(agg.phase_means())
+            .map(|(l, m)| format!("{l} {m:.2}"))
+            .collect();
+        println!(
+            "  {scheme:>14}: {} ({} packets, {} popups)",
+            parts.join(" | "),
+            agg.packets,
+            agg.popups
+        );
+    }
+
     let mut failed_points = 0usize;
     let mut artifacts = Vec::new();
     for (seed, base, diff) in results {
@@ -210,6 +239,16 @@ fn replay(path: &str) -> ExitCode {
         sc.faults.len()
     );
     let report = run_scenario(&sc, oracle_for(&sc));
+    let parts: Vec<String> = PhaseTotals::LABELS
+        .iter()
+        .zip(report.profile.phase_means())
+        .map(|(l, m)| format!("{l} {m:.2}"))
+        .collect();
+    eprintln!(
+        "latency attribution (cycles/packet): {} ({} packets profiled)",
+        parts.join(" | "),
+        report.profile.packets
+    );
     match report.failure() {
         Some(f) => {
             println!("reproduced: {f}");

@@ -18,6 +18,8 @@ use upp_noc::config::NocConfig;
 use upp_noc::fault::FaultPlan;
 use upp_noc::ids::{Cycle, NodeId, VnetId};
 use upp_noc::ni::ConsumePolicy;
+use upp_noc::profile::SpanRecorder;
+use upp_tracetools::ProfileSummary;
 use upp_workloads::runner::build_system;
 
 use crate::oracle::{DeadlockOracle, OracleConfig, OracleViolation};
@@ -60,6 +62,10 @@ pub struct RunReport {
     pub verdict: Verdict,
     /// Cycle the run stopped.
     pub end_cycle: Cycle,
+    /// Per-packet latency attribution for the run (phases, histograms,
+    /// contention counters) — lets campaign reports explain *where* each
+    /// scheme's cycles went, not just whether it drained.
+    pub profile: ProfileSummary,
 }
 
 impl RunReport {
@@ -146,6 +152,11 @@ pub fn run_scenario(sc: &Scenario, oracle_cfg: OracleConfig) -> RunReport {
     let kind = scheme_kind(&sc.scheme).expect("known scheme");
     let cfg = NocConfig::default().with_vcs_per_vnet(sc.vcs_per_vnet);
     let mut built = build_system(&spec, cfg, &kind, 0, sc.seed, ConsumePolicy::External);
+    built
+        .sys
+        .net_mut()
+        .tracer_mut()
+        .set_profiler(Some(Box::new(SpanRecorder::new())));
     let endpoints: Vec<NodeId> = {
         let topo = built.sys.net().topo();
         topo.chiplets()
@@ -217,6 +228,10 @@ pub fn run_scenario(sc: &Scenario, oracle_cfg: OracleConfig) -> RunReport {
         }
     };
 
+    let mut profile = ProfileSummary::new(sc.system.clone(), sc.scheme.clone());
+    if let Some(mut rec) = built.sys.net_mut().tracer_mut().set_profiler(None) {
+        profile.absorb_recorder(&mut rec);
+    }
     RunReport {
         scheme: sc.scheme.clone(),
         created,
@@ -224,6 +239,7 @@ pub fn run_scenario(sc: &Scenario, oracle_cfg: OracleConfig) -> RunReport {
         delivered,
         verdict,
         end_cycle: built.sys.net().cycle(),
+        profile,
     }
 }
 

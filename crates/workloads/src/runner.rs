@@ -185,6 +185,15 @@ pub struct SweepPoint {
     pub upward_packets: u64,
     /// Control-signal link traversals in the window (popup bandwidth cost).
     pub control_hops: u64,
+    /// Median network latency (cycles), interpolated from the latency
+    /// histogram.
+    pub p50: f64,
+    /// 95th-percentile network latency (cycles).
+    pub p95: f64,
+    /// 99th-percentile network latency (cycles).
+    pub p99: f64,
+    /// 99.9th-percentile network latency (cycles).
+    pub p999: f64,
     /// True if the watchdog fired during the run (possible only for
     /// `SchemeKind::None`).
     pub deadlocked: bool,
@@ -249,6 +258,10 @@ pub fn run_point(
         packets_ejected: stats.packets_ejected,
         upward_packets: upward_after - upward_before,
         control_hops: stats.control_hops,
+        p50: stats.latency_percentile(0.5),
+        p95: stats.latency_percentile(0.95),
+        p99: stats.latency_percentile(0.99),
+        p999: stats.latency_percentile(0.999),
         deadlocked,
     }
 }
@@ -418,6 +431,10 @@ mod tests {
             packets_ejected: 100,
             upward_packets: 0,
             control_hops: 0,
+            p50: lat,
+            p95: lat,
+            p99: lat,
+            p999: lat,
             deadlocked: false,
         };
         let pts = vec![

@@ -58,8 +58,21 @@ pub mod bool {
     }
 }
 
+/// Collection strategies (subset of the real crate's
+/// `proptest::collection`).
+pub mod collection {
+    use crate::strategy::{Strategy, VecStrategy};
+
+    /// Generates `Vec`s with lengths drawn from `len` and elements from
+    /// `elem`.
+    pub fn vec<S: Strategy>(elem: S, len: std::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy::new(elem, len)
+    }
+}
+
 /// The usual `use proptest::prelude::*;` surface.
 pub mod prelude {
+    pub use crate as prop;
     pub use crate::strategy::{Just, Strategy};
     pub use crate::test_runner::ProptestConfig;
     pub use crate::{

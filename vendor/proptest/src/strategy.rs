@@ -120,6 +120,29 @@ macro_rules! range_strategy_signed {
 }
 range_strategy_signed!(i8, i16, i32, i64, isize);
 
+/// See [`crate::collection::vec`].
+pub struct VecStrategy<S> {
+    elem: S,
+    len: std::ops::Range<usize>,
+}
+
+impl<S> VecStrategy<S> {
+    /// Builds a vector strategy; panics on an empty length range.
+    pub fn new(elem: S, len: std::ops::Range<usize>) -> Self {
+        assert!(len.start < len.end, "empty length range strategy");
+        VecStrategy { elem, len }
+    }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let width = (self.len.end - self.len.start) as u64;
+        let len = self.len.start + (rng.next_u64() % width) as usize;
+        (0..len).map(|_| self.elem.generate(rng)).collect()
+    }
+}
+
 macro_rules! tuple_strategy {
     ($(($($n:tt $s:ident),+)),+ $(,)?) => {$(
         impl<$($s: Strategy),+> Strategy for ($($s,)+) {
