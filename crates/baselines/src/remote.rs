@@ -165,6 +165,14 @@ impl Scheme for RemoteControl {
         }
     }
 
+    fn advance_to(&mut self, _net: &Network, _from: Cycle, _to: Cycle) -> bool {
+        // Pending permit requests are paced per cycle (RTT check, one grant
+        // per boundary per cycle, contention-wait accounting), so any queued
+        // request vetoes the jump. With every queue empty `pre_cycle` is a
+        // pure no-op and skipping is cycle-exact.
+        self.initialized && self.queues.values().all(|q| q.is_empty())
+    }
+
     fn on_packet_created(&mut self, net: &mut Network, id: PacketId, src: NodeId, dest: NodeId) {
         if !self.initialized {
             self.initialize(net);

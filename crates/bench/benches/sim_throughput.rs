@@ -11,9 +11,10 @@ use std::time::Instant;
 use upp_bench::sweep::SweepEngine;
 use upp_core::UppConfig;
 use upp_noc::config::NocConfig;
+use upp_noc::ni::ConsumePolicy;
 use upp_noc::topology::ChipletSystemSpec;
-use upp_workloads::runner::{run_point, SchemeKind, SweepWindows};
-use upp_workloads::synthetic::Pattern;
+use upp_workloads::runner::{build_system, run_point, SchemeKind, SweepWindows};
+use upp_workloads::synthetic::{Pattern, SyntheticTraffic};
 
 fn quick() -> bool {
     std::env::var("UPP_BENCH_QUICK").is_ok_and(|v| v != "0")
@@ -76,6 +77,85 @@ fn sweep_seconds(jobs: usize, rates: &[f64], cycles: u64) -> f64 {
     start.elapsed().as_secs_f64()
 }
 
+/// One active-set-scheduler scenario: injects uniform-random traffic at
+/// `rate` for `inject_cycles`, optionally drains the tail afterwards, and
+/// returns `(cycles/sec, mean active-router fraction)`. The scheduler is
+/// toggled per run (no env vars), so on/off pairs are directly comparable.
+fn scheduler_scenario(
+    kind: &SchemeKind,
+    rate: f64,
+    inject_cycles: u64,
+    drain_tail: bool,
+    scheduler: bool,
+) -> (f64, f64) {
+    let spec = ChipletSystemSpec::baseline();
+    let cfg = NocConfig::default();
+    let built = build_system(
+        &spec,
+        cfg,
+        kind,
+        0,
+        2022,
+        ConsumePolicy::Immediate { latency: 1 },
+    );
+    let mut sys = built.sys;
+    sys.net_mut().set_active_scheduler(scheduler);
+    let mut traffic = SyntheticTraffic::new(sys.net().topo(), Pattern::UniformRandom, rate, 2022);
+    let start = Instant::now();
+    for _ in 0..inject_cycles {
+        traffic.tick(&mut sys);
+        sys.step();
+    }
+    if drain_tail {
+        black_box(sys.run_until_drained(1_000_000));
+    }
+    let secs = start.elapsed().as_secs_f64();
+    let cycles = sys.net().cycle();
+    (cycles as f64 / secs, sys.net().active_router_fraction())
+}
+
+/// Scenario record for `BENCH_sweep.json`: scheduler-on vs always-tick
+/// cycles/sec, their ratio, and the scheduler's mean active-router
+/// fraction.
+struct ScenarioSummary {
+    name: &'static str,
+    cps_on: f64,
+    cps_off: f64,
+    active_fraction: f64,
+}
+
+impl ScenarioSummary {
+    fn measure(
+        name: &'static str,
+        kind: &SchemeKind,
+        rate: f64,
+        inject_cycles: u64,
+        drain_tail: bool,
+    ) -> Self {
+        let (cps_on, active_fraction) =
+            scheduler_scenario(kind, rate, inject_cycles, drain_tail, true);
+        let (cps_off, _) = scheduler_scenario(kind, rate, inject_cycles, drain_tail, false);
+        Self {
+            name,
+            cps_on,
+            cps_off,
+            active_fraction,
+        }
+    }
+
+    fn json(&self) -> String {
+        format!(
+            "\"{}\": {{\"cycles_per_sec\": {:.0}, \"always_tick_cycles_per_sec\": {:.0}, \
+             \"speedup\": {:.2}, \"active_router_fraction\": {:.4}}}",
+            self.name,
+            self.cps_on,
+            self.cps_off,
+            self.cps_on / self.cps_off,
+            self.active_fraction,
+        )
+    }
+}
+
 fn sim_throughput(c: &mut Criterion) {
     let cycles = measure_cycles(quick());
     let mut group = c.benchmark_group("sim_throughput");
@@ -116,13 +196,30 @@ fn main() {
     let serial = sweep_seconds(1, &rates, cycles);
     let jobs4 = sweep_seconds(4, &rates, cycles);
 
+    // Active-set scheduler scenarios (on vs always-tick, same seed and
+    // traffic): a saturated run where most routers stay busy, a
+    // low-injection-rate run where most sit idle, and a drain tail where
+    // injection stops and the quiescent gaps fast-forward.
+    let upp = SchemeKind::Upp(UppConfig::default());
+    let scenarios = [
+        ScenarioSummary::measure("saturated", &upp, 0.10, cycles, false),
+        ScenarioSummary::measure("low_rate", &upp, 0.02, cycles, false),
+        ScenarioSummary::measure("drain_tail", &upp, 0.06, cycles / 4, true),
+    ];
+    let scenarios_json = scenarios
+        .iter()
+        .map(|s| format!("    {}", s.json()))
+        .collect::<Vec<_>>()
+        .join(",\n");
+
     let json = format!(
         "{{\n  \"bench\": \"sim_throughput\",\n  \"quick\": {q},\n  \
          \"hardware_threads\": {threads},\n  \"measure_cycles\": {cycles},\n  \
          \"cycles_per_sec\": {{\n    \"upp_1vc\": {upp_1vc:.0},\n    \
          \"upp_4vc\": {upp_4vc:.0},\n    \"no_scheme_1vc\": {none_1vc:.0}\n  }},\n  \
          \"sweep\": {{\n    \"rates\": {},\n    \"serial_secs\": {serial:.3},\n    \
-         \"jobs4_secs\": {jobs4:.3},\n    \"speedup_jobs4\": {:.2}\n  }}\n}}\n",
+         \"jobs4_secs\": {jobs4:.3},\n    \"speedup_jobs4\": {:.2}\n  }},\n  \
+         \"scheduler_scenarios\": {{\n{scenarios_json}\n  }}\n}}\n",
         rates.len(),
         serial / jobs4,
     );

@@ -15,7 +15,7 @@ use crate::signal::UppSignal;
 use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, VecDeque};
 use std::sync::{Arc, Mutex};
-use upp_noc::control::{ControlClass, ControlMsg, ControlRoute};
+use upp_noc::control::{ControlClass, ControlMsg, ControlRoute, DeliveredControl};
 use upp_noc::ids::{ChipletId, Cycle, NodeId, PacketId, Port, VnetId};
 use upp_noc::network::{Network, UpwardCandidate};
 use upp_noc::packet::RouteInfo;
@@ -205,6 +205,9 @@ pub struct Upp {
     ni_queues: HashMap<(NodeId, VnetId), VecDeque<NiMsg>>,
     stats: UppStatsHandle,
     initialized: bool,
+    /// Reusable buffer for draining router/NI control inboxes
+    /// (allocation-free on the per-cycle path).
+    inbox_scratch: Vec<DeliveredControl>,
 }
 
 impl std::fmt::Debug for Upp {
@@ -228,6 +231,7 @@ impl Upp {
             ni_queues: HashMap::new(),
             stats: Arc::new(Mutex::new(UppStats::default())),
             initialized: false,
+            inbox_scratch: Vec::new(),
         }
     }
 
@@ -451,8 +455,10 @@ impl Upp {
 
     /// Drains NI control inboxes into the per-(NI, VNet) FIFO queues.
     fn collect_ni_messages(&mut self, net: &mut Network) {
+        let mut inbox = std::mem::take(&mut self.inbox_scratch);
         for &node in &self.chiplet_nodes.clone() {
-            for d in net.take_ni_inbox(node) {
+            net.drain_ni_inbox(node, &mut inbox);
+            for d in inbox.drain(..) {
                 match UppSignal::decode(d.msg.bits) {
                     Ok(UppSignal::Req { vnet, .. }) => self
                         .ni_queues
@@ -470,6 +476,7 @@ impl Upp {
                 }
             }
         }
+        self.inbox_scratch = inbox;
     }
 
     /// Processes the NI-side protocol: reservations (retrying until an entry
@@ -513,15 +520,19 @@ impl Upp {
         let now = net.cycle();
         let num_vnets = net.cfg().num_vnets;
 
-        // Ack arrivals first (delivered this cycle by begin_cycle).
-        let acks = net.take_router_inbox(node);
-        for d in acks {
+        // Ack arrivals first (delivered this cycle by begin_cycle). The
+        // scratch buffer is taken out of `self` so `handle_ack` can borrow
+        // both `self` and `net` while iterating.
+        let mut acks = std::mem::take(&mut self.inbox_scratch);
+        net.drain_router_inbox(node, &mut acks);
+        for d in acks.drain(..) {
             let Ok(UppSignal::Ack { vnet, .. }) = UppSignal::decode(d.msg.bits) else {
                 debug_assert!(false, "router inbox must only hold acks");
                 continue;
             };
             self.handle_ack(net, node, vnet);
         }
+        self.inbox_scratch = acks;
 
         for v in 0..num_vnets {
             let vnet = VnetId(v as u8);
@@ -838,6 +849,38 @@ impl Scheme for Upp {
         for node in self.up_nodes.clone() {
             self.process_router(net, node);
         }
+    }
+
+    fn advance_to(&mut self, _net: &Network, _from: Cycle, _to: Cycle) -> bool {
+        // A quiescent network still leaves UPP with per-cycle obligations
+        // whenever the protocol machinery is mid-flight; any of those vetoes
+        // the jump and per-cycle stepping continues:
+        //   * not yet initialized — the first pre_cycle must still run;
+        //   * a queued signal — the serial signal unit paces sends by cycle;
+        //   * a non-Idle stage — WaitAck/Pop* transitions are checked every
+        //     cycle;
+        //   * a pending NI message — ejection reservations retry per cycle.
+        if !self.initialized {
+            return false;
+        }
+        if self.routers.values().any(|st| {
+            !st.signal_q.is_empty() || st.vnets.iter().any(|vs| !matches!(vs.stage, Stage::Idle))
+        }) {
+            return false;
+        }
+        if self.ni_queues.values().any(|q| !q.is_empty()) {
+            return false;
+        }
+        // With every stage Idle and no buffered flits anywhere, each skipped
+        // cycle's `detect` would see zero upward candidates and tick every
+        // counter back to zero (`tick(false, _)` → 0). Apply that batched
+        // effect here so the jump is cycle-exact.
+        for st in self.routers.values_mut() {
+            for vs in &mut st.vnets {
+                vs.counter.reset();
+            }
+        }
+        true
     }
 }
 

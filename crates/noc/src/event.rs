@@ -69,3 +69,33 @@ pub enum Event {
         msg: ControlMsg,
     },
 }
+
+/// The component an [`Event`] delivers into — what the active-set scheduler
+/// must wake when the event arrives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WakeTarget {
+    /// The event mutates a router.
+    Router(NodeId),
+    /// The event mutates an NI.
+    Ni(NodeId),
+}
+
+impl Event {
+    /// The component this event delivers into.
+    ///
+    /// Every delivery wakes its target, even credit returns that can never
+    /// create work on their own: a uniform rule keeps the scheduler's
+    /// conservative invariant ("anything an event touched is scheduled next
+    /// cycle") trivially audit-able, at the cost of at most one extra no-op
+    /// step per credit tail.
+    pub fn wake_target(&self) -> WakeTarget {
+        match *self {
+            Event::FlitArrive { node, .. }
+            | Event::CreditArrive { node, .. }
+            | Event::ControlArrive { node, .. } => WakeTarget::Router(node),
+            Event::NiCreditArrive { node, .. }
+            | Event::NiFlitArrive { node, .. }
+            | Event::NiControlArrive { node, .. } => WakeTarget::Ni(node),
+        }
+    }
+}

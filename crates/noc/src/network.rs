@@ -64,6 +64,13 @@ impl EventCalendar {
             self.slots[idx] = events;
         }
     }
+
+    /// The earliest cycle in `now..now + horizon` with staged events, or
+    /// `None` when the calendar is completely empty. Events are only ever
+    /// staged within the horizon, so scanning the ring once is exhaustive.
+    fn next_occupied_cycle(&self, now: Cycle) -> Option<Cycle> {
+        (now..now + self.slots.len() as Cycle).find(|&c| !self.slots[self.slot(c)].is_empty())
+    }
 }
 
 /// A candidate *upward packet*: an input VC of an interposer router holding a
@@ -105,6 +112,24 @@ pub struct Network {
     stats: NetStats,
     tracker: PacketTracker,
     tracer: Tracer,
+    /// Active-set scheduler: `finish_cycle` steps only routers/NIs whose
+    /// flag is set. Flags are set ("woken") by event deliveries and by
+    /// every externally-visible mutation, and cleared after a step that
+    /// leaves the component with no pending work, so skipping is
+    /// conservative: a skipped component is provably a no-op step.
+    router_active: Vec<bool>,
+    ni_active: Vec<bool>,
+    /// Runtime toggle (also `UPP_ALWAYS_TICK=1` at construction): when
+    /// false, every component is stepped every cycle and the clock never
+    /// fast-forwards — the reference always-tick kernel.
+    scheduler_enabled: bool,
+    /// Cross-check mode (`cfg!(debug_assertions)` or
+    /// `UPP_VERIFY_SCHEDULER=1`): asserts every skipped component truly had
+    /// no pending work at the start of each `finish_cycle`.
+    verify_scheduler: bool,
+    /// Router steps actually executed (the numerator of
+    /// [`Network::active_router_fraction`]).
+    router_ticks: u64,
 }
 
 impl std::fmt::Debug for Network {
@@ -144,6 +169,10 @@ impl Network {
             .collect();
         let stats = NetStats::new(cfg.num_vnets);
         let calendar = EventCalendar::new(&cfg);
+        let n = routers.len();
+        let scheduler_enabled = !std::env::var("UPP_ALWAYS_TICK").is_ok_and(|v| v == "1");
+        let verify_scheduler =
+            cfg!(debug_assertions) || std::env::var("UPP_VERIFY_SCHEDULER").is_ok_and(|v| v == "1");
         Self {
             cfg,
             topo,
@@ -156,6 +185,39 @@ impl Network {
             stats,
             tracker: PacketTracker::new(),
             tracer: Tracer::disabled(),
+            router_active: vec![true; n],
+            ni_active: vec![true; n],
+            scheduler_enabled,
+            verify_scheduler,
+            router_ticks: 0,
+        }
+    }
+
+    /// Enables or disables the active-set scheduler at runtime. Disabling
+    /// restores the always-tick reference kernel; re-enabling marks every
+    /// component active (conservative) so no pending work can be missed.
+    pub fn set_active_scheduler(&mut self, enabled: bool) {
+        self.scheduler_enabled = enabled;
+        if enabled {
+            self.router_active.fill(true);
+            self.ni_active.fill(true);
+        }
+    }
+
+    /// True while the active-set scheduler is on.
+    pub fn active_scheduler(&self) -> bool {
+        self.scheduler_enabled
+    }
+
+    /// Fraction of `cycle x routers` slots in which a router was actually
+    /// stepped since construction (1.0 for the always-tick kernel; what the
+    /// scheduler skips shows up as the gap below 1.0).
+    pub fn active_router_fraction(&self) -> f64 {
+        let total = self.cycle as f64 * self.routers.len() as f64;
+        if total == 0.0 {
+            1.0
+        } else {
+            self.router_ticks as f64 / total
         }
     }
 
@@ -232,8 +294,10 @@ impl Network {
     }
 
     /// Mutable access to one NI (workload-facing: popping delivered packets,
-    /// permit management).
+    /// permit management). Conservatively wakes the NI: the caller may
+    /// mutate state the scheduler's wake points don't see.
     pub fn ni_mut(&mut self, node: NodeId) -> &mut Ni {
+        self.ni_active[node.index()] = true;
         &mut self.nis[node.index()]
     }
 
@@ -243,7 +307,10 @@ impl Network {
     }
 
     /// Mutable access to one router (scheme-facing mechanisms).
+    /// Conservatively wakes the router: the caller may mutate state the
+    /// scheduler's wake points don't see.
     pub fn router_mut(&mut self, node: NodeId) -> &mut Router {
+        self.router_active[node.index()] = true;
         &mut self.routers[node.index()]
     }
 
@@ -261,6 +328,7 @@ impl Network {
         if !self.nis[src.index()].can_enqueue(vnet) {
             return None;
         }
+        self.ni_active[src.index()] = true;
         let id = self.tracker.alloc_id();
         let pkt = Packet::new(id, src, dest, vnet, len_flits, self.cycle);
         let route = self.routing.plan(&self.topo, src, dest);
@@ -306,17 +374,22 @@ impl Network {
     /// buffer, attends switch allocation from the next cycle).
     pub fn send_control(&mut self, node: NodeId, msg: ControlMsg) {
         let now = self.cycle;
+        self.router_active[node.index()] = true;
         self.routers[node.index()].send_control(msg, now);
     }
 
-    /// Drains control messages that terminated at `node`'s router (acks).
-    pub fn take_router_inbox(&mut self, node: NodeId) -> Vec<DeliveredControl> {
-        self.routers[node.index()].take_control_inbox()
+    /// Drains control messages that terminated at `node`'s router (acks)
+    /// into `out`. Appends without clearing; both buffers keep their
+    /// capacity, so a caller-held scratch makes the drain allocation-free.
+    pub fn drain_router_inbox(&mut self, node: NodeId, out: &mut Vec<DeliveredControl>) {
+        self.routers[node.index()].drain_control_inbox_into(out);
     }
 
-    /// Drains control messages delivered to `node`'s NI (reqs/stops).
-    pub fn take_ni_inbox(&mut self, node: NodeId) -> Vec<DeliveredControl> {
-        self.nis[node.index()].take_control_inbox()
+    /// Drains control messages delivered to `node`'s NI (reqs/stops) into
+    /// `out` (same reusable-scratch contract as
+    /// [`Network::drain_router_inbox`]).
+    pub fn drain_ni_inbox(&mut self, node: NodeId, out: &mut Vec<DeliveredControl>) {
+        self.nis[node.index()].drain_control_inbox_into(out);
     }
 
     /// Scans an interposer router for upward-stalled packets of `vnet`.
@@ -382,8 +455,12 @@ impl Network {
             tracker,
             tracer,
             cycle,
+            router_active,
             ..
         } = self;
+        // The popped flit lands in the bypass latch; the router must be
+        // stepped to forward it.
+        router_active[node.index()] = true;
         let mut emit = std::mem::take(emit_scratch);
         let flit = {
             let mut ctx = RouterCtx {
@@ -413,16 +490,19 @@ impl Network {
 
     /// NI-side ejection-entry reservation (UPP_req handling).
     pub fn try_reserve_ejection(&mut self, node: NodeId, vnet: VnetId) -> bool {
+        self.ni_active[node.index()] = true;
         self.nis[node.index()].try_reserve_entry(vnet)
     }
 
     /// Releases an NI ejection reservation (UPP_stop handling).
     pub fn release_ejection_reservation(&mut self, node: NodeId, vnet: VnetId) {
+        self.ni_active[node.index()] = true;
         self.nis[node.index()].release_reservation(vnet);
     }
 
     /// Sets an injection permit on a pending packet (remote control).
     pub fn set_injection_permit(&mut self, node: NodeId, id: PacketId, state: PermitState) -> bool {
+        self.ni_active[node.index()] = true;
         self.nis[node.index()].set_permit(id, state)
     }
 
@@ -543,11 +623,14 @@ impl Network {
 
     /// Pauses or resumes NI injection at `node` (endpoint throttling).
     pub fn set_injection_paused(&mut self, node: NodeId, paused: bool) {
+        // Unpausing can surface a backlog the scheduler stopped watching.
+        self.ni_active[node.index()] = true;
         self.nis[node.index()].set_injection_paused(paused);
     }
 
     /// Pauses or resumes PE consumption at `node` (endpoint throttling).
     pub fn set_consumption_paused(&mut self, node: NodeId, paused: bool) {
+        self.ni_active[node.index()] = true;
         self.nis[node.index()].set_consumption_paused(paused);
     }
 
@@ -603,10 +686,18 @@ impl Network {
             cycle,
             calendar,
             emit_scratch,
+            router_active,
+            ni_active,
             ..
         } = self;
         let mut emit = std::mem::take(emit_scratch);
         for ev in events.drain(..) {
+            // Every delivery wakes its target component so `finish_cycle`
+            // steps it this cycle (see `Event::wake_target`).
+            match ev.wake_target() {
+                crate::event::WakeTarget::Router(n) => router_active[n.index()] = true,
+                crate::event::WakeTarget::Ni(n) => ni_active[n.index()] = true,
+            }
             match ev {
                 Event::FlitArrive {
                     node,
@@ -696,14 +787,46 @@ impl Network {
             cycle,
             calendar,
             emit_scratch,
+            router_active,
+            ni_active,
+            scheduler_enabled,
+            verify_scheduler,
+            router_ticks,
             ..
         } = self;
+        let sched = *scheduler_enabled;
         let mut emit = std::mem::take(emit_scratch);
         let now = *cycle;
 
+        // Cross-check: every component the scheduler is about to skip must
+        // truly have nothing to do. On by default in debug builds; opt in
+        // with UPP_VERIFY_SCHEDULER=1 for release-mode verification runs.
+        if sched && *verify_scheduler {
+            for (i, r) in routers.iter().enumerate() {
+                assert!(
+                    router_active[i] || !r.has_pending_work(),
+                    "active-set scheduler would skip router {} with pending work at cycle {now}",
+                    r.node()
+                );
+            }
+            for (i, ni) in nis.iter().enumerate() {
+                assert!(
+                    ni_active[i] || !ni.has_pending_work(),
+                    "active-set scheduler would skip NI {} with pending work at cycle {now}",
+                    ni.node()
+                );
+            }
+        }
+
         // NI injection: one flit per NI per cycle onto the Local input port.
+        // Iteration stays in ascending node order (with inactive NIs
+        // skipped) so the calendar receives events in exactly the order the
+        // always-tick kernel produced — byte-identical results.
         let vct = cfg.flow_control == crate::config::FlowControl::VirtualCutThrough;
-        for ni in nis.iter_mut() {
+        for (i, ni) in nis.iter_mut().enumerate() {
+            if sched && !ni_active[i] {
+                continue;
+            }
             if let Some((flit, vc_flat)) = ni.inject_step(now, cfg.vcs_per_vnet, vct) {
                 if flit.kind.is_head() {
                     tracker.on_injected(flit.packet, now);
@@ -730,8 +853,14 @@ impl Network {
             }
         }
 
-        // Routers: bypass, control, switch allocation.
+        // Routers: bypass, control, switch allocation (ascending order,
+        // inactive routers skipped; an idle router's step is provably a
+        // no-op — no RNG draw, no arbiter update, no trace event).
         for i in 0..routers.len() {
+            if sched && !router_active[i] {
+                continue;
+            }
+            *router_ticks += 1;
             let mut ctx = RouterCtx {
                 cfg,
                 topo,
@@ -744,11 +873,21 @@ impl Network {
                 tracer,
             };
             routers[i].step(&mut ctx);
+            if sched && !routers[i].has_pending_work() {
+                router_active[i] = false;
+            }
         }
 
-        // PE consumption (Immediate policy).
-        for ni in nis.iter_mut() {
+        // PE consumption (Immediate policy), then NI deactivation — decided
+        // only here so injection-side work observed above is not forgotten.
+        for (i, ni) in nis.iter_mut().enumerate() {
+            if sched && !ni_active[i] {
+                continue;
+            }
             ni.consume_step(now);
+            if sched && !ni.has_pending_work() {
+                ni_active[i] = false;
+            }
         }
 
         for (at, ev) in emit.drain(..) {
@@ -756,6 +895,47 @@ impl Network {
         }
         *emit_scratch = emit;
         *cycle += 1;
+    }
+
+    /// True when no router and no NI is scheduled for the next
+    /// `finish_cycle` — all remaining state (if any) sits in the calendar.
+    pub fn is_quiescent(&self) -> bool {
+        self.router_active.iter().all(|a| !a) && self.ni_active.iter().all(|a| !a)
+    }
+
+    /// The cycle the clock can fast-forward to, when the network is
+    /// quiescent and the next staged event is strictly in the future.
+    /// `None` when anything is active, the calendar is empty, the
+    /// scheduler is disabled, or the jump would blur the watchdog (see
+    /// [`PacketTracker::advance_to`]).
+    pub fn fast_forward_target(&self) -> Option<Cycle> {
+        if !self.scheduler_enabled || !self.is_quiescent() {
+            return None;
+        }
+        let target = self.calendar.next_occupied_cycle(self.cycle)?;
+        if target <= self.cycle {
+            return None;
+        }
+        if !self.tracker.advance_to(target, self.cfg.watchdog_threshold) {
+            return None;
+        }
+        Some(target)
+    }
+
+    /// Fast-forwards the clock to `target` (a value returned by
+    /// [`Network::fast_forward_target`]). Every skipped cycle is provably a
+    /// no-op: nothing is scheduled, so `begin_cycle` would deliver nothing
+    /// and `finish_cycle` would step nothing. The caller must have given
+    /// the scheme's `advance_to` hook a veto first.
+    pub fn advance_to(&mut self, target: Cycle) {
+        debug_assert!(self.scheduler_enabled, "fast-forward with scheduler off");
+        debug_assert!(self.is_quiescent(), "fast-forward past scheduled work");
+        debug_assert_eq!(
+            self.calendar.next_occupied_cycle(self.cycle),
+            Some(target),
+            "fast-forward target must be the next staged event"
+        );
+        self.cycle = target;
     }
 
     /// Runs a full cycle with no scheme hooks.

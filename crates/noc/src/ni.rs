@@ -493,9 +493,28 @@ impl Ni {
         self.control_inbox.push(msg);
     }
 
-    /// Drains the control inbox (called by the scheme each cycle).
-    pub fn take_control_inbox(&mut self) -> Vec<DeliveredControl> {
-        std::mem::take(&mut self.control_inbox)
+    /// Drains the control inbox into `out` (called by the scheme each
+    /// cycle), reusing both buffers' capacity (no per-call allocation).
+    pub fn drain_control_inbox_into(&mut self, out: &mut Vec<DeliveredControl>) {
+        out.append(&mut self.control_inbox);
+    }
+
+    /// True when stepping this NI next cycle could possibly do work: an
+    /// unpaused injection backlog, an Immediate-consumable delivered queue,
+    /// or an unread control-inbox entry.
+    ///
+    /// This is the active-set scheduler's wake predicate; like
+    /// [`crate::router::Router::has_pending_work`] it is level-based, so a
+    /// backlogged-but-blocked NI (no credits, permits still `Waiting`)
+    /// stays scheduled until its queues actually empty. Credits and permit
+    /// grants only enable progress for packets already counted in
+    /// `backlog`, so they need no wake of their own.
+    pub fn has_pending_work(&self) -> bool {
+        (self.backlog > 0 && !self.injection_paused)
+            || !self.control_inbox.is_empty()
+            || (!self.consumption_paused
+                && matches!(self.consume, ConsumePolicy::Immediate { .. })
+                && self.delivered.iter().any(|q| !q.is_empty()))
     }
 
     /// Helper for schemes: which flat VC indices belong to `vnet`.
@@ -720,7 +739,12 @@ mod tests {
             in_port: crate::ids::Port::West,
             at: 5,
         });
-        assert_eq!(n.take_control_inbox().len(), 1);
-        assert!(n.take_control_inbox().is_empty());
+        assert!(n.has_pending_work(), "unread inbox keeps the NI scheduled");
+        let mut out = Vec::new();
+        n.drain_control_inbox_into(&mut out);
+        assert_eq!(out.len(), 1);
+        n.drain_control_inbox_into(&mut out);
+        assert_eq!(out.len(), 1, "second drain adds nothing");
+        assert!(!n.has_pending_work());
     }
 }

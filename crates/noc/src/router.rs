@@ -200,7 +200,6 @@ pub struct Router {
     infinite_sink: [bool; Port::COUNT],
     req_buf: VecDeque<(ControlMsg, Port, Cycle)>,
     ack_buf: VecDeque<(ControlMsg, Port, Cycle)>,
-    ctrl_rr: bool,
     circuits: HashMap<(VnetId, NodeId), CircuitEntry>,
     bypass: VecDeque<BypassFlit>,
     priority_packets: HashSet<PacketId>,
@@ -253,7 +252,6 @@ impl Router {
             infinite_sink,
             req_buf: VecDeque::new(),
             ack_buf: VecDeque::new(),
-            ctrl_rr: false,
             circuits: HashMap::new(),
             bypass: VecDeque::new(),
             priority_packets: HashSet::new(),
@@ -372,9 +370,32 @@ impl Router {
         self.ack_buf.len()
     }
 
-    /// Drains the router-level control inbox (terminated acks).
-    pub fn take_control_inbox(&mut self) -> Vec<DeliveredControl> {
-        std::mem::take(&mut self.control_inbox)
+    /// Drains the router-level control inbox (terminated acks) into `out`,
+    /// reusing both buffers' capacity (no per-call allocation).
+    pub fn drain_control_inbox_into(&mut self, out: &mut Vec<DeliveredControl>) {
+        out.append(&mut self.control_inbox);
+    }
+
+    /// True when stepping this router next cycle could possibly do work:
+    /// any buffered input-VC flit, a latched bypass flit, a queued control
+    /// message, a buffered absorber flit, or an unread control-inbox entry.
+    ///
+    /// This is the active-set scheduler's wake predicate. It is
+    /// deliberately level-based (buffered state, not progress) so a
+    /// blocked-but-occupied router stays scheduled until it truly drains;
+    /// state that only *enables* progress for already-buffered flits
+    /// (credits, circuit entries, priority marks, frozen bits) does not
+    /// appear here because it can never create work in an empty router.
+    pub fn has_pending_work(&self) -> bool {
+        !self.bypass.is_empty()
+            || !self.req_buf.is_empty()
+            || !self.ack_buf.is_empty()
+            || !self.control_inbox.is_empty()
+            || self.in_vcs.iter().any(|vc| !vc.buf.is_empty())
+            || self
+                .absorber
+                .as_ref()
+                .is_some_and(|a| a.slots.iter().any(|s| !s.buf.is_empty()))
     }
 
     /// Enqueues a locally-originated control message (it attends switch
@@ -573,13 +594,16 @@ impl Router {
     /// Control messages: priority over normal flits, one req-like and one
     /// ack-like transfer per cycle at most.
     fn step_control(&mut self, ctx: &mut RouterCtx<'_>, claimed_out: &mut [bool; Port::COUNT]) {
-        // Alternate which buffer goes first for fairness.
-        let order = if self.ctrl_rr {
+        // Alternate which buffer goes first for fairness. The order is
+        // derived from the cycle parity rather than a toggled flag so an
+        // idle step leaves the router bit-identical to one that was never
+        // stepped — the active-set scheduler relies on this to skip empty
+        // routers without perturbing control-message ordering.
+        let order = if ctx.now & 1 == 1 {
             [ControlClass::AckLike, ControlClass::ReqLike]
         } else {
             [ControlClass::ReqLike, ControlClass::AckLike]
         };
-        self.ctrl_rr = !self.ctrl_rr;
         for class in order {
             let buf = match class {
                 ControlClass::ReqLike => &mut self.req_buf,

@@ -5,7 +5,7 @@
 //! `upp-baselines`) all implement this trait against the mechanisms exposed
 //! by [`crate::network::Network`].
 
-use crate::ids::{NodeId, PacketId};
+use crate::ids::{Cycle, NodeId, PacketId};
 use crate::network::Network;
 use serde::{Deserialize, Serialize};
 
@@ -52,6 +52,23 @@ pub trait Scheme: Send {
     /// control hooks in here).
     fn on_packet_created(&mut self, net: &mut Network, id: PacketId, src: NodeId, dest: NodeId) {
         let _ = (net, id, src, dest);
+    }
+
+    /// Consulted before the clock fast-forwards over a quiescent gap from
+    /// `from` to `to` (exclusive of `to`): the network has nothing
+    /// scheduled in between, so `pre_cycle`/`post_cycle` would run over an
+    /// unchanged network for every skipped cycle.
+    ///
+    /// Return `true` only when skipping those hook invocations is
+    /// *cycle-exact* for this scheme — i.e. its per-cycle state would end
+    /// up identical — applying any batched state update (e.g. resetting
+    /// detection counters that a candidate-free cycle would have reset)
+    /// before returning. Return `false` to veto the jump and keep per-cycle
+    /// stepping; vetoing is always safe. The default is `true`, correct
+    /// for schemes with no per-cycle state (routing-restriction schemes).
+    fn advance_to(&mut self, net: &Network, from: Cycle, to: Cycle) -> bool {
+        let _ = (net, from, to);
+        true
     }
 }
 

@@ -143,8 +143,17 @@ impl System {
     }
 
     /// Steps until the network drains, deadlocks, or `max_cycles` elapse.
+    ///
+    /// When the active-set scheduler is on and the network goes quiescent
+    /// (typically the tail of a drain: the last flits are in flight on
+    /// links, every router and NI is idle), the clock fast-forwards
+    /// straight to the next staged event instead of spinning no-op cycles.
+    /// The scheme's [`Scheme::advance_to`] hook can veto any jump, and
+    /// every skipped cycle is provably a no-op, so outcomes — including the
+    /// exact `Drained` cycle — are identical to per-cycle stepping.
     pub fn run_until_drained(&mut self, max_cycles: u64) -> RunOutcome {
-        for _ in 0..max_cycles {
+        let deadline = self.net.cycle().saturating_add(max_cycles);
+        while self.net.cycle() < deadline {
             if self.net.in_flight() == 0 {
                 return RunOutcome::Drained {
                     at: self.net.cycle(),
@@ -155,6 +164,12 @@ impl System {
                     last_progress: self.net.last_progress(),
                     in_flight: self.net.in_flight(),
                 };
+            }
+            if let Some(target) = self.net.fast_forward_target() {
+                if target < deadline && self.scheme.advance_to(&self.net, self.net.cycle(), target)
+                {
+                    self.net.advance_to(target);
+                }
             }
             self.step();
         }

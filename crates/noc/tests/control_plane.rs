@@ -73,7 +73,8 @@ fn forward_signal_reaches_ni_and_records_circuits() {
     s.net_mut().send_control(origin, msg);
     // Let it traverse: a handful of hops at 3 cycles each.
     s.run(40);
-    let inbox = s.net_mut().take_ni_inbox(dest);
+    let mut inbox = Vec::new();
+    s.net_mut().drain_ni_inbox(dest, &mut inbox);
     assert_eq!(
         inbox.len(),
         1,
@@ -117,7 +118,9 @@ fn reverse_signal_retraces_the_recorded_path() {
     let msg = req_msg(&s, origin, dest, vnet);
     s.net_mut().send_control(origin, msg);
     s.run(40);
-    assert_eq!(s.net_mut().take_ni_inbox(dest).len(), 1);
+    let mut inbox = Vec::new();
+    s.net_mut().drain_ni_inbox(dest, &mut inbox);
+    assert_eq!(inbox.len(), 1);
     // Now send the ack back along the reverse path.
     let ack = ControlMsg {
         class: ControlClass::AckLike,
@@ -132,7 +135,8 @@ fn reverse_signal_retraces_the_recorded_path() {
     };
     s.net_mut().send_control(dest, ack);
     s.run(40);
-    let inbox = s.net_mut().take_router_inbox(origin);
+    let mut inbox = Vec::new();
+    s.net_mut().drain_router_inbox(origin, &mut inbox);
     assert_eq!(
         inbox.len(),
         1,
@@ -158,10 +162,9 @@ fn reverse_signal_without_circuit_is_dropped() {
     };
     s.net_mut().send_control(dest, ack);
     s.run(40);
-    assert!(
-        s.net_mut().take_router_inbox(origin).is_empty(),
-        "orphan acks are dropped"
-    );
+    let mut inbox = Vec::new();
+    s.net_mut().drain_router_inbox(origin, &mut inbox);
+    assert!(inbox.is_empty(), "orphan acks are dropped");
 }
 
 #[test]
@@ -202,7 +205,9 @@ fn manual_popup_delivers_through_bypass_into_reserved_entry() {
     let msg = req_msg(&s, origin, dest, vnet);
     s.net_mut().send_control(origin, msg);
     s.run(40);
-    assert_eq!(s.net_mut().take_ni_inbox(dest).len(), 1);
+    let mut inbox = Vec::new();
+    s.net_mut().drain_ni_inbox(dest, &mut inbox);
+    assert_eq!(inbox.len(), 1);
     assert!(
         s.net_mut().try_reserve_ejection(dest, vnet),
         "entry reserves"

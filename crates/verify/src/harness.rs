@@ -148,10 +148,20 @@ pub fn oracle_for(sc: &Scenario) -> OracleConfig {
 /// Panics when the scenario names an unknown system or scheme (use
 /// [`Scenario::from_json`]'s validation for untrusted input).
 pub fn run_scenario(sc: &Scenario, oracle_cfg: OracleConfig) -> RunReport {
+    run_scenario_with(sc, oracle_cfg, true)
+}
+
+/// [`run_scenario`] with explicit control over the network's active-set
+/// cycle scheduler — the handle equivalence tests use to run the same
+/// scenario with and without idle-component skipping and demand identical
+/// reports. No environment variables are involved, so concurrent test
+/// threads can't race on the setting.
+pub fn run_scenario_with(sc: &Scenario, oracle_cfg: OracleConfig, scheduler: bool) -> RunReport {
     let spec = system_spec(&sc.system).expect("known system");
     let kind = scheme_kind(&sc.scheme).expect("known scheme");
     let cfg = NocConfig::default().with_vcs_per_vnet(sc.vcs_per_vnet);
     let mut built = build_system(&spec, cfg, &kind, 0, sc.seed, ConsumePolicy::External);
+    built.sys.net_mut().set_active_scheduler(scheduler);
     built
         .sys
         .net_mut()

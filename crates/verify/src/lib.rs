@@ -33,7 +33,9 @@ pub mod scenario;
 pub mod shrink;
 pub mod traffic;
 
-pub use harness::{oracle_for, run_differential, run_scenario, DiffReport, RunReport, Verdict};
+pub use harness::{
+    oracle_for, run_differential, run_scenario, run_scenario_with, DiffReport, RunReport, Verdict,
+};
 pub use oracle::{DeadlockOracle, OracleConfig, OracleViolation};
 pub use scenario::Scenario;
 pub use shrink::shrink;

@@ -1,0 +1,118 @@
+//! Scheduler-equivalence properties: the active-set cycle scheduler (skip
+//! idle routers/NIs, fast-forward quiescent gaps) must be unobservable.
+//! For random scenarios across every recovery scheme, a run with the
+//! scheduler on and the same run with it off must produce identical
+//! delivered-packet multisets, identical verdicts at identical cycles, and
+//! identical latency-attribution profiles — the scheduler may only change
+//! how fast wall-clock time passes, never what the simulation computes.
+
+use proptest::prelude::*;
+use upp_core::UppConfig;
+use upp_noc::config::NocConfig;
+use upp_noc::ni::ConsumePolicy;
+use upp_noc::sim::RunOutcome;
+use upp_noc::topology::{ChipletSystemSpec, SystemKind};
+use upp_verify::scenario::{random_scenario, CampaignParams};
+use upp_verify::{oracle_for, run_scenario_with, RunReport};
+use upp_workloads::runner::{build_system, SchemeKind};
+use upp_workloads::synthetic::{Pattern, SyntheticTraffic};
+
+const SCHEMES: [&str; 3] = ["UPP", "remote-control", "composable"];
+
+/// Everything a run observably computed, with `Verdict` flattened to its
+/// debug form (it carries no `PartialEq`).
+fn observables(r: &RunReport) -> (usize, String, String) {
+    (
+        r.created,
+        format!("{:?}", r.verdict),
+        format!("{}", r.end_cycle),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Full-scenario equivalence on the mini system: traffic, dynamic
+    /// faults and pauses, all three recovery schemes, per-cycle stepping
+    /// harness (exercises idle-component skipping; the harness steps every
+    /// cycle itself, so no fast-forwarding occurs here).
+    #[test]
+    fn scheduler_is_unobservable_in_scenario_runs(
+        seed in 0u64..5_000,
+        scheme_ix in 0usize..SCHEMES.len(),
+        rate_milli in 15u64..60,
+        faulty in any::<bool>(),
+    ) {
+        let label = SCHEMES[scheme_ix];
+        // The composable search requires a fault-free system (Sec. VI-B).
+        prop_assume!(!faulty || label != "composable");
+        let params = CampaignParams {
+            rate: rate_milli as f64 / 1000.0,
+            link_faults: if faulty { 2 } else { 0 },
+            throttles: if faulty { 1 } else { 0 },
+            ..CampaignParams::default()
+        };
+        let mut sc = random_scenario(&params, seed).expect("valid params");
+        sc.scheme = label.into();
+        let oracle = oracle_for(&sc);
+        let on = run_scenario_with(&sc, oracle, true);
+        let off = run_scenario_with(&sc, oracle, false);
+        prop_assert_eq!(observables(&on), observables(&off), "run shape diverged");
+        prop_assert_eq!(&on.sent, &off.sent, "accepted-send multiset diverged");
+        prop_assert_eq!(&on.delivered, &off.delivered, "delivered multiset diverged");
+        prop_assert_eq!(&on.profile, &off.profile, "latency profile diverged");
+    }
+
+    /// Drain-loop equivalence on the full baseline system: a traffic burst
+    /// followed by `run_until_drained`, which is where quiescent-gap
+    /// fast-forwarding actually fires. Outcomes (including the exact drain
+    /// cycle) and the complete stats snapshot must match byte for byte.
+    #[test]
+    fn fast_forward_preserves_outcome_and_stats(
+        kind_ix in 0usize..4,
+        pattern_ix in 0usize..3,
+        vcs in prop_oneof![Just(1usize), Just(2)],
+        seed in 0u64..5_000,
+        rate_milli in 10u64..70,
+    ) {
+        let kind = match kind_ix {
+            0 => SchemeKind::Upp(UppConfig::default()),
+            1 => SchemeKind::Upp(UppConfig::with_threshold(6)),
+            2 => SchemeKind::Composable,
+            _ => SchemeKind::RemoteControl,
+        };
+        let pattern = match pattern_ix {
+            0 => Pattern::UniformRandom,
+            1 => Pattern::Transpose,
+            _ => Pattern::BitComplement,
+        };
+        let run = |scheduler: bool| -> (RunOutcome, u64, String) {
+            let spec = ChipletSystemSpec::of_kind(SystemKind::Baseline);
+            let cfg = NocConfig::default().with_vcs_per_vnet(vcs);
+            let built = build_system(
+                &spec,
+                cfg,
+                &kind,
+                0,
+                seed,
+                ConsumePolicy::Immediate { latency: 1 },
+            );
+            let mut sys = built.sys;
+            sys.net_mut().set_active_scheduler(scheduler);
+            let rate = rate_milli as f64 / 1000.0;
+            let mut traffic = SyntheticTraffic::new(sys.net().topo(), pattern, rate, seed);
+            for _ in 0..300 {
+                traffic.tick(&mut sys);
+                sys.step();
+            }
+            let out = sys.run_until_drained(200_000);
+            let stats = serde_json::to_string(sys.net().stats()).expect("serializable");
+            (out, sys.net().cycle(), stats)
+        };
+        let on = run(true);
+        let off = run(false);
+        prop_assert_eq!(on.0, off.0, "drain outcome diverged");
+        prop_assert_eq!(on.1, off.1, "final cycle diverged");
+        prop_assert_eq!(on.2, off.2, "stats snapshot diverged");
+    }
+}
