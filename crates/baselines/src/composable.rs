@@ -22,6 +22,8 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 use upp_noc::ids::{NodeId, Port};
+use upp_noc::network::Network;
+use upp_noc::obs::GaugeId;
 use upp_noc::routing::turns::{Channel, ExtendedCdg, TurnRestrictions};
 use upp_noc::routing::xy::{xy_arrival_port, xy_departure_port};
 use upp_noc::routing::{BoundarySelector, ChipletRouting};
@@ -384,11 +386,22 @@ impl BoundarySelector for ComposableSelector {
     }
 }
 
+/// Pre-registered telemetry ids (`Some` only while the network's obs
+/// registry is enabled).
+#[derive(Debug, Clone, Copy)]
+struct ComposableObs {
+    /// Total flits queued in Down-port input VCs at boundary routers.
+    dateline_flits: GaugeId,
+    /// Deepest single Down-port input VC among those.
+    dateline_max: GaugeId,
+}
+
 /// The composable-routing scheme object (routing does all the work; the
 /// scheme itself is pure metadata).
 #[derive(Debug, Clone)]
 pub struct Composable {
     cfg: Arc<ComposableConfig>,
+    obs: Option<ComposableObs>,
 }
 
 impl Composable {
@@ -400,7 +413,7 @@ impl Composable {
     pub fn build(topo: &Topology) -> Result<(Self, ChipletRouting), ComposableError> {
         let cfg = Arc::new(ComposableConfig::build(topo)?);
         let routing = cfg.routing();
-        Ok((Self { cfg }, routing))
+        Ok((Self { cfg, obs: None }, routing))
     }
 
     /// The underlying configuration.
@@ -436,6 +449,50 @@ impl Scheme for Composable {
         // cycle-exact. (Spelled out rather than inherited to document that
         // the default was considered, not overlooked.)
         true
+    }
+
+    fn observe(&mut self, net: &mut Network) {
+        if !net.obs().is_enabled() {
+            return;
+        }
+        if self.obs.is_none() {
+            let o = net.obs_mut();
+            self.obs = Some(ComposableObs {
+                dateline_flits: o.gauge("composable.dateline_vc.flits"),
+                dateline_max: o.gauge("composable.dateline_vc.max"),
+            });
+        }
+        let Some(o) = self.obs else { return };
+        // Composable has no dateline VCs in the literal (torus) sense; its
+        // pressure point is the boundary funnel: the turn restrictions
+        // concentrate inter-chiplet traffic through a subset of boundary
+        // routers, so the Down-port input VCs there — where ascending
+        // packets land — are the structure whose occupancy grows with
+        // system size. Sampled on the same axes as UPP's circuit table and
+        // remote control's permit queues so `fig_scaling` can compare the
+        // three schemes directly.
+        let mut flits = 0u64;
+        let mut deepest = 0u64;
+        let boundaries: Vec<NodeId> = net
+            .topo()
+            .chiplets()
+            .iter()
+            .flat_map(|c| c.boundary_routers.iter().copied())
+            .collect();
+        for b in boundaries {
+            let r = net.router(b);
+            for (p, f) in r.input_vcs() {
+                if p != Port::Down {
+                    continue;
+                }
+                let len = r.input_vc(p, f).buf.len() as u64;
+                flits += len;
+                deepest = deepest.max(len);
+            }
+        }
+        let obs = net.obs_mut();
+        obs.gauge_set(o.dateline_flits, flits);
+        obs.gauge_set(o.dateline_max, deepest);
     }
 }
 

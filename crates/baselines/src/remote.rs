@@ -16,6 +16,7 @@ use std::collections::{HashMap, VecDeque};
 use upp_noc::ids::{Cycle, NodeId, PacketId, Port};
 use upp_noc::network::Network;
 use upp_noc::ni::PermitState;
+use upp_noc::obs::{CounterId, GaugeId};
 use upp_noc::scheme::{Scheme, SchemeProperties};
 
 /// Remote-control tuning knobs.
@@ -58,6 +59,25 @@ pub struct RemoteControlStats {
     pub contention_wait_cycles: u64,
 }
 
+/// Pre-registered telemetry ids (`Some` only while the network's obs
+/// registry is enabled). Permit-queue pressure and absorber occupancy are
+/// remote control's analogue of UPP's circuit-table/watchdog pressure:
+/// the boundary structures whose growth with system size decides
+/// scalability.
+#[derive(Debug, Clone, Copy)]
+struct RcObs {
+    /// Running totals mirrored from [`RemoteControlStats`].
+    requests: CounterId,
+    grants: CounterId,
+    contention_wait: CounterId,
+    /// Total queued permit requests across boundaries / deepest queue.
+    queue_depth: GaugeId,
+    queue_max: GaugeId,
+    /// Occupied absorber slots / buffered absorber flits across boundaries.
+    absorber_slots: GaugeId,
+    absorber_flits: GaugeId,
+}
+
 /// The remote-control scheme.
 pub struct RemoteControl {
     cfg: RemoteControlConfig,
@@ -65,6 +85,7 @@ pub struct RemoteControl {
     queues: HashMap<NodeId, VecDeque<PermitRequest>>,
     stats: RemoteControlStats,
     initialized: bool,
+    obs: Option<RcObs>,
 }
 
 impl std::fmt::Debug for RemoteControl {
@@ -83,12 +104,29 @@ impl RemoteControl {
             queues: HashMap::new(),
             stats: RemoteControlStats::default(),
             initialized: false,
+            obs: None,
         }
     }
 
     /// Run counters.
     pub fn stats(&self) -> RemoteControlStats {
         self.stats
+    }
+
+    fn ensure_obs(&mut self, net: &mut Network) {
+        if self.obs.is_some() || !net.obs().is_enabled() {
+            return;
+        }
+        let o = net.obs_mut();
+        self.obs = Some(RcObs {
+            requests: o.counter("rc.permits.requested"),
+            grants: o.counter("rc.permits.granted"),
+            contention_wait: o.counter("rc.permits.contention_wait_cycles"),
+            queue_depth: o.gauge("rc.permit_queue.depth"),
+            queue_max: o.gauge("rc.permit_queue.max"),
+            absorber_slots: o.gauge("rc.absorber.slots_occupied"),
+            absorber_flits: o.gauge("rc.absorber.flits"),
+        });
     }
 
     fn initialize(&mut self, net: &mut Network) {
@@ -139,6 +177,7 @@ impl Scheme for RemoteControl {
         if !self.initialized {
             self.initialize(net);
         }
+        self.ensure_obs(net);
         let now = net.cycle();
         let boundaries: Vec<NodeId> = self.queues.keys().copied().collect();
         for b in boundaries {
@@ -171,6 +210,43 @@ impl Scheme for RemoteControl {
         // request vetoes the jump. With every queue empty `pre_cycle` is a
         // pure no-op and skipping is cycle-exact.
         self.initialized && self.queues.values().all(|q| q.is_empty())
+    }
+
+    fn observe(&mut self, net: &mut Network) {
+        if !net.obs().is_enabled() {
+            return;
+        }
+        if !self.initialized {
+            self.initialize(net);
+        }
+        self.ensure_obs(net);
+        let Some(o) = self.obs else { return };
+        // Permit-queue pressure: total backlog plus the deepest single
+        // queue. Summation and max are commutative, so HashMap iteration
+        // order cannot affect the sampled values.
+        let mut depth = 0u64;
+        let mut deepest = 0u64;
+        let mut slots = 0u64;
+        let mut flits = 0u64;
+        for (&b, q) in &self.queues {
+            depth += q.len() as u64;
+            deepest = deepest.max(q.len() as u64);
+            if let Some(abs) = net.router(b).absorber() {
+                let (occupied, buffered) = abs.occupancy();
+                slots += occupied as u64;
+                flits += buffered as u64;
+            }
+        }
+        let obs = net.obs_mut();
+        // The stats fields are monotonic running totals, so replaying them
+        // through `counter_record_total` keeps epoch deltas exact.
+        obs.counter_record_total(o.requests, self.stats.requests);
+        obs.counter_record_total(o.grants, self.stats.grants);
+        obs.counter_record_total(o.contention_wait, self.stats.contention_wait_cycles);
+        obs.gauge_set(o.queue_depth, depth);
+        obs.gauge_set(o.queue_max, deepest);
+        obs.gauge_set(o.absorber_slots, slots);
+        obs.gauge_set(o.absorber_flits, flits);
     }
 
     fn on_packet_created(&mut self, net: &mut Network, id: PacketId, src: NodeId, dest: NodeId) {
@@ -308,6 +384,45 @@ mod tests {
         let out = sys.run_until_drained(100_000);
         assert!(matches!(out, RunOutcome::Drained { .. }), "got {out:?}");
         assert_eq!(sys.net().stats().packets_ejected, sent);
+    }
+
+    #[test]
+    fn telemetry_reports_permit_and_absorber_pressure() {
+        let mut sys = system();
+        sys.net_mut().enable_obs();
+        let dest = sys.net().topo().chiplets()[2].routers[10];
+        let sources: Vec<NodeId> = sys.net().topo().chiplets()[0].routers.clone();
+        for &s in &sources {
+            let _ = sys.send(s, dest, VnetId(1), 5);
+        }
+        // Mid-flight sample: permits are still queued behind the RTT and the
+        // one-grant-per-boundary pacing.
+        sys.run(2);
+        sys.observe();
+        let obs = sys.net().obs();
+        assert!(obs.counter_value("rc.permits.requested") > 0);
+        let (_, depth_high) = obs.gauge_value("rc.permit_queue.depth");
+        assert!(depth_high > 0, "queued permits must register as depth");
+        // Gauges are sampled, so observe periodically to catch the absorbers
+        // while they hold packets.
+        for _ in 0..2_000 {
+            sys.run(10);
+            sys.observe();
+            if sys.net().in_flight() == 0 {
+                break;
+            }
+        }
+        assert_eq!(sys.net().in_flight(), 0, "run must drain");
+        let obs = sys.net().obs();
+        assert_eq!(
+            obs.counter_value("rc.permits.granted"),
+            obs.counter_value("rc.permits.requested"),
+            "a drained run granted every permit"
+        );
+        let (depth_now, _) = obs.gauge_value("rc.permit_queue.depth");
+        assert_eq!(depth_now, 0, "drained network has no queued permits");
+        let (_, slots_high) = obs.gauge_value("rc.absorber.slots_occupied");
+        assert!(slots_high > 0, "absorbers held packets during the run");
     }
 
     #[test]

@@ -77,6 +77,38 @@ fn sweep_seconds(jobs: usize, rates: &[f64], cycles: u64) -> f64 {
     start.elapsed().as_secs_f64()
 }
 
+/// Cycles/sec of the UPP kernel with the telemetry registry disabled vs
+/// enabled, on identical traffic. `off` runs every obs call site behind
+/// the closed gate — the configuration the perf gate pins — so the
+/// on/off ratio is the registry's whole cost.
+fn obs_cycles_per_sec(enable: bool, cycles: u64) -> f64 {
+    let spec = ChipletSystemSpec::baseline();
+    let built = build_system(
+        &spec,
+        NocConfig::default(),
+        &SchemeKind::Upp(UppConfig::default()),
+        0,
+        2022,
+        ConsumePolicy::Immediate { latency: 1 },
+    );
+    let mut sys = built.sys;
+    if enable {
+        sys.net_mut().enable_obs();
+    }
+    let mut traffic = SyntheticTraffic::new(sys.net().topo(), Pattern::UniformRandom, 0.06, 2022);
+    let start = Instant::now();
+    for c in 0..cycles {
+        traffic.tick(&mut sys);
+        sys.step();
+        if c.is_multiple_of(100) {
+            sys.observe();
+        }
+    }
+    let secs = start.elapsed().as_secs_f64();
+    black_box(sys.net().stats().flits_ejected);
+    cycles as f64 / secs
+}
+
 /// One active-set-scheduler scenario: injects uniform-random traffic at
 /// `rate` for `inject_cycles`, optionally drains the tail afterwards, and
 /// returns `(cycles/sec, mean active-router fraction)`. The scheduler is
@@ -187,6 +219,8 @@ fn main() {
     let upp_1vc = kernel_cycles_per_sec(&SchemeKind::Upp(UppConfig::default()), 1, 0.06, cycles);
     let upp_4vc = kernel_cycles_per_sec(&SchemeKind::Upp(UppConfig::default()), 4, 0.06, cycles);
     let none_1vc = kernel_cycles_per_sec(&SchemeKind::None, 1, 0.03, cycles);
+    let obs_off = obs_cycles_per_sec(false, cycles);
+    let obs_on = obs_cycles_per_sec(true, cycles);
 
     let rates: Vec<f64> = if q {
         vec![0.02, 0.05, 0.08, 0.11]
@@ -216,10 +250,15 @@ fn main() {
         "{{\n  \"bench\": \"sim_throughput\",\n  \"quick\": {q},\n  \
          \"hardware_threads\": {threads},\n  \"measure_cycles\": {cycles},\n  \
          \"cycles_per_sec\": {{\n    \"upp_1vc\": {upp_1vc:.0},\n    \
-         \"upp_4vc\": {upp_4vc:.0},\n    \"no_scheme_1vc\": {none_1vc:.0}\n  }},\n  \
+         \"upp_4vc\": {upp_4vc:.0},\n    \"no_scheme_1vc\": {none_1vc:.0},\n    \
+         \"upp_1vc_obs_off\": {obs_off:.0}\n  }},\n  \
+         \"obs\": {{\n    \"cycles_per_sec_disabled\": {obs_off:.0},\n    \
+         \"cycles_per_sec_enabled\": {obs_on:.0},\n    \
+         \"enabled_over_disabled\": {:.3}\n  }},\n  \
          \"sweep\": {{\n    \"rates\": {},\n    \"serial_secs\": {serial:.3},\n    \
          \"jobs4_secs\": {jobs4:.3},\n    \"speedup_jobs4\": {:.2}\n  }},\n  \
          \"scheduler_scenarios\": {{\n{scenarios_json}\n  }}\n}}\n",
+        obs_on / obs_off,
         rates.len(),
         serial / jobs4,
     );

@@ -2,7 +2,11 @@
 //! disabled tracer costs nothing. Three configurations run the identical
 //! simulation — no tracer call sites would even be a fourth, but the
 //! default `Tracer::disabled()` *is* the no-tracer configuration, so the
-//! comparison of interest is `disabled` vs the recording sinks.
+//! comparison of interest is `disabled` vs the recording sinks. The
+//! `obs_registry` configuration makes the same promise for the
+//! protocol-state telemetry registry: `disabled` already runs every obs
+//! call site behind the closed gate, so compare it against `obs_registry`
+//! for the enabled cost.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use std::sync::Arc;
@@ -22,7 +26,7 @@ const RATE_DEN: u64 = 5;
 
 /// A deterministic, RNG-free traffic pattern so every configuration
 /// simulates the identical workload.
-fn run_once(tracer: Tracer) -> u64 {
+fn run_once(tracer: Tracer, obs: bool) -> u64 {
     let topo = ChipletSystemSpec::baseline().build(0).expect("valid spec");
     let net = Network::new(
         NocConfig::default(),
@@ -33,6 +37,9 @@ fn run_once(tracer: Tracer) -> u64 {
     );
     let mut sys = System::new(net, Box::new(Upp::new(UppConfig::default())));
     sys.net_mut().set_tracer(tracer);
+    if obs {
+        sys.net_mut().enable_obs();
+    }
     let nodes: Vec<NodeId> = sys
         .net()
         .topo()
@@ -54,6 +61,9 @@ fn run_once(tracer: Tracer) -> u64 {
             let _ = sys.send(src, dest, VnetId((slot % 3) as u8), 3);
         }
         sys.step();
+        if obs && cycle.is_multiple_of(64) {
+            sys.observe();
+        }
     }
     let _ = sys.run_until_drained(50_000);
     sys.net().stats().flits_ejected
@@ -63,19 +73,22 @@ fn bench_trace_overhead(c: &mut Criterion) {
     let mut group = c.benchmark_group("trace_overhead");
     group.sample_size(10);
     group.bench_function("disabled", |b| {
-        b.iter(|| black_box(run_once(Tracer::disabled())))
+        b.iter(|| black_box(run_once(Tracer::disabled(), false)))
     });
     group.bench_function("ring_64k", |b| {
-        b.iter(|| black_box(run_once(Tracer::ring(1 << 16))))
+        b.iter(|| black_box(run_once(Tracer::ring(1 << 16), false)))
     });
     group.bench_function("profiler", |b| {
-        b.iter(|| black_box(run_once(Tracer::profiling())))
+        b.iter(|| black_box(run_once(Tracer::profiling(), false)))
     });
     group.bench_function("chrome_buffered", |b| {
-        b.iter(|| black_box(run_once(Tracer::chrome())))
+        b.iter(|| black_box(run_once(Tracer::chrome(), false)))
     });
     group.bench_function("jsonl_sink", |b| {
-        b.iter(|| black_box(run_once(Tracer::jsonl(Box::new(std::io::sink())))))
+        b.iter(|| black_box(run_once(Tracer::jsonl(Box::new(std::io::sink())), false)))
+    });
+    group.bench_function("obs_registry", |b| {
+        b.iter(|| black_box(run_once(Tracer::disabled(), true)))
     });
     group.finish();
 }

@@ -44,6 +44,9 @@ struct Args {
     profile_out: Option<String>,
     metrics_every: Option<u64>,
     metrics_out: Option<String>,
+    obs: bool,
+    obs_every: Option<u64>,
+    obs_out: Option<String>,
     stall_report: bool,
     stall_svg_path: Option<String>,
     json: Option<String>,
@@ -55,7 +58,9 @@ struct Args {
 fn usage() -> ! {
     eprintln!(
         "usage: simulate [options]\n\
-         --system baseline|large|b2|b8       (default baseline)\n\
+         --system baseline|large|b2|b8|grid:CxR\n\
+                                             (default baseline; grid:CxR is a\n\
+                                             C-by-R-chiplet mesh system)\n\
          --scheme upp|composable|remote|none (default upp)\n\
          --pattern uniform_random|bit_complement|bit_rotation|transpose|hotspot|neighbor\n\
          --rate FLOAT                        offered flits/cycle/node (default 0.05)\n\
@@ -77,6 +82,14 @@ fn usage() -> ! {
          --metrics-every N                   sample epoch metrics every N cycles\n\
          --metrics-out PATH                  write the metrics time series (CSV;\n\
                                              stdout when omitted)\n\
+         --obs                               enable protocol-state telemetry and\n\
+                                             print the final summary (merged into\n\
+                                             --json as \"obs\" when given)\n\
+         --obs-every N                       additionally snapshot telemetry\n\
+                                             epochs every N cycles (implies --obs)\n\
+         --obs-out PATH                      write the epoch snapshots as JSONL\n\
+                                             (stdout when omitted; needs\n\
+                                             --obs-every)\n\
          --stall-report                      print deadlock forensics after the run\n\
          --stall-svg PATH                    write the annotated stall diagram\n\
          --json PATH                         dump final NetStats/UppStats as JSON\n\
@@ -116,6 +129,9 @@ fn parse() -> Args {
         profile_out: None,
         metrics_every: None,
         metrics_out: None,
+        obs: false,
+        obs_every: None,
+        obs_out: None,
         stall_report: false,
         stall_svg_path: None,
         json: None,
@@ -129,12 +145,30 @@ fn parse() -> Args {
         let mut val = || it.next().unwrap_or_else(|| usage());
         match flag.as_str() {
             "--system" => {
-                a.system = match val().as_str() {
+                let v = val();
+                a.system = match v.as_str() {
                     "baseline" => SystemKind::Baseline,
                     "large" => SystemKind::Large,
                     "b2" => SystemKind::BoundaryCount(2),
                     "b8" => SystemKind::BoundaryCount(8),
-                    _ => usage(),
+                    other => {
+                        let Some(dims) = other.strip_prefix("grid:") else {
+                            usage()
+                        };
+                        let Some((c, r)) = dims.split_once('x') else {
+                            usage()
+                        };
+                        let (Ok(cols), Ok(rows)) = (c.parse::<u16>(), r.parse::<u16>()) else {
+                            usage()
+                        };
+                        // Reject degenerate/overflowing grids now, with the
+                        // spec's own message, rather than panicking later.
+                        if let Err(e) = ChipletSystemSpec::grid(cols, rows) {
+                            eprintln!("invalid --system {other}: {e}");
+                            exit(2);
+                        }
+                        SystemKind::Grid { cols, rows }
+                    }
                 }
             }
             "--scheme" => scheme_name = val(),
@@ -169,6 +203,16 @@ fn parse() -> Args {
             }
             "--metrics-every" => a.metrics_every = Some(val().parse().unwrap_or_else(|_| usage())),
             "--metrics-out" => a.metrics_out = Some(val()),
+            "--obs" => a.obs = true,
+            "--obs-every" => {
+                a.obs = true;
+                let n: u64 = val().parse().unwrap_or_else(|_| usage());
+                if n == 0 {
+                    usage();
+                }
+                a.obs_every = Some(n);
+            }
+            "--obs-out" => a.obs_out = Some(val()),
             "--stall-report" => a.stall_report = true,
             "--stall-svg" => a.stall_svg_path = Some(val()),
             "--json" => a.json = Some(val()),
@@ -303,6 +347,10 @@ fn main() {
         eprintln!("--journal only applies to --sweep mode");
         exit(2);
     }
+    if args.obs_out.is_some() && args.obs_every.is_none() {
+        eprintln!("--obs-out needs --obs-every N");
+        exit(2);
+    }
     if let Some(rates) = args.sweep.clone() {
         run_sweep(&args, &rates);
         return;
@@ -318,6 +366,9 @@ fn main() {
         ConsumePolicy::Immediate { latency: 1 },
     );
     let mut sys = built.sys;
+    if args.obs {
+        sys.net_mut().enable_obs();
+    }
 
     // Flight recorder: a Chrome trace buffers in memory (bounded by
     // --trace-ring-cap when given); a JSONL trace streams straight to disk;
@@ -372,6 +423,21 @@ fn main() {
         .metrics_every
         .map(|n| MetricsSampler::new(n.max(1), sys.net().topo().num_endpoints()));
 
+    // Telemetry epochs, collected as deterministic single-line JSON.
+    let mut obs_lines: Vec<String> = Vec::new();
+    let obs_sample = |sys: &mut upp_noc::sim::System, lines: &mut Vec<String>| {
+        let Some(every) = args.obs_every else { return };
+        let c = sys.net().cycle();
+        if c == 0 || !c.is_multiple_of(every) {
+            return;
+        }
+        // Sampled gauges (queue depths, table occupancy) refresh at the
+        // epoch boundary; exact counters have been accumulating all along.
+        sys.observe();
+        let snap = sys.net_mut().obs_mut().take_epoch(c);
+        lines.push(sys.net().obs().epoch_json(&snap));
+    };
+
     let mut traffic = SyntheticTraffic::new(sys.net().topo(), args.pattern, args.rate, args.seed);
     eprintln!(
         "system {:?} | scheme {} | pattern {} | rate {} | {} cycles | {} VCs | {} faults",
@@ -389,16 +455,18 @@ fn main() {
         if let Some(s) = sampler.as_mut() {
             s.maybe_sample(sys.net());
         }
+        obs_sample(&mut sys, &mut obs_lines);
         drain_spans(&mut sys, &mut profile);
         if sys.net().stalled() {
             eprintln!("network stalled (deadlock) at cycle {cycle}");
             break;
         }
     }
-    let outcome = if sampler.is_some() || profile.is_some() {
+    let outcome = if sampler.is_some() || profile.is_some() || args.obs_every.is_some() {
         // Manual drain loop so epoch sampling and span streaming continue
         // to the end; the zero-budget call afterwards just classifies the
-        // final state.
+        // final state. (Telemetry epochs in particular must land on exact
+        // cycle boundaries, which fast-forwarding would step over.)
         for _ in 0..args.cycles {
             if sys.net().in_flight() == 0 || sys.net().stalled() {
                 break;
@@ -407,11 +475,22 @@ fn main() {
             if let Some(s) = sampler.as_mut() {
                 s.maybe_sample(sys.net());
             }
+            obs_sample(&mut sys, &mut obs_lines);
             drain_spans(&mut sys, &mut profile);
         }
         sys.run_until_drained(0)
     } else {
         sys.run_until_drained(args.cycles)
+    };
+    // Final telemetry sample: refresh the sampled gauges once so the
+    // summary reflects the end state, then cut the summary. Exact counters
+    // are unaffected (they accumulate at the event sites, fast-forward or
+    // not).
+    let obs_summary = if args.obs {
+        sys.observe();
+        Some(sys.net().obs().summary_json(sys.net().cycle()))
+    } else {
+        None
     };
 
     let stats = sys.net().stats().clone();
@@ -517,6 +596,32 @@ fn main() {
         }
     }
 
+    // Telemetry epochs (JSONL: header line, then one line per epoch).
+    if args.obs_every.is_some() {
+        let mut out = sys.net().obs().epochs_header_json();
+        out.push('\n');
+        for line in &obs_lines {
+            out.push_str(line);
+            out.push('\n');
+        }
+        match &args.obs_out {
+            Some(path) => match std::fs::write(path, &out) {
+                Ok(()) => eprintln!("wrote {path} ({} epochs)", obs_lines.len()),
+                Err(e) => eprintln!("could not write {path}: {e}"),
+            },
+            None => {
+                let mut stdout = std::io::stdout().lock();
+                let _ = stdout.write_all(out.as_bytes());
+            }
+        }
+    }
+    // Telemetry summary, human-visible. The same JSON is embedded in
+    // --json output below for machine consumption.
+    if let Some(summary) = &obs_summary {
+        println!("telemetry summary:");
+        println!("{summary}");
+    }
+
     // Machine-readable final stats.
     if let Some(path) = &args.json {
         let net_json =
@@ -525,8 +630,15 @@ fn main() {
             Some(s) => serde_json::to_string_pretty(s).expect("stats serialization is infallible"),
             None => "null".to_string(),
         };
+        // The "obs" key appears only when telemetry ran: runs without
+        // --obs keep the exact historical payload (pinned by the
+        // determinism goldens).
+        let obs_field = match &obs_summary {
+            Some(s) => format!(",\n  \"obs\": {s}"),
+            None => String::new(),
+        };
         let payload = format!(
-            "{{\n  \"outcome\": \"{outcome:?}\",\n  \"cycles\": {},\n  \"endpoints\": {nodes},\n  \"trace_dropped\": {trace_dropped},\n  \"net\": {net_json},\n  \"upp\": {upp_json}\n}}\n",
+            "{{\n  \"outcome\": \"{outcome:?}\",\n  \"cycles\": {},\n  \"endpoints\": {nodes},\n  \"trace_dropped\": {trace_dropped},\n  \"net\": {net_json},\n  \"upp\": {upp_json}{obs_field}\n}}\n",
             sys.net().cycle()
         );
         match std::fs::write(path, payload) {

@@ -10,6 +10,7 @@ pub mod fig15;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod fig_scaling;
 pub mod tables;
 
 use crate::report::ExperimentResult;
@@ -17,7 +18,7 @@ use upp_noc::config::NocConfig;
 use upp_workloads::runner::SweepWindows;
 
 /// All experiment ids, in paper order.
-pub const ALL_IDS: [&str; 12] = [
+pub const ALL_IDS: [&str; 13] = [
     "table1",
     "table2",
     "fig7",
@@ -29,6 +30,7 @@ pub const ALL_IDS: [&str; 12] = [
     "fig13",
     "fig14",
     "fig15",
+    "fig_scaling",
     "ablations",
 ];
 
@@ -47,6 +49,7 @@ pub fn run(id: &str, quick: bool) -> Option<ExperimentResult> {
         "fig13" => Some(fig13::run(quick)),
         "fig14" => Some(fig14::run()),
         "fig15" => Some(fig15::run(quick)),
+        "fig_scaling" => Some(fig_scaling::run(quick)),
         "ablations" => Some(ablations::run(quick)),
         _ => None,
     }

@@ -18,6 +18,7 @@ use std::sync::{Arc, Mutex};
 use upp_noc::control::{ControlClass, ControlMsg, ControlRoute, DeliveredControl};
 use upp_noc::ids::{ChipletId, Cycle, NodeId, PacketId, Port, VnetId};
 use upp_noc::network::{Network, UpwardCandidate};
+use upp_noc::obs::{CounterId, GaugeId, HistId};
 use upp_noc::packet::RouteInfo;
 use upp_noc::scheme::{Scheme, SchemeProperties};
 use upp_noc::trace::TraceEvent;
@@ -173,6 +174,51 @@ struct RouterState {
     chiplet: ChipletId,
 }
 
+/// Pre-registered telemetry ids for UPP's protocol-state metrics
+/// (`Some` only while the network's obs registry is enabled).
+///
+/// Counters are recorded event-by-event from the per-cycle hooks, which
+/// keeps them exact across `advance_to` fast-forwards: every recording
+/// site sits on a path that [`Upp::advance_to`] refuses to skip (a
+/// non-`Idle` stage, a queued signal, or — for the watchdog counter — an
+/// expiry, which requires upward candidates and hence buffered flits that
+/// keep the network non-quiescent). Distributions and queue depths are
+/// sampled in [`Scheme::observe`] instead.
+#[derive(Debug, Clone, Copy)]
+struct UppObs {
+    /// `(node, VNet)` pairs whose timeout watchdog sat expired this cycle.
+    watchdog_expired: CounterId,
+    /// Distribution of live watchdog counter values at epoch boundaries.
+    watchdog_counter: HistId,
+    /// Stage-transition counts (entries into each non-idle stage).
+    enter_wait_ack: CounterId,
+    enter_pop_interposer: CounterId,
+    enter_locate_head: CounterId,
+    enter_pop_chiplet: CounterId,
+    /// Per-cycle dwell counts (cycles spent in each non-idle stage, summed
+    /// over all `(node, VNet)` state machines).
+    dwell_wait_ack: CounterId,
+    dwell_pop_interposer: CounterId,
+    dwell_locate_head: CounterId,
+    dwell_pop_chiplet: CounterId,
+    /// Per-popup latency decomposition (same quantities as [`UppStats`],
+    /// but as distributions rather than sums).
+    recovery: HistId,
+    wait_ack: HistId,
+    locate: HistId,
+    pop: HistId,
+    /// Chiplet-side circuit-table consultations during `PopChiplet`, and
+    /// the defensive route-computation fallbacks among them.
+    circuit_lookups: CounterId,
+    circuit_fallbacks: CounterId,
+    /// Non-idle popup state machines (sampled).
+    stages_active: GaugeId,
+    /// Total queued signals across serial signal units (sampled).
+    signal_queue: GaugeId,
+    /// Total queued NI-side protocol actions (sampled).
+    ni_queue: GaugeId,
+}
+
 /// A queued NI-side protocol action. Requests and stops for one `(NI, VNet)`
 /// always originate from the same interposer router (static binding) and are
 /// processed in FIFO order, so a stop can never overtake its request.
@@ -205,6 +251,9 @@ pub struct Upp {
     ni_queues: HashMap<(NodeId, VnetId), VecDeque<NiMsg>>,
     stats: UppStatsHandle,
     initialized: bool,
+    /// Telemetry ids, registered lazily once the network's obs registry is
+    /// enabled.
+    obs: Option<UppObs>,
     /// Reusable buffer for draining router/NI control inboxes
     /// (allocation-free on the per-cycle path).
     inbox_scratch: Vec<DeliveredControl>,
@@ -231,6 +280,7 @@ impl Upp {
             ni_queues: HashMap::new(),
             stats: Arc::new(Mutex::new(UppStats::default())),
             initialized: false,
+            obs: None,
             inbox_scratch: Vec::new(),
         }
     }
@@ -270,6 +320,36 @@ impl Upp {
             self.chiplet_nodes.extend(c.routers.iter().copied());
         }
         self.initialized = true;
+    }
+
+    /// Registers UPP's telemetry metrics once the registry is enabled
+    /// (idempotent; a no-op while telemetry is off).
+    fn ensure_obs(&mut self, net: &mut Network) {
+        if self.obs.is_some() || !net.obs().is_enabled() {
+            return;
+        }
+        let r = net.obs_mut();
+        self.obs = Some(UppObs {
+            watchdog_expired: r.counter("upp.watchdog.expired_cycles"),
+            watchdog_counter: r.hist("upp.watchdog.counter"),
+            enter_wait_ack: r.counter("upp.stage.enter.wait_ack"),
+            enter_pop_interposer: r.counter("upp.stage.enter.pop_interposer"),
+            enter_locate_head: r.counter("upp.stage.enter.locate_head"),
+            enter_pop_chiplet: r.counter("upp.stage.enter.pop_chiplet"),
+            dwell_wait_ack: r.counter("upp.stage.dwell.wait_ack"),
+            dwell_pop_interposer: r.counter("upp.stage.dwell.pop_interposer"),
+            dwell_locate_head: r.counter("upp.stage.dwell.locate_head"),
+            dwell_pop_chiplet: r.counter("upp.stage.dwell.pop_chiplet"),
+            recovery: r.hist("upp.popup.recovery_cycles"),
+            wait_ack: r.hist("upp.popup.wait_ack_cycles"),
+            locate: r.hist("upp.popup.locate_cycles"),
+            pop: r.hist("upp.popup.pop_cycles"),
+            circuit_lookups: r.counter("upp.circuit.lookups"),
+            circuit_fallbacks: r.counter("upp.circuit.fallback_routes"),
+            stages_active: r.gauge("upp.stages.active"),
+            signal_queue: r.gauge("upp.signal_queue.depth"),
+            ni_queue: r.gauge("upp.ni_queue.depth"),
+        });
     }
 
     fn make_req(net: &Network, origin: NodeId, cand: &UpwardCandidate) -> ControlMsg {
@@ -368,6 +448,13 @@ impl Upp {
         let wait_ack = acked_at.saturating_sub(selected_at);
         let locate = located_at.saturating_sub(acked_at);
         let pop = now.saturating_sub(located_at);
+        if let Some(o) = &self.obs {
+            let r = net.obs_mut();
+            r.record(o.recovery, now.saturating_sub(selected_at));
+            r.record(o.wait_ack, wait_ack);
+            r.record(o.locate, locate);
+            r.record(o.pop, pop);
+        }
         {
             let mut s = self.stats.lock().unwrap();
             s.popups_completed += 1;
@@ -585,6 +672,9 @@ impl Upp {
                         selected_at,
                         acked_at,
                     };
+                    if let Some(o) = &self.obs {
+                        net.obs_mut().inc(o.enter_locate_head);
+                    }
                     Self::trace_stage(net, node, vnet, Some(cand.packet), "WaitAck", "LocateHead");
                 } else {
                     vs.stage = Stage::PopInterposer {
@@ -592,6 +682,9 @@ impl Upp {
                         selected_at,
                         acked_at,
                     };
+                    if let Some(o) = &self.obs {
+                        net.obs_mut().inc(o.enter_pop_interposer);
+                    }
                     net.router_mut(node)
                         .set_vc_frozen(cand.in_port, cand.vc_flat, true);
                     net.router_mut(node).add_priority_packet(cand.packet);
@@ -620,6 +713,21 @@ impl Upp {
 
     fn advance_stage(&mut self, net: &mut Network, node: NodeId, vnet: VnetId) {
         let stage = self.routers.get(&node).expect("router state exists").vnets[vnet.index()].stage;
+        // Dwell accounting: one count per cycle spent in a non-idle stage.
+        // Exact across fast-forwards because `advance_to` vetoes any jump
+        // while a stage is non-idle.
+        if let Some(o) = &self.obs {
+            let id = match stage {
+                Stage::Idle => None,
+                Stage::WaitAck { .. } => Some(o.dwell_wait_ack),
+                Stage::PopInterposer { .. } => Some(o.dwell_pop_interposer),
+                Stage::LocateHead { .. } => Some(o.dwell_locate_head),
+                Stage::PopChiplet { .. } => Some(o.dwell_pop_chiplet),
+            };
+            if let Some(id) = id {
+                net.obs_mut().inc(id);
+            }
+        }
         match stage {
             Stage::Idle => {}
             Stage::WaitAck { cand, .. } => {
@@ -682,6 +790,9 @@ impl Upp {
                             selected_at,
                             acked_at,
                         };
+                        if let Some(o) = &self.obs {
+                            net.obs_mut().inc(o.enter_pop_interposer);
+                        }
                         Self::trace_stage(
                             net,
                             node,
@@ -706,6 +817,9 @@ impl Upp {
                             acked_at,
                             located_at,
                         };
+                        if let Some(o) = &self.obs {
+                            net.obs_mut().inc(o.enter_pop_chiplet);
+                        }
                         self.stats.lock().unwrap().partial_popups += 1;
                         Self::trace_stage(
                             net,
@@ -751,16 +865,20 @@ impl Upp {
             } => {
                 Self::mark_priority_everywhere(net, packet);
                 if net.bypass_pending(r_star) <= 1 {
-                    let out = net
-                        .router(r_star)
-                        .circuit(vnet, dest)
-                        .map(|e| e.out_port)
-                        .unwrap_or_else(|| {
-                            // The req recorded circuits along this exact path;
-                            // fall back to route computation defensively.
-                            let route = net.plan_route(r_star, dest);
-                            net.routing().route(net.topo(), r_star, in_port, &route)
-                        });
+                    let hit = net.router(r_star).circuit(vnet, dest).map(|e| e.out_port);
+                    if let Some(o) = &self.obs {
+                        let r = net.obs_mut();
+                        r.inc(o.circuit_lookups);
+                        if hit.is_none() {
+                            r.inc(o.circuit_fallbacks);
+                        }
+                    }
+                    let out = hit.unwrap_or_else(|| {
+                        // The req recorded circuits along this exact path;
+                        // fall back to route computation defensively.
+                        let route = net.plan_route(r_star, dest);
+                        net.routing().route(net.topo(), r_star, in_port, &route)
+                    });
                     if let Some(flit) = net.pop_bypass_flit(r_star, in_port, vc_flat, out) {
                         if flit.kind.is_tail() {
                             let now = net.cycle();
@@ -801,6 +919,12 @@ impl Upp {
         if !vs.counter.expired(self.cfg.threshold) {
             return;
         }
+        // Watchdog pressure: expiry implies upward candidates exist, hence
+        // buffered flits, hence a non-quiescent network — so this per-cycle
+        // count can never be skipped by a fast-forward.
+        if let Some(o) = &self.obs {
+            net.obs_mut().inc(o.watchdog_expired);
+        }
         if self.cfg.serialize_per_chiplet && self.sibling_popup_active(node, vnet) {
             return;
         }
@@ -814,6 +938,9 @@ impl Upp {
             cand,
             selected_at: now,
         };
+        if let Some(o) = &self.obs {
+            net.obs_mut().inc(o.enter_wait_ack);
+        }
         let req = Self::make_req(net, node, &cand);
         let st = self.routers.get_mut(&node).expect("router state exists");
         st.signal_q.push_back(req);
@@ -844,11 +971,43 @@ impl Scheme for Upp {
         if !self.initialized {
             self.initialize(net);
         }
+        self.ensure_obs(net);
         self.collect_ni_messages(net);
         self.process_ni_queues(net);
         for node in self.up_nodes.clone() {
             self.process_router(net, node);
         }
+    }
+
+    fn observe(&mut self, net: &mut Network) {
+        if !net.obs().is_enabled() {
+            return;
+        }
+        if !self.initialized {
+            self.initialize(net);
+        }
+        self.ensure_obs(net);
+        let Some(o) = self.obs else { return };
+        let mut active = 0u64;
+        let mut signals = 0u64;
+        for st in self.routers.values() {
+            signals += st.signal_q.len() as u64;
+            for vs in &st.vnets {
+                if !matches!(vs.stage, Stage::Idle) {
+                    active += 1;
+                }
+                // Distribution of live watchdog values: how close the
+                // population of `(node, VNet)` watchdogs sits to the
+                // threshold. Bucket adds commute, so the iteration order of
+                // the router map cannot affect the exported bytes.
+                net.obs_mut().record(o.watchdog_counter, vs.counter.value());
+            }
+        }
+        let ni_pending: u64 = self.ni_queues.values().map(|q| q.len() as u64).sum();
+        let r = net.obs_mut();
+        r.gauge_set(o.stages_active, active);
+        r.gauge_set(o.signal_queue, signals);
+        r.gauge_set(o.ni_queue, ni_pending);
     }
 
     fn advance_to(&mut self, _net: &Network, _from: Cycle, _to: Cycle) -> bool {
@@ -985,6 +1144,48 @@ mod tests {
             s.popups_completed + s.stops_sent > 0,
             "popup machinery must have engaged: {s:?}"
         );
+    }
+
+    #[test]
+    fn telemetry_sees_watchdog_and_circuit_pressure() {
+        // Same hotspot scenario that forces popups, with the obs registry
+        // armed: the protocol's boundary structures must show up.
+        let (mut sys, _stats) = system(2, ConsumePolicy::Immediate { latency: 120 });
+        sys.net_mut().enable_obs();
+        let dest = sys.net().topo().chiplets()[1].routers[10];
+        let sources: Vec<NodeId> = sys
+            .net()
+            .topo()
+            .chiplets()
+            .iter()
+            .flat_map(|c| c.routers.iter().copied())
+            .filter(|&n| sys.net().topo().chiplet_of(n) != sys.net().topo().chiplet_of(dest))
+            .take(24)
+            .collect();
+        for _ in 0..4 {
+            for &s in &sources {
+                sys.send(s, dest, VnetId(1), 5);
+            }
+            sys.run(5);
+        }
+        let out = sys.run_until_drained(120_000);
+        assert!(matches!(out, RunOutcome::Drained { .. }), "got {out:?}");
+        sys.observe();
+        let obs = sys.net().obs();
+        assert!(obs.counter_value("upp.watchdog.expired_cycles") > 0);
+        assert!(obs.counter_value("upp.stage.enter.wait_ack") > 0);
+        assert!(
+            obs.counter_value("upp.stage.dwell.wait_ack")
+                >= obs.counter_value("upp.stage.enter.wait_ack"),
+            "every entered stage dwells at least one cycle"
+        );
+        assert!(obs.counter_value("circuit.inserts") > 0);
+        assert!(obs.gauge_value("circuit.entries").1 > 0, "high-water mark");
+        let wd = obs.histogram("upp.watchdog.counter").expect("registered");
+        assert!(wd.count() > 0, "watchdog distribution sampled");
+        let summary = obs.summary_json(sys.net().cycle());
+        assert!(summary.contains("\"upp.popup.recovery_cycles\""));
+        assert!(summary.contains("\"circuit.lookup_hits\""));
     }
 
     #[test]

@@ -59,6 +59,7 @@ pub mod fault;
 pub mod ids;
 pub mod network;
 pub mod ni;
+pub mod obs;
 pub mod packet;
 pub mod profile;
 pub mod router;
@@ -74,7 +75,11 @@ pub use config::NocConfig;
 pub use fault::{FaultAction, FaultEvent, FaultPlan};
 pub use ids::{ChipletId, Cycle, NodeId, PacketId, Port, VcId, VnetId};
 pub use network::Network;
+pub use obs::{CounterId, GaugeId, HistId, ObsHistogram, ObsRegistry, ObsSnapshot};
 pub use profile::{PacketSpan, SpanRecorder};
 pub use scheme::{NoScheme, Scheme, SchemeProperties};
 pub use sim::{RunOutcome, System};
-pub use trace::{MetricsSampler, MetricsSnapshot, StallReport, TraceEvent, TraceSink, Tracer};
+pub use trace::{
+    validate_metrics_csv, MetricsSampler, MetricsSnapshot, StallReport, TraceEvent, TraceSink,
+    Tracer, METRICS_SCHEMA,
+};

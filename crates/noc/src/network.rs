@@ -5,6 +5,7 @@ use crate::control::{ControlMsg, DeliveredControl};
 use crate::event::Event;
 use crate::ids::{Cycle, NodeId, PacketId, Port, VnetId};
 use crate::ni::{ConsumePolicy, Delivered, Ni, PermitState};
+use crate::obs::ObsRegistry;
 use crate::packet::{Flit, Packet, RouteInfo};
 use crate::router::{Router, RouterCtx};
 use crate::routing::{GlobalCdg, GlobalChannel, RouteComputer};
@@ -112,6 +113,9 @@ pub struct Network {
     stats: NetStats,
     tracker: PacketTracker,
     tracer: Tracer,
+    /// Protocol-state telemetry registry (disabled unless
+    /// [`Network::enable_obs`] armed it).
+    obs: ObsRegistry,
     /// Active-set scheduler: `finish_cycle` steps only routers/NIs whose
     /// flag is set. Flags are set ("woken") by event deliveries and by
     /// every externally-visible mutation, and cleared after a step that
@@ -185,6 +189,7 @@ impl Network {
             stats,
             tracker: PacketTracker::new(),
             tracer: Tracer::disabled(),
+            obs: ObsRegistry::disabled(),
             router_active: vec![true; n],
             ni_active: vec![true; n],
             scheduler_enabled,
@@ -236,6 +241,26 @@ impl Network {
     /// recorded so far).
     pub fn set_tracer(&mut self, tracer: Tracer) -> Tracer {
         std::mem::replace(&mut self.tracer, tracer)
+    }
+
+    /// The telemetry registry (disabled unless [`Network::enable_obs`]
+    /// armed it).
+    pub fn obs(&self) -> &ObsRegistry {
+        &self.obs
+    }
+
+    /// Mutable registry access (schemes register and record their metrics
+    /// through this).
+    pub fn obs_mut(&mut self) -> &mut ObsRegistry {
+        &mut self.obs
+    }
+
+    /// Arms protocol-state telemetry: the registry starts recording and the
+    /// substrate's mechanism metrics (circuit table, absorber) register
+    /// themselves. Schemes register their own metrics lazily on their next
+    /// hook invocation. Idempotent.
+    pub fn enable_obs(&mut self) {
+        self.obs.enable();
     }
 
     /// The configuration.
@@ -454,6 +479,7 @@ impl Network {
             stats,
             tracker,
             tracer,
+            obs,
             cycle,
             router_active,
             ..
@@ -473,6 +499,7 @@ impl Network {
                 stats,
                 tracker,
                 tracer,
+                obs,
             };
             routers[node.index()].pop_bypass_flit(&mut ctx, in_port, vc_flat, out_port)
         };
@@ -683,6 +710,7 @@ impl Network {
             stats,
             tracker,
             tracer,
+            obs,
             cycle,
             calendar,
             emit_scratch,
@@ -715,6 +743,7 @@ impl Network {
                         stats,
                         tracker,
                         tracer,
+                        obs,
                     };
                     routers[node.index()].deliver_flit(&mut ctx, in_port, vc_flat, flit);
                 }
@@ -784,6 +813,7 @@ impl Network {
             stats,
             tracker,
             tracer,
+            obs,
             cycle,
             calendar,
             emit_scratch,
@@ -871,6 +901,7 @@ impl Network {
                 stats,
                 tracker,
                 tracer,
+                obs,
             };
             routers[i].step(&mut ctx);
             if sched && !routers[i].has_pending_work() {

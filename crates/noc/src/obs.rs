@@ -1,0 +1,818 @@
+//! Protocol-state telemetry registry.
+//!
+//! Earlier observability layers (the flight recorder in [`crate::trace`],
+//! the latency profiler in [`crate::profile`]) see *packets*. This module
+//! sees the *protocol's own state*: typed metrics — monotonic counters,
+//! gauges with high-water marks, log-bucketed histograms — stored
+//! struct-of-arrays in a single [`ObsRegistry`], snapshotted per epoch and
+//! exported as deterministic, byte-stable JSON.
+//!
+//! Design rules:
+//!
+//! * **Zero-cost when disabled.** A disabled registry ([`ObsRegistry`]'s
+//!   default) never allocates; every record call is a single predictable
+//!   branch on [`ObsRegistry::is_enabled`]. Hot paths additionally gate on
+//!   `is_enabled()` before touching metric ids, mirroring the
+//!   `tracer.enabled()` idiom.
+//! * **Scheme-agnostic substrate.** The registry itself knows no metric
+//!   names. `network.rs`/`router.rs` record only *mechanism* metrics
+//!   (circuit table, absorber — structures defined by the NoC substrate,
+//!   pre-registered in [`MechMetrics`]); scheme-specific metrics are
+//!   registered and recorded by the schemes through the
+//!   [`crate::scheme::Scheme::observe`] hook and `pre_cycle`.
+//! * **Exact across fast-forwards.** Counters and event-maintained gauges
+//!   piggyback on work the kernel actually executes, and every per-cycle
+//!   recording site sits on a path that vetoes `advance_to` jumps, so the
+//!   active-set scheduler cannot change a single recorded value.
+//! * **Mergeable epochs.** [`ObsSnapshot::merge`] is associative and
+//!   commutative (counters and histogram buckets form commutative monoids
+//!   under addition; gauges join in the lattice of
+//!   `(cycle, value)`-lexicographic maxima), so shard-level snapshots can
+//!   be folded in any order.
+//!
+//! Histogram bucketing deliberately matches `upp_tracetools::Histogram`
+//! (exact buckets below [`LINEAR_MAX`], [`SUB`] sub-buckets per octave
+//! above, identical sparse-bucket JSON), so obs exports feed the same
+//! analysis toolchain without translation.
+
+use crate::ids::Cycle;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+/// Schema tag stamped into every obs export so stale files from older
+/// layouts are detected instead of silently parsed.
+pub const OBS_SCHEMA: &str = "upp-obs/v1";
+
+/// Sub-buckets per power-of-two octave (matches
+/// `upp_tracetools::histogram::SUB`).
+pub const SUB: usize = 32;
+
+/// Values below this get exact single-value buckets (matches
+/// `upp_tracetools::histogram::LINEAR_MAX`).
+pub const LINEAR_MAX: u64 = 32;
+
+// ------------------------------------------------------------- histogram
+
+/// A mergeable log-bucketed histogram of `u64` samples, bucket-compatible
+/// with `upp_tracetools::Histogram` (same indexing, same JSON shape).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ObsHistogram {
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl ObsHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bucket index for a value: exact below [`LINEAR_MAX`], then [`SUB`]
+    /// sub-buckets per octave, continuous at the boundary.
+    fn index(v: u64) -> usize {
+        if v < LINEAR_MAX {
+            v as usize
+        } else {
+            let e = 63 - v.leading_zeros() as usize; // e >= 5
+            let sub = ((v >> (e - 5)) & 31) as usize;
+            32 + (e - 5) * SUB + sub
+        }
+    }
+
+    /// Half-open value range `[lo, hi)` covered by a bucket.
+    fn bounds(idx: usize) -> (u64, u64) {
+        if idx < 32 {
+            (idx as u64, idx as u64 + 1)
+        } else {
+            let e = 5 + (idx - 32) / SUB;
+            let sub = ((idx - 32) % SUB) as u64;
+            let w = 1u64 << (e - 5);
+            let lo = (1u64 << e) + sub * w;
+            (lo, lo + w)
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, v: u64) {
+        let idx = Self::index(v);
+        if self.buckets.len() <= idx {
+            self.buckets.resize(idx + 1, 0);
+        }
+        self.buckets[idx] += 1;
+        if self.count == 0 {
+            self.min = v;
+            self.max = v;
+        } else {
+            self.min = self.min.min(v);
+            self.max = self.max.max(v);
+        }
+        self.count += 1;
+        self.sum += v;
+    }
+
+    /// Adds every sample of `other` into `self` (exact element-wise count
+    /// merge; associative and commutative).
+    pub fn merge(&mut self, other: &ObsHistogram) {
+        if other.count == 0 {
+            return;
+        }
+        if self.buckets.len() < other.buckets.len() {
+            self.buckets.resize(other.buckets.len(), 0);
+        }
+        for (s, &o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *s += o;
+        }
+        if self.count == 0 {
+            self.min = other.min;
+            self.max = other.max;
+        } else {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+    }
+
+    /// The samples recorded since `prev` was a copy of this histogram
+    /// (element-wise bucket subtraction; `prev` must be an earlier state of
+    /// `self`). The delta's `min`/`max` are bucket-bounded rather than
+    /// exact: the true per-epoch extremes are inside the first/last
+    /// non-empty delta bucket.
+    pub fn delta_since(&self, prev: &ObsHistogram) -> ObsHistogram {
+        let mut buckets = self.buckets.clone();
+        for (b, &p) in buckets.iter_mut().zip(prev.buckets.iter()) {
+            *b = b.saturating_sub(p);
+        }
+        while buckets.last() == Some(&0) {
+            buckets.pop();
+        }
+        let (mut min, mut max) = (0, 0);
+        if let Some(first) = buckets.iter().position(|&n| n > 0) {
+            let last = buckets.iter().rposition(|&n| n > 0).expect("some bucket");
+            min = Self::bounds(first).0;
+            max = Self::bounds(last).1 - 1;
+        }
+        ObsHistogram {
+            buckets,
+            count: self.count.saturating_sub(prev.count),
+            sum: self.sum.saturating_sub(prev.sum),
+            min,
+            max,
+        }
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of recorded samples.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Largest recorded sample (0 when empty).
+    pub fn max(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.max
+        }
+    }
+
+    /// Mean of recorded samples (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The `q`-quantile (`0.0..=1.0`) as the midpoint of the bucket holding
+    /// the rank-`ceil(q * count)` sample, clamped to the observed
+    /// `[min, max]` (same contract as `upp_tracetools::Histogram`).
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut cum = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            cum += n;
+            if n > 0 && cum >= target {
+                let (lo, hi) = Self::bounds(i);
+                return ((lo + hi) / 2).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Renders as a deterministic JSON object with sparse buckets —
+    /// byte-identical to `upp_tracetools::Histogram::to_json` for the same
+    /// samples.
+    pub fn to_json(&self) -> String {
+        let mut pairs = String::new();
+        for (i, &n) in self.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            if !pairs.is_empty() {
+                pairs.push(',');
+            }
+            let _ = write!(pairs, "[{i},{n}]");
+        }
+        let min = if self.count == 0 { 0 } else { self.min };
+        format!(
+            "{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"buckets\":[{pairs}]}}",
+            self.count,
+            self.sum,
+            min,
+            self.max()
+        )
+    }
+}
+
+// --------------------------------------------------------------- handles
+
+/// Handle to a registered monotonic counter.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CounterId(u32);
+
+/// Handle to a registered gauge (instantaneous value + high-water mark).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GaugeId(u32);
+
+/// Handle to a registered histogram.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HistId(u32);
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Kind {
+    Counter,
+    Gauge,
+    Hist,
+}
+
+// -------------------------------------------------------------- snapshot
+
+/// One epoch's worth of metric state, cut by [`ObsRegistry::take_epoch`]:
+/// counter and histogram *deltas* over the epoch, gauges as the
+/// instantaneous value at the epoch boundary plus the within-epoch
+/// high-water mark.
+///
+/// Snapshots over the same registry layout form a commutative monoid under
+/// [`ObsSnapshot::merge`], so shard- or epoch-level aggregation can fold
+/// them in any order (property-tested in `tests/obs_props.rs`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ObsSnapshot {
+    /// Cycle the epoch ended at.
+    pub end_cycle: Cycle,
+    /// Per-counter increments during the epoch (registry order).
+    pub counters: Vec<u64>,
+    /// Per-gauge value at `end_cycle` (registry order).
+    pub gauge_value: Vec<u64>,
+    /// Per-gauge high-water mark within the epoch (registry order).
+    pub gauge_high: Vec<u64>,
+    /// Per-histogram sample deltas during the epoch (registry order).
+    pub hists: Vec<ObsHistogram>,
+}
+
+impl ObsSnapshot {
+    /// Folds `other` into `self`: counters and histogram buckets add;
+    /// high-water marks take the maximum; instantaneous gauge values join
+    /// lexicographically on `(end_cycle, value)` so the later snapshot's
+    /// reading wins and equal-cycle merges resolve deterministically.
+    /// Associative and commutative.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the snapshots were cut from different registry layouts.
+    pub fn merge(&mut self, other: &ObsSnapshot) {
+        assert_eq!(self.counters.len(), other.counters.len(), "layout mismatch");
+        assert_eq!(self.hists.len(), other.hists.len(), "layout mismatch");
+        for (s, &o) in self.counters.iter_mut().zip(other.counters.iter()) {
+            *s += o;
+        }
+        for (s, o) in self.hists.iter_mut().zip(other.hists.iter()) {
+            s.merge(o);
+        }
+        for (s, &o) in self.gauge_high.iter_mut().zip(other.gauge_high.iter()) {
+            *s = (*s).max(o);
+        }
+        for (s, &o) in self.gauge_value.iter_mut().zip(other.gauge_value.iter()) {
+            // Lexicographic max of (end_cycle, value) per gauge.
+            if (other.end_cycle, o) > (self.end_cycle, *s) {
+                *s = o;
+            }
+        }
+        self.end_cycle = self.end_cycle.max(other.end_cycle);
+    }
+}
+
+// ------------------------------------------------- mechanism metric ids
+
+/// Pre-registered ids for the *mechanism-level* metrics recorded by the
+/// substrate itself (`router.rs`): the destination-keyed circuit table and
+/// the absorber are NoC structures, so counting their events here keeps
+/// the router scheme-agnostic while every scheme's use of them is visible.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MechMetrics {
+    /// Circuit-table entries recorded for the first time.
+    pub circuit_inserts: CounterId,
+    /// Circuit-table entries overwritten by a later recording (the table is
+    /// destination-keyed, so a new popup towards the same destination
+    /// evicts the stale reverse path).
+    pub circuit_evictions: CounterId,
+    /// Circuit lookups that found an entry (upward-flit forwarding and
+    /// reverse-routed control messages).
+    pub circuit_lookup_hits: CounterId,
+    /// Circuit lookups that found nothing (stale protocol state).
+    pub circuit_lookup_misses: CounterId,
+    /// Flits absorbed into side buffers at boundary routers.
+    pub absorber_flits: CounterId,
+    /// Total circuit-table entries across all routers (event-maintained:
+    /// +1 on insert, exact high-water even between epochs).
+    pub circuit_entries: GaugeId,
+}
+
+// -------------------------------------------------------------- registry
+
+/// The telemetry registry: struct-of-arrays metric storage plus epoch
+/// bookkeeping. One lives inside every [`crate::network::Network`];
+/// disabled (the default) it is a handful of empty vectors and every
+/// operation returns after one branch.
+#[derive(Debug, Default)]
+pub struct ObsRegistry {
+    enabled: bool,
+    by_name: HashMap<String, (Kind, u32)>,
+    counter_names: Vec<String>,
+    counters: Vec<u64>,
+    epoch_counters: Vec<u64>,
+    gauge_names: Vec<String>,
+    gauge_value: Vec<u64>,
+    gauge_high: Vec<u64>,
+    gauge_epoch_high: Vec<u64>,
+    hist_names: Vec<String>,
+    hists: Vec<ObsHistogram>,
+    epoch_hists: Vec<ObsHistogram>,
+    /// Ids of the substrate's own metrics; meaningful only when enabled.
+    pub mech: MechMetrics,
+}
+
+impl ObsRegistry {
+    /// A disabled registry (the default state of every network).
+    pub fn disabled() -> Self {
+        Self::default()
+    }
+
+    /// Enables recording and registers the mechanism metrics. Idempotent.
+    pub fn enable(&mut self) {
+        if self.enabled {
+            return;
+        }
+        self.enabled = true;
+        self.mech = MechMetrics {
+            circuit_inserts: self.counter("circuit.inserts"),
+            circuit_evictions: self.counter("circuit.evictions"),
+            circuit_lookup_hits: self.counter("circuit.lookup_hits"),
+            circuit_lookup_misses: self.counter("circuit.lookup_misses"),
+            absorber_flits: self.counter("absorber.flits_absorbed"),
+            circuit_entries: self.gauge("circuit.entries"),
+        };
+    }
+
+    /// True when the registry records. The single branch every gated call
+    /// site pays.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    // ---- registration (idempotent by name; no-ops while disabled) ----
+
+    /// Registers (or looks up) a monotonic counter.
+    pub fn counter(&mut self, name: &str) -> CounterId {
+        if !self.enabled {
+            return CounterId::default();
+        }
+        if let Some(&(kind, ix)) = self.by_name.get(name) {
+            assert_eq!(kind, Kind::Counter, "{name} registered with another kind");
+            return CounterId(ix);
+        }
+        let ix = self.counters.len() as u32;
+        self.counter_names.push(name.to_string());
+        self.counters.push(0);
+        self.epoch_counters.push(0);
+        self.by_name.insert(name.to_string(), (Kind::Counter, ix));
+        CounterId(ix)
+    }
+
+    /// Registers (or looks up) a gauge.
+    pub fn gauge(&mut self, name: &str) -> GaugeId {
+        if !self.enabled {
+            return GaugeId::default();
+        }
+        if let Some(&(kind, ix)) = self.by_name.get(name) {
+            assert_eq!(kind, Kind::Gauge, "{name} registered with another kind");
+            return GaugeId(ix);
+        }
+        let ix = self.gauge_value.len() as u32;
+        self.gauge_names.push(name.to_string());
+        self.gauge_value.push(0);
+        self.gauge_high.push(0);
+        self.gauge_epoch_high.push(0);
+        self.by_name.insert(name.to_string(), (Kind::Gauge, ix));
+        GaugeId(ix)
+    }
+
+    /// Registers (or looks up) a histogram.
+    pub fn hist(&mut self, name: &str) -> HistId {
+        if !self.enabled {
+            return HistId::default();
+        }
+        if let Some(&(kind, ix)) = self.by_name.get(name) {
+            assert_eq!(kind, Kind::Hist, "{name} registered with another kind");
+            return HistId(ix);
+        }
+        let ix = self.hists.len() as u32;
+        self.hist_names.push(name.to_string());
+        self.hists.push(ObsHistogram::new());
+        self.epoch_hists.push(ObsHistogram::new());
+        self.by_name.insert(name.to_string(), (Kind::Hist, ix));
+        HistId(ix)
+    }
+
+    // ---------------- recording (single branch while disabled) ----------------
+
+    /// Increments a counter by 1.
+    #[inline]
+    pub fn inc(&mut self, id: CounterId) {
+        self.add(id, 1);
+    }
+
+    /// Increments a counter by `n`.
+    #[inline]
+    pub fn add(&mut self, id: CounterId, n: u64) {
+        if !self.enabled {
+            return;
+        }
+        self.counters[id.0 as usize] += n;
+    }
+
+    /// Overwrites a counter with an externally-accumulated running total
+    /// (for adapting scheme stats structs that already count; epoch deltas
+    /// still difference correctly as long as the total is monotonic).
+    #[inline]
+    pub fn counter_record_total(&mut self, id: CounterId, total: u64) {
+        if !self.enabled {
+            return;
+        }
+        self.counters[id.0 as usize] = total;
+    }
+
+    /// Sets a gauge to an absolute value, updating both high-water marks.
+    #[inline]
+    pub fn gauge_set(&mut self, id: GaugeId, v: u64) {
+        if !self.enabled {
+            return;
+        }
+        let i = id.0 as usize;
+        self.gauge_value[i] = v;
+        self.gauge_high[i] = self.gauge_high[i].max(v);
+        self.gauge_epoch_high[i] = self.gauge_epoch_high[i].max(v);
+    }
+
+    /// Adds `n` to an event-maintained gauge.
+    #[inline]
+    pub fn gauge_add(&mut self, id: GaugeId, n: u64) {
+        if !self.enabled {
+            return;
+        }
+        let i = id.0 as usize;
+        let v = self.gauge_value[i] + n;
+        self.gauge_value[i] = v;
+        self.gauge_high[i] = self.gauge_high[i].max(v);
+        self.gauge_epoch_high[i] = self.gauge_epoch_high[i].max(v);
+    }
+
+    /// Subtracts `n` from an event-maintained gauge (saturating).
+    #[inline]
+    pub fn gauge_sub(&mut self, id: GaugeId, n: u64) {
+        if !self.enabled {
+            return;
+        }
+        let i = id.0 as usize;
+        self.gauge_value[i] = self.gauge_value[i].saturating_sub(n);
+    }
+
+    /// Records a histogram sample.
+    #[inline]
+    pub fn record(&mut self, id: HistId, v: u64) {
+        if !self.enabled {
+            return;
+        }
+        self.hists[id.0 as usize].record(v);
+    }
+
+    // ------------------------------- reads -------------------------------
+
+    /// Cumulative value of a counter by name (0 when unknown or disabled).
+    pub fn counter_value(&self, name: &str) -> u64 {
+        match self.by_name.get(name) {
+            Some(&(Kind::Counter, ix)) => self.counters[ix as usize],
+            _ => 0,
+        }
+    }
+
+    /// `(value, high_water)` of a gauge by name.
+    pub fn gauge_value(&self, name: &str) -> (u64, u64) {
+        match self.by_name.get(name) {
+            Some(&(Kind::Gauge, ix)) => {
+                (self.gauge_value[ix as usize], self.gauge_high[ix as usize])
+            }
+            _ => (0, 0),
+        }
+    }
+
+    /// Cumulative histogram by name.
+    pub fn histogram(&self, name: &str) -> Option<&ObsHistogram> {
+        match self.by_name.get(name) {
+            Some(&(Kind::Hist, ix)) => Some(&self.hists[ix as usize]),
+            _ => None,
+        }
+    }
+
+    /// Number of registered metrics of all kinds.
+    pub fn len(&self) -> usize {
+        self.counters.len() + self.gauge_value.len() + self.hists.len()
+    }
+
+    /// True when nothing has been registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    // ------------------------------ epochs ------------------------------
+
+    /// Cuts an epoch at `cycle`: returns the deltas since the previous cut
+    /// and rolls the epoch baseline forward (within-epoch gauge high-water
+    /// marks restart from the current values).
+    pub fn take_epoch(&mut self, cycle: Cycle) -> ObsSnapshot {
+        let counters: Vec<u64> = self
+            .counters
+            .iter()
+            .zip(self.epoch_counters.iter())
+            .map(|(&c, &p)| c - p)
+            .collect();
+        let hists: Vec<ObsHistogram> = self
+            .hists
+            .iter()
+            .zip(self.epoch_hists.iter())
+            .map(|(h, p)| h.delta_since(p))
+            .collect();
+        let snap = ObsSnapshot {
+            end_cycle: cycle,
+            counters,
+            gauge_value: self.gauge_value.clone(),
+            gauge_high: self.gauge_epoch_high.clone(),
+            hists,
+        };
+        self.epoch_counters.copy_from_slice(&self.counters);
+        self.epoch_hists.clone_from(&self.hists);
+        self.gauge_epoch_high.copy_from_slice(&self.gauge_value);
+        snap
+    }
+
+    // ------------------------------ export ------------------------------
+
+    /// Sorted `(name, index)` views used by every export, so output bytes
+    /// are independent of registration order.
+    fn sorted(names: &[String]) -> Vec<(&str, usize)> {
+        let mut v: Vec<(&str, usize)> = names.iter().map(String::as_str).zip(0..).collect();
+        v.sort_unstable_by_key(|&(n, _)| n);
+        v
+    }
+
+    /// Header line for an epoch JSONL stream (schema marker; readers reject
+    /// files whose schema does not match [`OBS_SCHEMA`]).
+    pub fn epochs_header_json(&self) -> String {
+        format!("{{\"upp_obs_epochs\":1,\"schema\":\"{OBS_SCHEMA}\"}}")
+    }
+
+    /// One epoch snapshot as a deterministic single-line JSON object.
+    pub fn epoch_json(&self, snap: &ObsSnapshot) -> String {
+        let mut out = format!("{{\"cycle\":{},\"counters\":{{", snap.end_cycle);
+        for (i, (name, ix)) in Self::sorted(&self.counter_names).into_iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{name}\":{}", snap.counters[ix]);
+        }
+        out.push_str("},\"gauges\":{");
+        for (i, (name, ix)) in Self::sorted(&self.gauge_names).into_iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\"{name}\":[{},{}]",
+                snap.gauge_value[ix], snap.gauge_high[ix]
+            );
+        }
+        out.push_str("},\"histograms\":{");
+        for (i, (name, ix)) in Self::sorted(&self.hist_names).into_iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{name}\":{}", snap.hists[ix].to_json());
+        }
+        out.push_str("}}");
+        out
+    }
+
+    /// The cumulative end-of-run summary as deterministic JSON: every
+    /// counter total, every gauge as `[value, high_water]`, every
+    /// histogram in the shared sparse-bucket shape. Carries the
+    /// `"upp_obs": 1` marker and [`OBS_SCHEMA`] for detection.
+    pub fn summary_json(&self, cycle: Cycle) -> String {
+        let mut out = format!(
+            "{{\n  \"upp_obs\": 1,\n  \"schema\": \"{OBS_SCHEMA}\",\n  \"cycle\": {cycle},\n  \"counters\": {{"
+        );
+        for (i, (name, ix)) in Self::sorted(&self.counter_names).into_iter().enumerate() {
+            out.push_str(if i > 0 { ",\n    " } else { "\n    " });
+            let _ = write!(out, "\"{name}\": {}", self.counters[ix]);
+        }
+        out.push_str("\n  },\n  \"gauges\": {");
+        for (i, (name, ix)) in Self::sorted(&self.gauge_names).into_iter().enumerate() {
+            out.push_str(if i > 0 { ",\n    " } else { "\n    " });
+            let _ = write!(
+                out,
+                "\"{name}\": [{}, {}]",
+                self.gauge_value[ix], self.gauge_high[ix]
+            );
+        }
+        out.push_str("\n  },\n  \"histograms\": {");
+        for (i, (name, ix)) in Self::sorted(&self.hist_names).into_iter().enumerate() {
+            out.push_str(if i > 0 { ",\n    " } else { "\n    " });
+            let _ = write!(out, "\"{name}\": {}", self.hists[ix].to_json());
+        }
+        out.push_str("\n  }\n}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_registry_records_nothing_and_allocates_nothing() {
+        let mut r = ObsRegistry::disabled();
+        let c = r.counter("a");
+        let g = r.gauge("b");
+        let h = r.hist("c");
+        r.inc(c);
+        r.gauge_set(g, 7);
+        r.record(h, 9);
+        assert!(!r.is_enabled());
+        assert!(r.is_empty());
+        assert_eq!(r.counter_value("a"), 0);
+    }
+
+    #[test]
+    fn registration_is_idempotent_by_name() {
+        let mut r = ObsRegistry::disabled();
+        r.enable();
+        let a = r.counter("x");
+        let b = r.counter("x");
+        assert_eq!(a, b);
+        r.inc(a);
+        r.inc(b);
+        assert_eq!(r.counter_value("x"), 2);
+    }
+
+    #[test]
+    fn gauges_track_high_water_marks() {
+        let mut r = ObsRegistry::disabled();
+        r.enable();
+        let g = r.gauge("occ");
+        r.gauge_add(g, 5);
+        r.gauge_sub(g, 3);
+        r.gauge_add(g, 1);
+        assert_eq!(r.gauge_value("occ"), (3, 5));
+        r.gauge_set(g, 9);
+        assert_eq!(r.gauge_value("occ"), (9, 9));
+    }
+
+    #[test]
+    fn epochs_difference_counters_and_histograms() {
+        let mut r = ObsRegistry::disabled();
+        r.enable();
+        let c = r.counter("n");
+        let g = r.gauge("g");
+        let h = r.hist("h");
+        r.add(c, 3);
+        r.gauge_set(g, 4);
+        r.record(h, 10);
+        // Mechanism metrics are pre-registered by `enable`, so user metric
+        // ids do not start at 0 — index through the returned handles.
+        let (ci, gi, hi) = (c.0 as usize, g.0 as usize, h.0 as usize);
+        let e1 = r.take_epoch(100);
+        assert_eq!(e1.counters[ci], 3);
+        assert_eq!(e1.gauge_high[gi], 4);
+        assert_eq!(e1.hists[hi].count(), 1);
+        r.add(c, 2);
+        r.gauge_set(g, 1);
+        r.record(h, 10);
+        r.record(h, 50_000);
+        let e2 = r.take_epoch(200);
+        assert_eq!(e2.counters[ci], 2, "second epoch sees only the delta");
+        assert_eq!(e2.gauge_value[gi], 1);
+        assert_eq!(
+            e2.gauge_high[gi], 4,
+            "epoch high-water restarts from the boundary value"
+        );
+        assert_eq!(e2.hists[hi].count(), 2);
+        assert_eq!(e2.hists[hi].sum(), 50_010);
+    }
+
+    #[test]
+    fn snapshot_merge_combines_epochs_exactly() {
+        let mut r = ObsRegistry::disabled();
+        r.enable();
+        let c = r.counter("n");
+        let h = r.hist("h");
+        r.add(c, 3);
+        r.record(h, 7);
+        let mut e1 = r.take_epoch(10);
+        r.add(c, 4);
+        r.record(h, 9);
+        let e2 = r.take_epoch(20);
+        e1.merge(&e2);
+        assert_eq!(e1.counters[c.0 as usize], 7);
+        assert_eq!(e1.end_cycle, 20);
+        assert_eq!(e1.hists[h.0 as usize].count(), 2);
+        assert_eq!(e1.hists[h.0 as usize].sum(), 16);
+    }
+
+    #[test]
+    fn exports_are_sorted_and_stable() {
+        let mut r = ObsRegistry::disabled();
+        r.enable();
+        let b = r.counter("z.second");
+        let a = r.counter("a.first");
+        r.inc(a);
+        r.add(b, 2);
+        let summary = r.summary_json(42);
+        let ia = summary.find("a.first").unwrap();
+        let ib = summary.find("z.second").unwrap();
+        assert!(ia < ib, "names sorted regardless of registration order");
+        assert!(summary.contains("\"upp_obs\": 1"));
+        assert!(summary.contains(OBS_SCHEMA));
+        let snap = r.take_epoch(42);
+        let line = r.epoch_json(&snap);
+        assert!(!line.contains('\n'), "epoch lines are single-line JSONL");
+        assert!(line.starts_with("{\"cycle\":42,"));
+    }
+
+    #[test]
+    fn histogram_bucketing_is_continuous_and_json_matches_tracetools_shape() {
+        let mut h = ObsHistogram::new();
+        let mut prev = 0;
+        for v in 0..100_000u64 {
+            let idx = ObsHistogram::index(v);
+            assert!(idx >= prev, "monotonic at {v}");
+            prev = idx;
+            let (lo, hi) = ObsHistogram::bounds(idx);
+            assert!(lo <= v && v < hi, "bounds contain {v}: [{lo},{hi})");
+        }
+        for v in [0, 1, 31, 32, 33, 1_000, 123_456_789] {
+            h.record(v);
+        }
+        let json = h.to_json();
+        assert!(json.starts_with("{\"count\":7,\"sum\":"));
+        assert!(json.contains("\"buckets\":[[0,1],[1,1],[31,1],[32,1]"));
+    }
+
+    #[test]
+    fn histogram_delta_is_the_epoch_sample_set() {
+        let mut h = ObsHistogram::new();
+        h.record(5);
+        h.record(100);
+        let baseline = h.clone();
+        h.record(5);
+        h.record(200);
+        let d = h.delta_since(&baseline);
+        assert_eq!(d.count(), 2);
+        assert_eq!(d.sum(), 205);
+        assert!(
+            d.max() >= 192 && d.max() <= 207,
+            "bucket-bounded max: {}",
+            d.max()
+        );
+    }
+}

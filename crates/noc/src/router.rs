@@ -24,6 +24,7 @@ use crate::control::{CircuitEntry, ControlClass, ControlMsg, ControlRoute, Deliv
 use crate::event::Event;
 use crate::ids::{Cycle, NodeId, PacketId, Port, VnetId};
 use crate::ni::{Ni, OutVcState};
+use crate::obs::ObsRegistry;
 use crate::packet::Flit;
 use crate::routing::RouteComputer;
 use crate::stats::{NetStats, PacketTracker};
@@ -123,6 +124,14 @@ impl Absorber {
             .count()
     }
 
+    /// `(occupied_slots, buffered_flits)` across all slots — the absorber's
+    /// instantaneous occupancy, for telemetry.
+    pub fn occupancy(&self) -> (usize, usize) {
+        let occupied = self.slots.iter().filter(|s| s.packet.is_some()).count();
+        let flits = self.slots.iter().map(|s| s.buf.len()).sum();
+        (occupied, flits)
+    }
+
     /// Reserves a slot for `packet`. Returns false when all slots are taken.
     pub fn reserve(&mut self, packet: PacketId) -> bool {
         if let Some(s) = self
@@ -179,6 +188,7 @@ pub(crate) struct RouterCtx<'a> {
     pub stats: &'a mut NetStats,
     pub tracker: &'a mut PacketTracker,
     pub tracer: &'a mut Tracer,
+    pub obs: &'a mut ObsRegistry,
 }
 
 /// One router.
@@ -430,6 +440,9 @@ impl Router {
                     Port::Local // placeholder; body flits reuse the slot route
                 };
                 abs.accept(flit, ctx.now, route_out);
+                if ctx.obs.is_enabled() {
+                    ctx.obs.inc(ctx.obs.mech.absorber_flits);
+                }
                 return;
             }
         }
@@ -472,11 +485,19 @@ impl Router {
             }
         }
         let out_port = match self.circuits.get(&(flit.vnet, flit.route.dest)) {
-            Some(e) => e.out_port,
+            Some(e) => {
+                if ctx.obs.is_enabled() {
+                    ctx.obs.inc(ctx.obs.mech.circuit_lookup_hits);
+                }
+                e.out_port
+            }
             None => {
                 // No circuit: the req has not passed here. This can only be a
                 // protocol bug; route it like a normal flit to stay live.
                 debug_assert!(false, "upward flit without circuit at {}", self.node);
+                if ctx.obs.is_enabled() {
+                    ctx.obs.inc(ctx.obs.mech.circuit_lookup_misses);
+                }
                 ctx.routing.route(ctx.topo, self.node, in_port, &flit.route)
             }
         };
@@ -643,9 +664,17 @@ impl Router {
                         continue;
                     }
                     match self.circuits.get(&(msg.vnet, msg.circuit_key)) {
-                        Some(e) => (e.in_port, false),
+                        Some(e) => {
+                            if ctx.obs.is_enabled() {
+                                ctx.obs.inc(ctx.obs.mech.circuit_lookup_hits);
+                            }
+                            (e.in_port, false)
+                        }
                         None => {
                             // Reverse path lost (stale protocol state): drop.
+                            if ctx.obs.is_enabled() {
+                                ctx.obs.inc(ctx.obs.mech.circuit_lookup_misses);
+                            }
                             let buf = match class {
                                 ControlClass::ReqLike => &mut self.req_buf,
                                 ControlClass::AckLike => &mut self.ack_buf,
@@ -683,7 +712,7 @@ impl Router {
                 });
             }
             if msg.record_circuit {
-                self.circuits.insert(
+                let prev = self.circuits.insert(
                     (msg.vnet, msg.circuit_key),
                     CircuitEntry {
                         in_port,
@@ -691,6 +720,16 @@ impl Router {
                         set_at: ctx.now,
                     },
                 );
+                if ctx.obs.is_enabled() {
+                    if prev.is_some() {
+                        // Destination-keyed table: a newer popup toward the
+                        // same destination evicts the stale reverse path.
+                        ctx.obs.inc(ctx.obs.mech.circuit_evictions);
+                    } else {
+                        ctx.obs.inc(ctx.obs.mech.circuit_inserts);
+                        ctx.obs.gauge_add(ctx.obs.mech.circuit_entries, 1);
+                    }
+                }
             }
             let arrival = ctx.now + 1 + ctx.cfg.link_latency;
             if out_port == Port::Local {
@@ -1349,6 +1388,7 @@ mod tests {
         stats: NetStats,
         tracker: PacketTracker,
         tracer: Tracer,
+        obs: ObsRegistry,
     }
 
     impl Harness {
@@ -1364,6 +1404,7 @@ mod tests {
                 stats: NetStats::new(3),
                 tracker: PacketTracker::new(),
                 tracer: Tracer::disabled(),
+                obs: ObsRegistry::disabled(),
             }
         }
 
@@ -1378,6 +1419,7 @@ mod tests {
                 stats: &mut self.stats,
                 tracker: &mut self.tracker,
                 tracer: &mut self.tracer,
+                obs: &mut self.obs,
             }
         }
 

@@ -54,6 +54,18 @@ pub trait Scheme: Send {
         let _ = (net, id, src, dest);
     }
 
+    /// Telemetry sampling hook, called at epoch boundaries when the
+    /// network's [`crate::obs::ObsRegistry`] is enabled (the driver decides
+    /// the cadence; it is never called while telemetry is disabled). The
+    /// place to register scheme-specific metrics (idempotent) and sample
+    /// gauges/distributions that are not worth maintaining event-by-event —
+    /// e.g. watchdog-counter distributions or permit-queue depths. Counters
+    /// that must stay exact across `advance_to` fast-forwards should be
+    /// recorded from `pre_cycle`/`post_cycle` instead.
+    fn observe(&mut self, net: &mut Network) {
+        let _ = net;
+    }
+
     /// Consulted before the clock fast-forwards over a quiescent gap from
     /// `from` to `to` (exclusive of `to`): the network has nothing
     /// scheduled in between, so `pre_cycle`/`post_cycle` would run over an

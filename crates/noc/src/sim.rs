@@ -135,6 +135,16 @@ impl System {
         self.scheme.post_cycle(&mut self.net);
     }
 
+    /// Runs the scheme's telemetry-sampling hook (no-op while the
+    /// network's obs registry is disabled). Drivers call this at epoch
+    /// boundaries — and once before cutting the final summary — so
+    /// sampled gauges/distributions are current.
+    pub fn observe(&mut self) {
+        if self.net.obs().is_enabled() {
+            self.scheme.observe(&mut self.net);
+        }
+    }
+
     /// Runs exactly `cycles` cycles.
     pub fn run(&mut self, cycles: u64) {
         for _ in 0..cycles {

@@ -35,6 +35,15 @@ pub enum SystemKind {
     /// Fig. 10 variants: 4 chiplets with the given number of boundary routers
     /// per chiplet (2, 4 or 8).
     BoundaryCount(u16),
+    /// A `cols x rows` grid of 4x4 chiplets on a `2*cols x 2*rows`
+    /// interposer (the scaling study's generator; [`ChipletSystemSpec::grid`]
+    /// validates the dimensions).
+    Grid {
+        /// Chiplet columns.
+        cols: u16,
+        /// Chiplet rows.
+        rows: u16,
+    },
 }
 
 /// Specification from which a [`Topology`] is built.
@@ -72,7 +81,8 @@ impl ChipletSystemSpec {
     ///
     /// # Panics
     ///
-    /// Panics if `BoundaryCount` is given a value other than 2, 4 or 8.
+    /// Panics if `BoundaryCount` is given a value other than 2, 4 or 8, or
+    /// if `Grid` dimensions fail [`ChipletSystemSpec::grid`] validation.
     pub fn of_kind(kind: SystemKind) -> Self {
         match kind {
             SystemKind::Baseline => Self::baseline(),
@@ -83,7 +93,41 @@ impl ChipletSystemSpec {
             SystemKind::BoundaryCount(n) => {
                 panic!("unsupported boundary router count {n}; use 2, 4 or 8")
             }
+            SystemKind::Grid { cols, rows } => {
+                Self::grid(cols, rows).expect("invalid grid dimensions")
+            }
         }
+    }
+
+    /// A `cols x rows` grid of the paper's 4x4 chiplets (Fig. 2(a) boundary
+    /// pattern, 4 vertical links each) over a `2*cols x 2*rows` interposer —
+    /// the generator for the scaling study. `grid(2, 2)` is exactly the
+    /// paper's baseline; `grid(32, 32)` is a 20480-router system.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err` for degenerate or overflowing dimensions: either side
+    /// zero, an interposer dimension that does not fit `u16`, or a total
+    /// router count that does not fit `u32` (node ids are 32-bit).
+    pub fn grid(cols: u16, rows: u16) -> Result<Self, String> {
+        if cols == 0 || rows == 0 {
+            return Err("grid must be at least 1x1 chiplets".into());
+        }
+        if 2 * cols as u32 > u16::MAX as u32 || 2 * rows as u32 > u16::MAX as u32 {
+            return Err(format!(
+                "grid {cols}x{rows} needs a {}x{} interposer, which exceeds the u16 mesh limit",
+                2 * cols as u32,
+                2 * rows as u32
+            ));
+        }
+        // 16 chiplet routers + 4 interposer routers per chiplet tile.
+        let routers = 20u64 * cols as u64 * rows as u64;
+        if routers > u32::MAX as u64 {
+            return Err(format!(
+                "grid {cols}x{rows} has {routers} routers, which exceeds the u32 node-id limit"
+            ));
+        }
+        Ok(Self::quadrant_system(2 * cols, 2 * rows, 2, 4))
     }
 
     /// Builds a system of 4x4 chiplets tiled over interposer quadrants of
@@ -500,6 +544,50 @@ mod tests {
             count += 1;
         }
         assert_eq!(count, topo.num_nodes());
+    }
+
+    #[test]
+    fn grid_2x2_is_the_baseline() {
+        let grid = ChipletSystemSpec::grid(2, 2).unwrap();
+        assert_eq!(grid, ChipletSystemSpec::baseline());
+        let topo = ChipletSystemSpec::of_kind(SystemKind::Grid { cols: 2, rows: 2 })
+            .build(0)
+            .unwrap();
+        assert_eq!(topo.num_nodes(), 80);
+    }
+
+    #[test]
+    fn grid_scales_router_count_linearly() {
+        for (cols, rows) in [(1u16, 1u16), (3, 2), (4, 4), (8, 8)] {
+            let topo = ChipletSystemSpec::grid(cols, rows)
+                .unwrap()
+                .build(1)
+                .unwrap();
+            let tiles = cols as usize * rows as usize;
+            assert_eq!(topo.chiplets().len(), tiles);
+            assert_eq!(topo.num_nodes(), 20 * tiles);
+            assert_eq!(topo.interposer_routers().len(), 4 * tiles);
+            for c in topo.chiplets() {
+                assert_eq!(c.boundary_routers.len(), 4);
+            }
+            topo.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn grid_rejects_degenerate_and_overflowing_dimensions() {
+        assert!(ChipletSystemSpec::grid(0, 4)
+            .unwrap_err()
+            .contains("at least 1x1"));
+        assert!(ChipletSystemSpec::grid(4, 0)
+            .unwrap_err()
+            .contains("at least 1x1"));
+        assert!(ChipletSystemSpec::grid(u16::MAX, 1)
+            .unwrap_err()
+            .contains("u16 mesh limit"));
+        // 20 * 32768^2 = ~21.5e9 routers: each interposer side fits u16 but
+        // the node-id space overflows u32.
+        assert!(ChipletSystemSpec::grid(32_768 / 2, 32_768 / 2).is_err());
     }
 
     #[test]

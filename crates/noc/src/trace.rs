@@ -683,11 +683,44 @@ pub struct MetricsSnapshot {
     pub link_flits: Vec<u64>,
 }
 
+/// Schema tag of [`MetricsSampler::to_csv`] output, emitted as the first
+/// line (`# schema: upp-metrics/v1`). Bump the version whenever columns
+/// change meaning or order so downstream tooling rejects stale files
+/// instead of silently misreading them (the same contract as the sweep
+/// journal's config fingerprint).
+pub const METRICS_SCHEMA: &str = "upp-metrics/v1";
+
 /// Columns of [`MetricsSampler::to_csv`].
 pub const METRICS_CSV_HEADER: &str = "cycle,epoch_cycles,packets_created,packets_ejected,\
 flits_injected,flits_ejected,injection_rate,ejection_rate,in_flight,buffered_flits,\
 max_router_occupancy,req_buf_total,ack_buf_total,mean_link_util,max_link_util,\
 upp_wait_ack_cycles,upp_locate_cycles,upp_pop_cycles";
+
+/// Checks that `content` is a metrics CSV produced by the current schema:
+/// the schema line and the column header must both match exactly.
+///
+/// # Errors
+///
+/// Returns a human-readable reason when the file is missing the schema
+/// line, was written by a different schema version, or carries a different
+/// column set.
+pub fn validate_metrics_csv(content: &str) -> Result<(), String> {
+    let mut lines = content.lines();
+    let schema = lines.next().unwrap_or("");
+    let expected = format!("# schema: {METRICS_SCHEMA}");
+    if schema != expected {
+        return Err(format!(
+            "stale or foreign metrics CSV: first line is {schema:?}, expected {expected:?}"
+        ));
+    }
+    let header = lines.next().unwrap_or("");
+    if header != METRICS_CSV_HEADER {
+        return Err(format!(
+            "metrics CSV column mismatch: got {header:?}, expected {METRICS_CSV_HEADER:?}"
+        ));
+    }
+    Ok(())
+}
 
 /// Reads the scheme's cumulative UPP stage counters as
 /// `[wait_ack, locate, pop]` total cycles. The sampler differences
@@ -847,10 +880,13 @@ impl MetricsSampler {
         &self.history
     }
 
-    /// Renders the summary columns of the time series as CSV (header
-    /// [`METRICS_CSV_HEADER`]).
+    /// Renders the summary columns of the time series as CSV: a
+    /// `# schema:` line ([`METRICS_SCHEMA`]), the [`METRICS_CSV_HEADER`]
+    /// column header, then one row per sample. Readers should gate on
+    /// [`validate_metrics_csv`] before parsing.
     pub fn to_csv(&self) -> String {
-        let mut out = String::from(METRICS_CSV_HEADER);
+        let mut out = format!("# schema: {METRICS_SCHEMA}\n");
+        out.push_str(METRICS_CSV_HEADER);
         out.push('\n');
         for s in &self.history {
             let _ = writeln!(
@@ -1416,19 +1452,46 @@ mod tests {
         });
         let csv = s.to_csv();
         let lines: Vec<&str> = csv.lines().collect();
-        assert_eq!(lines.len(), 2);
-        assert_eq!(lines[0], METRICS_CSV_HEADER);
-        assert!(lines[1].starts_with("100,100,10,8,50,40,"));
-        let cols = lines[0].split(',').count();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0], format!("# schema: {METRICS_SCHEMA}"));
+        assert_eq!(lines[1], METRICS_CSV_HEADER);
+        assert!(lines[2].starts_with("100,100,10,8,50,40,"));
+        let cols = lines[1].split(',').count();
         assert_eq!(
-            lines[1].split(',').count(),
+            lines[2].split(',').count(),
             cols,
             "row arity matches header"
         );
         assert!(
-            lines[1].ends_with(",12,3,5"),
+            lines[2].ends_with(",12,3,5"),
             "UPP stage columns are last: {}",
-            lines[1]
+            lines[2]
+        );
+        validate_metrics_csv(&csv).expect("fresh output validates");
+    }
+
+    #[test]
+    fn metrics_csv_validation_rejects_stale_and_foreign_files() {
+        let fresh = MetricsSampler::new(10, 4).to_csv();
+        validate_metrics_csv(&fresh).expect("current schema accepted");
+        assert!(
+            validate_metrics_csv("# schema: upp-metrics/v0\ncycle\n")
+                .unwrap_err()
+                .contains("stale or foreign"),
+            "old versions must be rejected"
+        );
+        assert!(
+            validate_metrics_csv("cycle,epoch_cycles\n1,2\n")
+                .unwrap_err()
+                .contains("stale or foreign"),
+            "headerless legacy files must be rejected"
+        );
+        let wrong_cols = format!("# schema: {METRICS_SCHEMA}\ncycle,extra\n");
+        assert!(
+            validate_metrics_csv(&wrong_cols)
+                .unwrap_err()
+                .contains("column mismatch"),
+            "same version but different columns must be rejected"
         );
     }
 

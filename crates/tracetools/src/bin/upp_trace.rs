@@ -5,6 +5,7 @@
 //! upp-trace heatmap <input> [--csv-out FILE] [--svg-out FILE]
 //! upp-trace critical-path <input> [--top N]
 //! upp-trace diff <a> <b>
+//! upp-trace obs <input> [--csv-out FILE] [--svg-out FILE] [--metric NAME]
 //! ```
 //!
 //! `<input>` is either a profile summary JSON written by
@@ -12,6 +13,11 @@
 //! a raw JSONL flight-recorder trace from `simulate --trace`; both yield
 //! the same `ProfileSummary`. Use `--system`/`--scheme` to label raw
 //! traces (profiles carry their own labels).
+//!
+//! `obs` instead reads protocol-state telemetry: a summary JSON from
+//! `simulate --obs` (also embedded as the `"obs"` field of `--json`
+//! payloads) or an epoch JSONL stream from `--obs-every`/`--obs-out`,
+//! auto-detected by their markers.
 
 use std::fs::File;
 use std::io::{BufReader, Read};
@@ -27,9 +33,13 @@ fn usage() -> ! {
          upp-trace heatmap <input> [--csv-out FILE] [--svg-out FILE] [--system S]\n\
          upp-trace critical-path <input> [--top N] [--system S] [--scheme S]\n\
          upp-trace diff <a> <b>\n\
+         upp-trace obs <input> [--csv-out FILE] [--svg-out FILE] [--metric NAME]\n\
          \n\
          <input>: profile JSON from `simulate --profile-out` or JSONL from\n\
-         `simulate --trace`; the kind is auto-detected."
+         `simulate --trace`; the kind is auto-detected. `obs` reads telemetry\n\
+         summaries (`simulate --obs`, or `--json` payloads embedding one) and\n\
+         epoch streams (`--obs-every`/`--obs-out`); repeat --metric to select\n\
+         the series plotted by --svg-out (default: all)."
     );
     std::process::exit(2)
 }
@@ -78,6 +88,7 @@ fn main() -> ExitCode {
     let mut system = String::new();
     let mut scheme = String::new();
     let mut top = 10usize;
+    let mut metrics: Vec<String> = Vec::new();
     let mut it = args[1..].iter();
     while let Some(a) = it.next() {
         let mut val = || it.next().map(String::as_str).unwrap_or_else(|| usage());
@@ -89,6 +100,7 @@ fn main() -> ExitCode {
             "--system" => system = val().to_string(),
             "--scheme" => scheme = val().to_string(),
             "--top" => top = val().parse().unwrap_or_else(|_| usage()),
+            "--metric" => metrics.push(val().to_string()),
             flag if flag.starts_with("--") => usage(),
             input => inputs.push(input),
         }
@@ -155,6 +167,34 @@ fn main() -> ExitCode {
             let a = load_or_die(inputs[0]);
             let b = load_or_die(inputs[1]);
             print!("{}", render::diff_text(&a, &b));
+        }
+        "obs" => {
+            let path = one_input();
+            let mut text = String::new();
+            if let Err(e) = File::open(path).and_then(|mut f| f.read_to_string(&mut text)) {
+                eprintln!("error: {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            let report = match upp_tracetools::obs::ObsReport::parse(&text) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("error: {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            print!("{}", upp_tracetools::obs::report_text(&report));
+            if let Some(p) = csv_out {
+                match upp_tracetools::obs::timeseries_csv(&report) {
+                    Some(csv) => write_or_die(p, &csv),
+                    None => eprintln!("error: --csv-out needs epoch input (simulate --obs-every)"),
+                }
+            }
+            if let Some(p) = svg_out {
+                match upp_tracetools::obs::timeseries_svg(&report, &metrics) {
+                    Some(svg) => write_or_die(p, &svg),
+                    None => eprintln!("error: --svg-out needs epoch input (simulate --obs-every)"),
+                }
+            }
         }
         _ => usage(),
     }

@@ -13,8 +13,11 @@
 //!   for critical-path analysis, with deterministic JSON round-tripping;
 //! * [`render`] — analysis reports, contention heatmaps (CSV + SVG via
 //!   `upp_noc::viz`), critical-path listings and run-vs-run diffs;
-//! * the `upp-trace` CLI (`analyze`, `heatmap`, `critical-path`, `diff`)
-//!   over both input shapes.
+//! * [`obs`] — per-metric reports, time-series CSV and SVG over the
+//!   protocol-state telemetry written by `simulate --obs`/`--obs-every`
+//!   (`upp_noc::obs` summaries and epoch streams);
+//! * the `upp-trace` CLI (`analyze`, `heatmap`, `critical-path`, `diff`,
+//!   `obs`) over all input shapes.
 //!
 //! The streaming path matters at scale: `simulate --profile` folds spans
 //! into a [`summary::ProfileSummary`] as the run progresses, so a
@@ -27,8 +30,10 @@
 
 pub mod events;
 pub mod histogram;
+pub mod obs;
 pub mod render;
 pub mod summary;
 
 pub use histogram::Histogram;
+pub use obs::ObsReport;
 pub use summary::{PhaseTotals, ProfileSummary};

@@ -115,4 +115,69 @@ proptest! {
         prop_assert_eq!(on.1, off.1, "final cycle diverged");
         prop_assert_eq!(on.2, off.2, "stats snapshot diverged");
     }
+
+    /// Telemetry equivalence: the protocol-state registry (`--obs`) reads
+    /// protocol structures the scheduler is allowed to skip over, so its
+    /// exported bytes — the full summary *and* every epoch line — must be
+    /// identical between the active-set and always-tick kernels. Hotspot
+    /// traffic with slow consumption keeps the popup path busy, and the
+    /// drain loop runs under manual stepping so epoch cuts land on the
+    /// same cycles in both runs.
+    #[test]
+    fn telemetry_bytes_are_scheduler_invariant(
+        kind_ix in 0usize..3,
+        seed in 0u64..5_000,
+        rate_milli in 20u64..70,
+    ) {
+        let kind = match kind_ix {
+            0 => SchemeKind::Upp(UppConfig::default()),
+            1 => SchemeKind::Composable,
+            _ => SchemeKind::RemoteControl,
+        };
+        let run = |scheduler: bool| -> (String, Vec<String>) {
+            let spec = ChipletSystemSpec::of_kind(SystemKind::Baseline);
+            let built = build_system(
+                &spec,
+                NocConfig::default(),
+                &kind,
+                0,
+                seed,
+                ConsumePolicy::Immediate { latency: 40 },
+            );
+            let mut sys = built.sys;
+            sys.net_mut().set_active_scheduler(scheduler);
+            sys.net_mut().enable_obs();
+            let rate = rate_milli as f64 / 1000.0;
+            let mut traffic =
+                SyntheticTraffic::new(sys.net().topo(), Pattern::Hotspot, rate, seed);
+            let mut epochs = Vec::new();
+            let cut = |sys: &mut upp_noc::sim::System| {
+                sys.observe();
+                let c = sys.net().cycle();
+                let snap = sys.net_mut().obs_mut().take_epoch(c);
+                sys.net().obs().epoch_json(&snap)
+            };
+            for c in 0..600u64 {
+                traffic.tick(&mut sys);
+                sys.step();
+                if c % 100 == 99 {
+                    epochs.push(cut(&mut sys));
+                }
+            }
+            let mut extra = 0u64;
+            while sys.net().in_flight() > 0 && !sys.net().stalled() && extra < 100_000 {
+                sys.step();
+                extra += 1;
+                if extra.is_multiple_of(100) {
+                    epochs.push(cut(&mut sys));
+                }
+            }
+            sys.observe();
+            (sys.net().obs().summary_json(sys.net().cycle()), epochs)
+        };
+        let on = run(true);
+        let off = run(false);
+        prop_assert_eq!(on.0, off.0, "obs summary bytes diverged");
+        prop_assert_eq!(on.1, off.1, "obs epoch stream diverged");
+    }
 }
