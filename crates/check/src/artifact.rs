@@ -1,0 +1,139 @@
+//! Concretization: turning abstract verdicts into replayable artifacts.
+//!
+//! An abstract verdict only matters if it predicts something about the
+//! real simulator, so every artifact carries a concrete [`Scenario`] in
+//! the same schema family as `upp-verify`'s ddmin repro artifacts. The
+//! mapping is per protocol variant, not per abstract trace — the abstract
+//! model and the concrete network do not share microstate, but they must
+//! agree on the *outcome class* of the same stress:
+//!
+//! * the honest protocol's clean verdict concretizes to the adversarial
+//!   deadlock-forcing scenario under full `UPP`, predicted to drain;
+//! * `never-expire-watchdog` concretizes to the same scenario under
+//!   `UPP@t=<huge>` — all the popup machinery present, but detection
+//!   cannot fire inside the cycle bound — predicted to wedge;
+//! * the remaining mutations (`skip-circuit-insert`, `drop-absorber`,
+//!   `bounce-ack`) break protocol internals the concrete simulator has no
+//!   knob for, so they concretize to the recovery-free `none` scheme:
+//!   the weakest-precondition statement both sides agree on is "this
+//!   traffic deadlocks, and without a working popup it stays wedged".
+//!
+//! The stress scenario itself is the `verify` suite's adversarial
+//! generator at a pinned seed: dense random cross-chiplet traffic on the
+//! 2-chiplet mini system plus one link fault and one throttle — known to
+//! wedge every scheme without working recovery and to drain under UPP.
+
+use upp_verify::bridge::{AbstractStep, CheckArtifact, ExpectedOutcome, CHECK_ARTIFACT_VERSION};
+use upp_verify::scenario::{random_scenario, CampaignParams};
+use upp_verify::Scenario;
+
+use crate::explore::{render_state, Exploration};
+use crate::model::{Mutation, Transition};
+use crate::props::{LivelockViolation, RecoveryViolation};
+
+/// Threshold used to concretize a disabled watchdog: detection parameters
+/// are otherwise identical, but the counter cannot reach this value
+/// within any scenario's cycle bound.
+pub const DISABLED_WATCHDOG_THRESHOLD: u64 = 1_000_000;
+
+/// The pinned adversarial stress the artifacts embed (see module docs).
+pub fn stress_scenario(scheme: &str) -> Scenario {
+    let params = CampaignParams {
+        rate: 0.25,
+        horizon: 500,
+        max_cycles: 4_000,
+        link_faults: 1,
+        throttles: 1,
+        ..CampaignParams::default()
+    };
+    let mut sc = random_scenario(&params, 0).expect("pinned params are valid");
+    sc.scheme = scheme.into();
+    sc
+}
+
+/// The concrete scheme label and predicted outcome for a protocol variant.
+pub fn concretize(mutation: Option<Mutation>) -> (&'static str, ExpectedOutcome) {
+    match mutation {
+        None => ("UPP", ExpectedOutcome::Recovers),
+        Some(Mutation::NeverExpireWatchdog) => ("UPP@t=1000000", ExpectedOutcome::Wedges),
+        Some(Mutation::SkipCircuitInsert)
+        | Some(Mutation::DropAbsorber)
+        | Some(Mutation::BounceAck) => ("none", ExpectedOutcome::Wedges),
+    }
+}
+
+fn steps_from(concrete: &[(Transition, crate::model::State)]) -> Vec<AbstractStep> {
+    concrete
+        .iter()
+        .map(|(t, s)| AbstractStep {
+            transition: t.label(),
+            state: render_state(s),
+        })
+        .collect()
+}
+
+fn base_artifact(ex: &Exploration, property: &str, steps: Vec<AbstractStep>) -> CheckArtifact {
+    let (scheme, expected) = concretize(ex.cfg.mutation);
+    CheckArtifact {
+        version: CHECK_ARTIFACT_VERSION,
+        property: property.into(),
+        model: ex.cfg.describe(),
+        mutation: ex.cfg.mutation.map(|m| m.label().to_string()),
+        steps,
+        expected,
+        scenario: stress_scenario(scheme),
+    }
+}
+
+/// Artifact for a clean run: both properties verified.
+pub fn clean_artifact(ex: &Exploration) -> CheckArtifact {
+    base_artifact(ex, "clean", Vec::new())
+}
+
+/// Artifact for a bounded-recovery (P1) violation: the trace leads from
+/// the initial state to a state that can never drain.
+pub fn recovery_artifact(ex: &Exploration, v: &RecoveryViolation) -> CheckArtifact {
+    let (concrete, _) = ex.concretize_steps(0, 0, &ex.trace_to(v.state));
+    base_artifact(ex, "bounded-recovery", steps_from(&concrete))
+}
+
+/// Artifact for a livelock (P2) violation: the trace leads to the cycle's
+/// entry state, then around the cycle once (up to a rotation of the ring,
+/// which by symmetry extends to the infinite run).
+pub fn livelock_artifact(ex: &Exploration, v: &LivelockViolation) -> CheckArtifact {
+    let (mut concrete, rho) = ex.concretize_steps(0, 0, &ex.trace_to(v.entry));
+    let (cycle, _) = ex.concretize_steps(v.entry, rho, &v.cycle);
+    concrete.extend(cycle);
+    base_artifact(ex, "no-livelock", steps_from(&concrete))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn concretization_covers_every_variant() {
+        let (scheme, expected) = concretize(None);
+        assert_eq!(scheme, "UPP");
+        assert_eq!(expected, ExpectedOutcome::Recovers);
+        for m in Mutation::ALL {
+            let (scheme, expected) = concretize(Some(m));
+            assert_eq!(expected, ExpectedOutcome::Wedges);
+            assert!(scheme == "none" || scheme.starts_with("UPP@t="));
+        }
+    }
+
+    #[test]
+    fn disabled_watchdog_label_matches_the_constant() {
+        let (scheme, _) = concretize(Some(Mutation::NeverExpireWatchdog));
+        assert_eq!(scheme, format!("UPP@t={DISABLED_WATCHDOG_THRESHOLD}"));
+    }
+
+    #[test]
+    fn stress_scenario_is_deterministic() {
+        let a = stress_scenario("UPP");
+        let b = stress_scenario("UPP");
+        assert_eq!(a.to_json(), b.to_json());
+        assert!(!a.traffic.is_empty());
+    }
+}

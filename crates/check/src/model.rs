@@ -1,0 +1,682 @@
+//! The abstracted UPP transition system.
+//!
+//! A ring of `N` boundary (interposer) routers, each with one bounded
+//! input queue of whole packets, models the interposer layer where the
+//! paper's upward packets stall. Normal forwarding is one hop clockwise
+//! per transition; a packet whose destination is the current router ejects
+//! into that router's NI ejection queue. Deadlock arises exactly as in the
+//! concrete wormhole network: a cycle of full queues whose heads all wait
+//! on each other.
+//!
+//! On top of that substrate sits the popup protocol, wired to the shared
+//! definitions in [`upp_core::protocol`]:
+//!
+//! * a per-router **watchdog** ticks while the router's head packet is
+//!   blocked and fires at the (abstract) detection threshold;
+//! * a fired watchdog sends `UPP_req` toward the stalled packet's
+//!   destination NI and the router enters [`PopupStage::WaitAck`];
+//! * the NI **reserves an ejection-queue entry** before acking — the
+//!   paper's guarantee that a popped packet always has somewhere to land —
+//!   and the ack's arrival **records a bypass circuit** in the shared
+//!   circuit table;
+//! * the router then pops its head packet over the circuit directly into
+//!   the reserved entry ([`PopupStage::PopInterposer`] — the model works at
+//!   packet granularity, so the concrete `LocateHead`/`PopChiplet` worm
+//!   hunt collapses into this stage), freeing a queue slot and breaking
+//!   the cyclic wait;
+//! * if the stalled packet starts moving before the ack is consumed (a
+//!   false positive), the router advances it normally and sends `UPP_stop`,
+//!   releasing the reservation.
+//!
+//! Every abstraction is a *superset* or lockstep simplification of the
+//! concrete behaviour (see `MODEL.md` in this crate) so that safety
+//! verdicts transfer: packets are atomic, signal channels are unpaced
+//! FIFOs, and all live watchdogs tick in one synchronous `TickAll`
+//! transition. [`Mutation`]s deliberately break individual protocol
+//! obligations to prove the checker can see each one fail.
+
+use upp_core::protocol::{circuit_capacity, PopupStage};
+
+/// A packet in the abstract model: just its destination router.
+pub type Packet = u8;
+
+/// A deliberately broken protocol variant.
+///
+/// Each mutation removes one obligation the paper's argument relies on;
+/// the mutation tests assert that exploration convicts every one of them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mutation {
+    /// Watchdogs never fire: deadlock is never detected (Sec. V-A gone).
+    NeverExpireWatchdog,
+    /// Acks arrive but no bypass circuit is recorded: the pop has no path
+    /// (Sec. V-B2's circuit establishment gone).
+    SkipCircuitInsert,
+    /// The reserved ejection entry is never actually usable: popped
+    /// packets have nowhere to land (Sec. V-B1's absorber gone).
+    DropAbsorber,
+    /// The router bounces every ack back into a fresh request instead of
+    /// popping: the protocol spins req -> ack -> req forever (livelock).
+    BounceAck,
+}
+
+impl Mutation {
+    /// All mutations, for test sweeps.
+    pub const ALL: [Mutation; 4] = [
+        Mutation::NeverExpireWatchdog,
+        Mutation::SkipCircuitInsert,
+        Mutation::DropAbsorber,
+        Mutation::BounceAck,
+    ];
+
+    /// Canonical CLI/artifact label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Mutation::NeverExpireWatchdog => "never-expire-watchdog",
+            Mutation::SkipCircuitInsert => "skip-circuit-insert",
+            Mutation::DropAbsorber => "drop-absorber",
+            Mutation::BounceAck => "bounce-ack",
+        }
+    }
+
+    /// Parses a CLI/artifact label.
+    pub fn parse(s: &str) -> Option<Mutation> {
+        Self::ALL.into_iter().find(|m| m.label() == s)
+    }
+}
+
+/// Model configuration: the shape of the explored system.
+#[derive(Debug, Clone)]
+pub struct ModelCfg {
+    /// Boundary routers on the ring (2..=4).
+    pub routers: u8,
+    /// Packet slots per router queue.
+    pub queue_depth: u8,
+    /// Injection budget per router: total packets it may source.
+    pub bound: u8,
+    /// Abstract watchdog threshold in ticks. The concrete threshold
+    /// ([`upp_core::protocol::DEFAULT_DETECTION_THRESHOLD`]) only scales
+    /// detection *latency*, not the reachable protocol structure, so the
+    /// model defaults to the smallest honest value that still gives the
+    /// counter a non-trivial run-up.
+    pub threshold: u8,
+    /// Ejection-queue entries per NI.
+    pub ni_slots: u8,
+    /// Circuit-table capacity (default [`circuit_capacity`] of `routers`).
+    pub circuit_cap: u8,
+    /// Bound on each signal channel (requests / acks in flight).
+    pub chan_cap: u8,
+    /// Protocol weakening under test, if any.
+    pub mutation: Option<Mutation>,
+}
+
+impl ModelCfg {
+    /// The flagship configuration for a given router count: small enough
+    /// to exhaust, large enough that queue deadlock is reachable.
+    pub fn flagship(routers: u8) -> Self {
+        Self {
+            routers,
+            queue_depth: 2,
+            bound: 2,
+            threshold: 2,
+            ni_slots: 1,
+            circuit_cap: circuit_capacity(routers as usize) as u8,
+            chan_cap: routers,
+            mutation: None,
+        }
+    }
+
+    /// One-line rendering for artifacts and `--stats` output.
+    pub fn describe(&self) -> String {
+        let mut s = format!(
+            "routers={} queue_depth={} bound={} threshold={} ni_slots={} circuit_cap={} chan_cap={}",
+            self.routers,
+            self.queue_depth,
+            self.bound,
+            self.threshold,
+            self.ni_slots,
+            self.circuit_cap,
+            self.chan_cap
+        );
+        if let Some(m) = self.mutation {
+            s.push_str(&format!(" mutation={}", m.label()));
+        }
+        s
+    }
+
+    /// Validates the configuration bounds.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err` when a knob is outside the supported range.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(2..=4).contains(&self.routers) {
+            return Err(format!("--routers must be 2..=4, got {}", self.routers));
+        }
+        if self.queue_depth == 0 || self.bound == 0 || self.threshold == 0 {
+            return Err("queue depth, bound and threshold must all be >= 1".into());
+        }
+        if self.ni_slots == 0 || self.circuit_cap == 0 || self.chan_cap == 0 {
+            return Err("NI slots, circuit capacity and channel capacity must all be >= 1".into());
+        }
+        Ok(())
+    }
+}
+
+/// One boundary router's state.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Router {
+    /// Input queue, front at index 0. Entries are packet destinations.
+    pub queue: Vec<Packet>,
+    /// Popup stage; `Idle` / `WaitAck` / `PopInterposer` are the reachable
+    /// subset at packet granularity.
+    pub stage: PopupStage,
+    /// Destination of the in-flight popup (`None` when idle).
+    pub popup_dest: Option<Packet>,
+    /// Watchdog counter, saturating at the threshold.
+    pub counter: u8,
+    /// Remaining injection budget.
+    pub budget: u8,
+}
+
+/// One NI's ejection-side state.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Ni {
+    /// Routers currently holding a reserved ejection entry here.
+    pub reservations: Vec<u8>,
+    /// Packets sitting in the ejection queue awaiting consumption.
+    pub queued: u8,
+}
+
+/// A complete abstract system state.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct State {
+    /// Per-router state, index = ring position.
+    pub routers: Vec<Router>,
+    /// Per-router NI state.
+    pub nis: Vec<Ni>,
+    /// Destinations with a live bypass circuit, oldest first. Mirrors the
+    /// concrete `(VNet, dest)`-keyed table collapsed to one VNet: a
+    /// re-insert for a present destination refreshes it; inserting into a
+    /// full table evicts the oldest entry.
+    pub circuits: Vec<Packet>,
+    /// In-flight `UPP_req` signals: `(from_router, dest)` FIFO.
+    pub reqs: Vec<(u8, Packet)>,
+    /// In-flight `UPP_ack` signals: `to_router` FIFO (the granted
+    /// destination is the router's `popup_dest`).
+    pub acks: Vec<u8>,
+}
+
+/// A transition label, carried on every edge of the state graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Transition {
+    /// Router sources a fresh packet for the given destination.
+    Inject(u8, Packet),
+    /// Router forwards its head packet one hop clockwise.
+    Hop(u8),
+    /// Router ejects its head packet into its own NI queue.
+    Eject(u8),
+    /// An NI consumes one packet from its ejection queue.
+    Consume(u8),
+    /// All live watchdogs tick once, synchronously.
+    TickAll,
+    /// Router's watchdog fires: enter `WaitAck`, send `UPP_req`.
+    WatchdogExpire(u8),
+    /// The destination NI serves the front request: reserve an ejection
+    /// entry and send the ack (recording the bypass circuit).
+    ServeReq,
+    /// The front ack reaches its router: enter `PopInterposer`.
+    DeliverAck,
+    /// Router in `WaitAck` advances its no-longer-blocked head normally
+    /// and sends `UPP_stop` (the false-positive bail-out, merged with the
+    /// advance that triggered it).
+    AdvanceStop(u8),
+    /// Router pops its head over the circuit into the reserved entry.
+    Pop(u8),
+}
+
+impl Transition {
+    /// True when the transition moves a packet toward consumption — the
+    /// progress measure for the livelock check.
+    pub fn is_progress(self) -> bool {
+        matches!(
+            self,
+            Transition::Hop(_)
+                | Transition::Eject(_)
+                | Transition::Consume(_)
+                | Transition::AdvanceStop(_)
+                | Transition::Pop(_)
+        )
+    }
+
+    /// Human-readable label for traces and DOT dumps.
+    pub fn label(self) -> String {
+        match self {
+            Transition::Inject(r, d) => format!("Inject(r{r}, d{d})"),
+            Transition::Hop(r) => format!("Hop(r{r})"),
+            Transition::Eject(r) => format!("Eject(r{r})"),
+            Transition::Consume(n) => format!("Consume(ni{n})"),
+            Transition::TickAll => "TickAll".into(),
+            Transition::WatchdogExpire(r) => format!("WatchdogExpire(r{r})"),
+            Transition::ServeReq => "ServeReq".into(),
+            Transition::DeliverAck => "DeliverAck".into(),
+            Transition::AdvanceStop(r) => format!("AdvanceStop(r{r})"),
+            Transition::Pop(r) => format!("Pop(r{r})"),
+        }
+    }
+}
+
+impl State {
+    /// The initial state: everything empty, full injection budgets.
+    pub fn initial(cfg: &ModelCfg) -> State {
+        let n = cfg.routers as usize;
+        State {
+            routers: (0..n)
+                .map(|_| Router {
+                    queue: Vec::new(),
+                    stage: PopupStage::Idle,
+                    popup_dest: None,
+                    counter: 0,
+                    budget: cfg.bound,
+                })
+                .collect(),
+            nis: (0..n)
+                .map(|_| Ni {
+                    reservations: Vec::new(),
+                    queued: 0,
+                })
+                .collect(),
+            circuits: Vec::new(),
+            reqs: Vec::new(),
+            acks: Vec::new(),
+        }
+    }
+
+    /// Free (unreserved, unoccupied) ejection entries at NI `n`.
+    pub fn ni_free(&self, cfg: &ModelCfg, n: usize) -> u8 {
+        cfg.ni_slots - self.nis[n].queued - self.nis[n].reservations.len() as u8
+    }
+
+    /// True when router `r`'s head packet can advance normally right now:
+    /// eject into a free local entry, or hop into a non-full next queue.
+    pub fn head_can_move(&self, cfg: &ModelCfg, r: usize) -> bool {
+        let Some(&d) = self.routers[r].queue.first() else {
+            return false;
+        };
+        if d as usize == r {
+            self.ni_free(cfg, r) > 0
+        } else {
+            let next = (r + 1) % cfg.routers as usize;
+            self.routers[next].queue.len() < cfg.queue_depth as usize
+        }
+    }
+
+    /// True when the network holds no packets, signals or popup state: the
+    /// system has drained and every watchdog is quiet.
+    pub fn is_drained(&self) -> bool {
+        self.routers
+            .iter()
+            .all(|r| r.queue.is_empty() && r.stage.is_idle())
+            && self
+                .nis
+                .iter()
+                .all(|n| n.queued == 0 && n.reservations.is_empty())
+            && self.reqs.is_empty()
+            && self.acks.is_empty()
+    }
+
+    /// True when packets are in flight but no packet-progress transition
+    /// is enabled and no popup is under way: a raw deadlock configuration
+    /// as the watchdog sees it.
+    pub fn is_deadlocked(&self, cfg: &ModelCfg) -> bool {
+        let any_packets = self.routers.iter().any(|r| !r.queue.is_empty());
+        if !any_packets {
+            return false;
+        }
+        let all_idle = self.routers.iter().all(|r| r.stage.is_idle());
+        let no_moves = (0..self.routers.len()).all(|r| !self.head_can_move(cfg, r))
+            && self.nis.iter().all(|n| n.queued == 0);
+        all_idle && no_moves && self.reqs.is_empty() && self.acks.is_empty()
+    }
+
+    /// True when any popup machinery is active (the livelock check's
+    /// "popup in flight" predicate).
+    pub fn popup_in_flight(&self) -> bool {
+        self.routers.iter().any(|r| !r.stage.is_idle())
+            || !self.reqs.is_empty()
+            || !self.acks.is_empty()
+    }
+
+    /// Moves router `r`'s head packet one step (hop or eject), resetting
+    /// its watchdog. Caller has checked `head_can_move`.
+    fn advance_head(&mut self, cfg: &ModelCfg, r: usize) {
+        let d = self.routers[r].queue.remove(0);
+        if d as usize == r {
+            self.nis[r].queued += 1;
+        } else {
+            let next = (r + 1) % cfg.routers as usize;
+            self.routers[next].queue.push(d);
+        }
+        self.routers[r].counter = 0;
+    }
+
+    /// Records a bypass circuit for `dest`: refresh if present, insert
+    /// (evicting the oldest entry when full) otherwise.
+    fn record_circuit(&mut self, cfg: &ModelCfg, dest: Packet) {
+        if let Some(pos) = self.circuits.iter().position(|&c| c == dest) {
+            self.circuits.remove(pos);
+        } else if self.circuits.len() >= cfg.circuit_cap as usize {
+            self.circuits.remove(0);
+        }
+        self.circuits.push(dest);
+    }
+
+    /// Enumerates every enabled transition and its successor state.
+    pub fn successors(&self, cfg: &ModelCfg) -> Vec<(Transition, State)> {
+        let n = cfg.routers as usize;
+        let mutation = cfg.mutation;
+        let mut out = Vec::new();
+
+        // Inject(r, d): source a packet if budget and queue space remain.
+        for r in 0..n {
+            if self.routers[r].budget == 0
+                || self.routers[r].queue.len() >= cfg.queue_depth as usize
+            {
+                continue;
+            }
+            for d in 0..n {
+                if d == r {
+                    continue;
+                }
+                let mut s = self.clone();
+                s.routers[r].budget -= 1;
+                s.routers[r].queue.push(d as Packet);
+                out.push((Transition::Inject(r as u8, d as Packet), s));
+            }
+        }
+
+        // Hop / Eject: normal forwarding while the popup machinery is idle.
+        for r in 0..n {
+            if !self.routers[r].stage.is_idle() || !self.head_can_move(cfg, r) {
+                continue;
+            }
+            let d = self.routers[r].queue[0];
+            let mut s = self.clone();
+            s.advance_head(cfg, r);
+            let t = if d as usize == r {
+                Transition::Eject(r as u8)
+            } else {
+                Transition::Hop(r as u8)
+            };
+            out.push((t, s));
+        }
+
+        // Consume(n): the NI sinks one ejected packet.
+        for ni in 0..n {
+            if self.nis[ni].queued == 0 {
+                continue;
+            }
+            let mut s = self.clone();
+            s.nis[ni].queued -= 1;
+            out.push((Transition::Consume(ni as u8), s));
+        }
+
+        // TickAll: every idle router with a blocked head ticks once; every
+        // other idle router's counter resets. One synchronous transition
+        // keeps counters in lockstep (the per-router interleavings differ
+        // only in detection order, which WatchdogExpire's nondeterministic
+        // firing already covers).
+        {
+            let mut s = self.clone();
+            let mut changed = false;
+            for r in 0..n {
+                if !s.routers[r].stage.is_idle() {
+                    continue;
+                }
+                let blocked = !s.routers[r].queue.is_empty() && !s.head_can_move(cfg, r);
+                let c = s.routers[r].counter;
+                let next = if blocked {
+                    c.saturating_add(1).min(cfg.threshold)
+                } else {
+                    0
+                };
+                if next != c {
+                    s.routers[r].counter = next;
+                    changed = true;
+                }
+            }
+            if changed {
+                out.push((Transition::TickAll, s));
+            }
+        }
+
+        // WatchdogExpire(r): detection fires; the router requests a popup
+        // for its head packet's destination.
+        if mutation != Some(Mutation::NeverExpireWatchdog) {
+            for r in 0..n {
+                if !self.routers[r].stage.is_idle()
+                    || self.routers[r].counter < cfg.threshold
+                    || self.routers[r].queue.is_empty()
+                    || self.reqs.len() >= cfg.chan_cap as usize
+                {
+                    continue;
+                }
+                let d = self.routers[r].queue[0];
+                let mut s = self.clone();
+                s.routers[r].stage = PopupStage::WaitAck;
+                s.routers[r].popup_dest = Some(d);
+                s.reqs.push((r as u8, d));
+                out.push((Transition::WatchdogExpire(r as u8), s));
+            }
+        }
+
+        // ServeReq: the destination NI reserves an entry and acks. The ack
+        // carries the circuit-establishment side effect (Sec. V-B2).
+        if let Some(&(from, dest)) = self.reqs.first() {
+            let already_reserved = self.nis[dest as usize].reservations.contains(&from);
+            let can_reserve = already_reserved || self.ni_free(cfg, dest as usize) > 0;
+            if can_reserve && self.acks.len() < cfg.chan_cap as usize {
+                let mut s = self.clone();
+                s.reqs.remove(0);
+                if !already_reserved {
+                    s.nis[dest as usize].reservations.push(from);
+                    s.nis[dest as usize].reservations.sort_unstable();
+                }
+                if mutation != Some(Mutation::SkipCircuitInsert) {
+                    s.record_circuit(cfg, dest);
+                }
+                s.acks.push(from);
+                out.push((Transition::ServeReq, s));
+            }
+        }
+
+        // DeliverAck: the front ack reaches its router.
+        if let Some(&to) = self.acks.first() {
+            let r = to as usize;
+            let mut s = self.clone();
+            s.acks.remove(0);
+            if s.routers[r].stage == PopupStage::WaitAck {
+                if mutation == Some(Mutation::BounceAck) {
+                    // Broken handshake: re-request instead of popping.
+                    if let Some(d) = s.routers[r].popup_dest {
+                        if s.reqs.len() < cfg.chan_cap as usize {
+                            s.reqs.push((to, d));
+                            out.push((Transition::DeliverAck, s));
+                        }
+                        // Channel full: the delivery is not enabled.
+                    }
+                } else {
+                    debug_assert!(s.routers[r]
+                        .stage
+                        .can_transition_to(PopupStage::PopInterposer));
+                    s.routers[r].stage = PopupStage::PopInterposer;
+                    out.push((Transition::DeliverAck, s));
+                }
+            } else {
+                // Stale ack for an already-stopped popup: drop it.
+                out.push((Transition::DeliverAck, s));
+            }
+        }
+
+        // AdvanceStop(r): false positive — the head moved on its own while
+        // the popup was pending. Advance it normally and retract the popup
+        // (stop signal + reservation release, merged into one step).
+        for r in 0..n {
+            if self.routers[r].stage != PopupStage::WaitAck || !self.head_can_move(cfg, r) {
+                continue;
+            }
+            let mut s = self.clone();
+            s.advance_head(cfg, r);
+            debug_assert!(s.routers[r].stage.can_transition_to(PopupStage::Idle));
+            s.routers[r].stage = PopupStage::Idle;
+            if let Some(d) = s.routers[r].popup_dest.take() {
+                let ni = &mut s.nis[d as usize];
+                if let Some(pos) = ni.reservations.iter().position(|&x| x == r as u8) {
+                    ni.reservations.remove(pos);
+                }
+            }
+            s.reqs.retain(|&(from, _)| from != r as u8);
+            s.acks.retain(|&to| to != r as u8);
+            out.push((Transition::AdvanceStop(r as u8), s));
+        }
+
+        // Pop(r): transmit the head over the circuit into the reserved
+        // ejection entry. Requires the circuit (mutations can remove it)
+        // and the reservation (the absorber mutation removes its use).
+        if mutation != Some(Mutation::DropAbsorber) {
+            for r in 0..n {
+                if self.routers[r].stage != PopupStage::PopInterposer {
+                    continue;
+                }
+                let Some(d) = self.routers[r].popup_dest else {
+                    continue;
+                };
+                if !self.circuits.contains(&d)
+                    || !self.nis[d as usize].reservations.contains(&(r as u8))
+                    || self.routers[r].queue.is_empty()
+                {
+                    continue;
+                }
+                let mut s = self.clone();
+                s.routers[r].queue.remove(0);
+                let ni = &mut s.nis[d as usize];
+                let pos = ni
+                    .reservations
+                    .iter()
+                    .position(|&x| x == r as u8)
+                    .expect("checked");
+                ni.reservations.remove(pos);
+                ni.queued += 1;
+                debug_assert!(s.routers[r].stage.can_transition_to(PopupStage::Idle));
+                s.routers[r].stage = PopupStage::Idle;
+                s.routers[r].popup_dest = None;
+                s.routers[r].counter = 0;
+                out.push((Transition::Pop(r as u8), s));
+            }
+        }
+
+        // Exclude pure stutters: a successor identical to the source is a
+        // self-loop carrying no information.
+        out.retain(|(_, s)| s != self);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> ModelCfg {
+        ModelCfg::flagship(2)
+    }
+
+    /// Drive the 2-router system by hand into the canonical cyclic-queue
+    /// deadlock and check the popup unwinds it.
+    #[test]
+    fn popup_unwinds_the_handmade_deadlock() {
+        let cfg = cfg();
+        let mut s = State::initial(&cfg);
+        // Fill both queues with packets for the opposite router.
+        for r in 0..2usize {
+            for _ in 0..2 {
+                s.routers[r].budget -= 1;
+                s.routers[r].queue.push(((r + 1) % 2) as Packet);
+            }
+        }
+        assert!(!s.head_can_move(&cfg, 0) && !s.head_can_move(&cfg, 1));
+        assert!(s.is_deadlocked(&cfg));
+
+        // Tick both watchdogs to the threshold.
+        for _ in 0..cfg.threshold {
+            let (t, next) = s
+                .successors(&cfg)
+                .into_iter()
+                .find(|(t, _)| *t == Transition::TickAll)
+                .expect("tick enabled");
+            assert_eq!(t, Transition::TickAll);
+            s = next;
+        }
+        // Expire router 0's watchdog, serve, deliver, pop.
+        for want in [
+            Transition::WatchdogExpire(0),
+            Transition::ServeReq,
+            Transition::DeliverAck,
+            Transition::Pop(0),
+        ] {
+            s = s
+                .successors(&cfg)
+                .into_iter()
+                .find(|(t, _)| *t == want)
+                .unwrap_or_else(|| panic!("{} must be enabled", want.label()))
+                .1;
+        }
+        // The pop freed a slot in router 0's queue: router 1 can now hop.
+        assert!(s.head_can_move(&cfg, 1));
+        assert!(!s.is_deadlocked(&cfg));
+        assert!(s.circuits.contains(&1), "ack recorded the circuit");
+    }
+
+    #[test]
+    fn drained_and_deadlocked_are_disjoint() {
+        let cfg = cfg();
+        let s = State::initial(&cfg);
+        assert!(s.is_drained());
+        assert!(!s.is_deadlocked(&cfg));
+    }
+
+    #[test]
+    fn never_expire_mutation_disables_detection() {
+        let mut cfg = cfg();
+        cfg.mutation = Some(Mutation::NeverExpireWatchdog);
+        let mut s = State::initial(&cfg);
+        for r in 0..2usize {
+            s.routers[r].queue = vec![((r + 1) % 2) as Packet; 2];
+            s.routers[r].budget = 0;
+            s.routers[r].counter = cfg.threshold;
+        }
+        assert!(s
+            .successors(&cfg)
+            .iter()
+            .all(|(t, _)| !matches!(t, Transition::WatchdogExpire(_))));
+    }
+
+    #[test]
+    fn circuit_table_evicts_oldest_when_full() {
+        let mut cfg = ModelCfg::flagship(4);
+        cfg.circuit_cap = 2;
+        let mut s = State::initial(&cfg);
+        s.record_circuit(&cfg, 0);
+        s.record_circuit(&cfg, 1);
+        s.record_circuit(&cfg, 2);
+        assert_eq!(s.circuits, vec![1, 2], "oldest entry evicted");
+        s.record_circuit(&cfg, 1);
+        assert_eq!(s.circuits, vec![2, 1], "re-insert refreshes recency");
+    }
+
+    #[test]
+    fn mutation_labels_round_trip() {
+        for m in Mutation::ALL {
+            assert_eq!(Mutation::parse(m.label()), Some(m));
+        }
+        assert_eq!(Mutation::parse("bogus"), None);
+    }
+}

@@ -1,0 +1,135 @@
+//! End-to-end smoke tests for the `upp-check` binary: exploration,
+//! verdict reporting, exit codes, artifact emission, DOT dumps, and the
+//! replay subcommand driving the full concrete simulator.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn upp_check() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_upp-check"))
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("upp-check-cli-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir.join(name)
+}
+
+#[test]
+fn flagship_explore_verifies_both_properties() {
+    let out = upp_check()
+        .args([
+            "explore",
+            "--routers",
+            "2",
+            "--queue-depth",
+            "2",
+            "--bound",
+            "2",
+            "--stats",
+        ])
+        .output()
+        .expect("runs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "exit: {:?}\n{stdout}", out.status);
+    assert!(stdout.contains("P1 bounded recovery: HOLDS"), "{stdout}");
+    assert!(stdout.contains("P2 no popup livelock: HOLDS"), "{stdout}");
+    assert!(stdout.contains("dedup ratio"), "{stdout}");
+    assert!(stdout.contains("channel-bound clips  0"), "{stdout}");
+}
+
+#[test]
+fn mutation_explore_exits_3_with_counterexample() {
+    let out = upp_check()
+        .args([
+            "explore",
+            "--routers",
+            "2",
+            "--queue-depth",
+            "2",
+            "--bound",
+            "2",
+            "--mutation",
+            "drop-absorber",
+        ])
+        .output()
+        .expect("runs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(3), "{stdout}");
+    assert!(stdout.contains("VIOLATED"), "{stdout}");
+    assert!(stdout.contains("counterexample ("), "{stdout}");
+}
+
+#[test]
+fn dot_dump_is_valid_digraph() {
+    let dot_path = tmp("graph.dot");
+    let out = upp_check()
+        .args([
+            "explore",
+            "--routers",
+            "2",
+            "--queue-depth",
+            "1",
+            "--bound",
+            "1",
+        ])
+        .arg("--dot")
+        .arg(&dot_path)
+        .output()
+        .expect("runs");
+    assert!(out.status.success());
+    let dot = std::fs::read_to_string(&dot_path).expect("dot written");
+    assert!(dot.starts_with("digraph upp_check {"));
+    assert!(dot.trim_end().ends_with('}'));
+    assert!(dot.contains("->"), "graph has edges");
+}
+
+#[test]
+fn emitted_artifact_replays_end_to_end() {
+    let artifact_path = tmp("never_expire.json");
+    let out = upp_check()
+        .args([
+            "explore",
+            "--routers",
+            "2",
+            "--queue-depth",
+            "2",
+            "--bound",
+            "2",
+            "--mutation",
+            "never-expire-watchdog",
+        ])
+        .arg("--artifact")
+        .arg(&artifact_path)
+        .output()
+        .expect("runs");
+    assert_eq!(out.status.code(), Some(3));
+
+    let out = upp_check()
+        .arg("replay")
+        .arg(&artifact_path)
+        .output()
+        .expect("runs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "replay must confirm the prediction: {stdout}"
+    );
+    assert!(
+        stdout.contains("confirms the abstract prediction"),
+        "{stdout}"
+    );
+}
+
+#[test]
+fn bad_usage_exits_2() {
+    for bad in [
+        vec!["explore", "--routers", "seven"],
+        vec!["explore", "--mutation", "make-it-worse"],
+        vec!["replay"],
+        vec!["frobnicate"],
+    ] {
+        let out = upp_check().args(&bad).output().expect("runs");
+        assert_eq!(out.status.code(), Some(2), "args {bad:?}");
+    }
+}

@@ -1,0 +1,173 @@
+//! Property tests over the explorer's canonicalization and reduction
+//! machinery — the parts that, if wrong, would silently corrupt an
+//! "exhaustive" verdict.
+//!
+//! States are generated as random walks through the real transition
+//! system (never synthesized field-by-field), so every tested state is
+//! reachable and well-formed by construction.
+
+use proptest::prelude::*;
+
+use upp_check::explore::{canonicalize, encode, explore, rotate};
+use upp_check::model::{ModelCfg, Mutation, State};
+use upp_check::props::{check_bounded_recovery, check_no_livelock};
+
+/// A small model configuration: 2 routers with varied knobs, or a pinned
+/// cheap 3-router shape (kept tiny so the unreduced comparison runs stay
+/// affordable).
+fn small_cfg() -> impl Strategy<Value = ModelCfg> {
+    (
+        1u8..3, // queue_depth
+        1u8..3, // bound
+        1u8..3, // threshold
+        prop_oneof![
+            Just(None),
+            Just(Some(Mutation::NeverExpireWatchdog)),
+            Just(Some(Mutation::SkipCircuitInsert)),
+            Just(Some(Mutation::DropAbsorber)),
+            Just(Some(Mutation::BounceAck)),
+        ],
+        proptest::bool::ANY, // 3-router variant?
+    )
+        .prop_map(|(depth, bound, threshold, mutation, three)| {
+            let mut cfg = ModelCfg::flagship(if three { 3 } else { 2 });
+            if three {
+                // Keep the 3-router space small: the unreduced twin of
+                // every case below must stay cheap.
+                cfg.bound = 1;
+                cfg.queue_depth = depth.min(2);
+            } else {
+                cfg.queue_depth = depth;
+                cfg.bound = bound;
+            }
+            cfg.threshold = threshold;
+            cfg.mutation = mutation;
+            cfg
+        })
+}
+
+/// Drives a deterministic random walk through the transition system and
+/// returns the final state.
+fn walk(cfg: &ModelCfg, choices: &[u8]) -> State {
+    let mut s = State::initial(cfg);
+    for &c in choices {
+        let succs = s.successors(cfg);
+        if succs.is_empty() {
+            break;
+        }
+        s = succs[c as usize % succs.len()].1.clone();
+    }
+    s
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Canonicalization is idempotent: canonicalizing a canonical
+    /// representative changes nothing.
+    #[test]
+    fn canonicalization_is_idempotent(
+        cfg in small_cfg(),
+        choices in proptest::collection::vec(any::<u8>(), 0..40),
+    ) {
+        let s = walk(&cfg, &choices);
+        let (c1, b1) = canonicalize(&s, cfg.routers, true);
+        let (c2, b2) = canonicalize(&c1, cfg.routers, true);
+        prop_assert_eq!(&c1, &c2);
+        prop_assert_eq!(&b1, &b2);
+        prop_assert_eq!(&encode(&c1), &b1);
+    }
+
+    /// Every rotation of a state canonicalizes to the same representative
+    /// — the whole point of the orbit reduction.
+    #[test]
+    fn all_rotations_share_one_canonical_form(
+        cfg in small_cfg(),
+        choices in proptest::collection::vec(any::<u8>(), 0..40),
+    ) {
+        let s = walk(&cfg, &choices);
+        let (_, base) = canonicalize(&s, cfg.routers, true);
+        for k in 1..cfg.routers {
+            let (_, rotated) = canonicalize(&rotate(&s, k, cfg.routers), cfg.routers, true);
+            prop_assert_eq!(&rotated, &base, "rotation k={} diverged", k);
+        }
+    }
+
+    /// The byte encoding is injective along a walk: distinct states never
+    /// share an encoding (and equal states always do — it is a function).
+    #[test]
+    fn encoding_separates_distinct_walk_states(
+        cfg in small_cfg(),
+        choices in proptest::collection::vec(any::<u8>(), 0..30),
+    ) {
+        let mut s = State::initial(&cfg);
+        let mut seen: Vec<(State, Vec<u8>)> = vec![(s.clone(), encode(&s))];
+        for &c in &choices {
+            let succs = s.successors(&cfg);
+            if succs.is_empty() {
+                break;
+            }
+            s = succs[c as usize % succs.len()].1.clone();
+            let bytes = encode(&s);
+            for (other, other_bytes) in &seen {
+                prop_assert_eq!(&s == other, &bytes == other_bytes);
+            }
+            seen.push((s.clone(), bytes));
+        }
+    }
+
+    /// Symmetry reduction must not change any verdict: the reduced and
+    /// unreduced explorations agree on both properties and on whether
+    /// deadlock/drain are reachable.
+    #[test]
+    fn reduced_and_unreduced_explorations_agree(cfg in small_cfg()) {
+        let full = explore(&cfg, false, 2_000_000).expect("explores");
+        let reduced = explore(&cfg, true, 2_000_000).expect("explores");
+        prop_assert!(reduced.stats.states <= full.stats.states);
+        prop_assert_eq!(
+            check_bounded_recovery(&reduced).is_ok(),
+            check_bounded_recovery(&full).is_ok(),
+            "P1 verdict must survive symmetry reduction ({})",
+            cfg.describe()
+        );
+        prop_assert_eq!(
+            check_no_livelock(&reduced).is_ok(),
+            check_no_livelock(&full).is_ok(),
+            "P2 verdict must survive symmetry reduction ({})",
+            cfg.describe()
+        );
+        prop_assert_eq!(
+            reduced.stats.deadlock_states > 0,
+            full.stats.deadlock_states > 0
+        );
+        prop_assert_eq!(
+            reduced.stats.drained_states > 0,
+            full.stats.drained_states > 0
+        );
+    }
+}
+
+/// Exact no-collision audit over the *entire* flagship 2-router reachable
+/// set, with and without reduction: every stored state has a unique byte
+/// encoding, and the 64-bit fingerprints never collided either (so even a
+/// lossy hash-only frontier would have explored the same space).
+#[test]
+fn no_hash_collisions_across_full_two_router_space() {
+    for symmetry in [false, true] {
+        let cfg = ModelCfg::flagship(2);
+        let ex = explore(&cfg, symmetry, 2_000_000).expect("explores");
+        let mut encodings = std::collections::HashSet::new();
+        let mut fingerprints = std::collections::HashSet::new();
+        for s in &ex.states {
+            let bytes = encode(s);
+            assert!(
+                fingerprints.insert(upp_check::explore::fnv1a64(&bytes)),
+                "fingerprint collision in the {} space",
+                if symmetry { "reduced" } else { "full" }
+            );
+            assert!(encodings.insert(bytes), "duplicate stored state");
+        }
+        assert_eq!(ex.stats.fingerprint_collisions, 0);
+        assert_eq!(encodings.len(), ex.stats.states);
+    }
+}

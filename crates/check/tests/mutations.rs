@@ -1,0 +1,101 @@
+//! Mutation-style negative tests: each deliberately broken protocol
+//! variant must be *convicted* by exploration. A model checker that
+//! cannot see a removed obligation fail is vacuous — these tests are the
+//! checker's own acceptance gate.
+
+use upp_check::explore::explore;
+use upp_check::model::{ModelCfg, Mutation, Transition};
+use upp_check::props::{check_bounded_recovery, check_no_livelock};
+use upp_check::{livelock_artifact, recovery_artifact};
+
+fn explored(mutation: Option<Mutation>) -> upp_check::Exploration {
+    let mut cfg = ModelCfg::flagship(2);
+    cfg.mutation = mutation;
+    explore(&cfg, true, 2_000_000).expect("flagship config explores")
+}
+
+/// With the watchdog disabled, deadlocks are never detected: the cyclic
+/// full-queue configuration is reachable and can never drain.
+#[test]
+fn never_expire_watchdog_breaks_bounded_recovery() {
+    let ex = explored(Some(Mutation::NeverExpireWatchdog));
+    let v = check_bounded_recovery(&ex).expect_err("must be convicted");
+    assert!(v.count > 0);
+    // The convicting state is a genuine deadlock and the trace reaches it.
+    let witness = &ex.states[v.state as usize];
+    assert!(witness.is_deadlocked(&ex.cfg));
+    let artifact = recovery_artifact(&ex, &v);
+    assert!(!artifact.steps.is_empty(), "counterexample has a trace");
+    assert_eq!(artifact.mutation.as_deref(), Some("never-expire-watchdog"));
+}
+
+/// With circuit establishment skipped, the ack arrives but the pop has no
+/// bypass path: the popup wedges in `PopInterposer` forever.
+#[test]
+fn skip_circuit_insert_breaks_bounded_recovery() {
+    let ex = explored(Some(Mutation::SkipCircuitInsert));
+    let v = check_bounded_recovery(&ex).expect_err("must be convicted");
+    assert!(v.count > 0);
+    let artifact = recovery_artifact(&ex, &v);
+    assert_eq!(artifact.scenario.scheme, "none");
+}
+
+/// With the absorber gone, the reserved ejection entry can never accept
+/// the popped packet: recovery stalls with the popup permanently active.
+#[test]
+fn drop_absorber_breaks_bounded_recovery() {
+    let ex = explored(Some(Mutation::DropAbsorber));
+    let v = check_bounded_recovery(&ex).expect_err("must be convicted");
+    assert!(v.count > 0);
+}
+
+/// The bounced-ack handshake spins `req -> ack -> req` without ever
+/// popping: a genuine popup livelock, convicted by the SCC check with an
+/// actual cycle whose states all have popup machinery active.
+#[test]
+fn bounce_ack_is_convicted_as_livelock() {
+    let ex = explored(Some(Mutation::BounceAck));
+    let v = check_no_livelock(&ex).expect_err("must be convicted");
+    assert!(!v.cycle.is_empty());
+    for &(t, id) in &v.cycle {
+        assert!(!t.is_progress(), "livelock cycles carry no progress");
+        assert!(
+            ex.states[id as usize].popup_in_flight(),
+            "livelock states have popup machinery active"
+        );
+    }
+    // The cycle is pure signal churn: serve/deliver alternation.
+    assert!(v
+        .cycle
+        .iter()
+        .all(|(t, _)| matches!(t, Transition::ServeReq | Transition::DeliverAck)));
+    let artifact = livelock_artifact(&ex, &v);
+    assert_eq!(artifact.property, "no-livelock");
+    assert!(artifact.steps.len() > v.cycle.len());
+}
+
+/// The honest model is clean — the conviction power shown above is not an
+/// artifact of an over-strict checker.
+#[test]
+fn honest_protocol_is_not_convicted() {
+    let ex = explored(None);
+    let proof = check_bounded_recovery(&ex).expect("recovery holds");
+    assert!(proof.deadlock_states > 0, "the proof must cover deadlocks");
+    check_no_livelock(&ex).expect("no livelock");
+}
+
+/// Every mutation strictly changes the reachable behaviour relative to
+/// the honest model — no mutation is a no-op.
+#[test]
+fn every_mutation_changes_the_state_space() {
+    let honest = explored(None).stats.states;
+    for m in Mutation::ALL {
+        let mutated = explored(Some(m)).stats.states;
+        assert_ne!(
+            mutated,
+            honest,
+            "{} must alter the reachable space",
+            m.label()
+        );
+    }
+}

@@ -1,0 +1,133 @@
+//! Cross-validation: abstract verdicts must survive contact with the
+//! concrete simulator.
+//!
+//! Every `upp-check` artifact embeds a concrete scenario and a predicted
+//! outcome class; `upp-verify`'s bridge replays the scenario end to end
+//! under the scheme-independent oracle. These tests replay both the
+//! committed fixtures (guarding against silent drift in either the model
+//! or the simulator) and freshly emitted artifacts (guarding the
+//! generation path itself), and pin the fixtures byte-for-byte to what
+//! the current generator emits.
+
+use upp_check::explore::explore;
+use upp_check::model::{ModelCfg, Mutation};
+use upp_check::props::{check_bounded_recovery, check_no_livelock};
+use upp_check::{clean_artifact, livelock_artifact, recovery_artifact};
+use upp_verify::bridge::{replay_artifact, CheckArtifact, ExpectedOutcome};
+
+fn fixture(name: &str) -> String {
+    let path = format!("{}/tests/fixtures/{name}", env!("CARGO_MANIFEST_DIR"));
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("fixture {path}: {e}"))
+}
+
+/// The committed clean-verdict fixture replays through the full simulator
+/// and drains under UPP, as the abstract proof predicted.
+#[test]
+fn committed_clean_fixture_replays_and_recovers() {
+    let artifact = CheckArtifact::from_json(&fixture("clean_flagship.json")).expect("parses");
+    assert_eq!(artifact.expected, ExpectedOutcome::Recovers);
+    assert_eq!(artifact.scenario.scheme, "UPP");
+    let report = replay_artifact(&artifact);
+    assert!(
+        report.confirmed,
+        "clean verdict contradicted concretely: {}",
+        report.summary()
+    );
+}
+
+/// The committed watchdog-disabled fixture replays and wedges — the
+/// oracle convicts a persistent circular wait, not a mere timeout.
+#[test]
+fn committed_never_expire_fixture_replays_and_wedges() {
+    let artifact =
+        CheckArtifact::from_json(&fixture("never_expire_watchdog.json")).expect("parses");
+    assert_eq!(artifact.expected, ExpectedOutcome::Wedges);
+    assert_eq!(artifact.scenario.scheme, "UPP@t=1000000");
+    let report = replay_artifact(&artifact);
+    assert!(
+        report.confirmed,
+        "wedge prediction contradicted concretely: {}",
+        report.summary()
+    );
+    assert!(
+        matches!(
+            report.report.verdict,
+            upp_verify::Verdict::OracleViolation(_)
+        ),
+        "expected an oracle conviction, got {:?}",
+        report.report.verdict
+    );
+}
+
+/// The committed fixtures are exactly what the current generator emits —
+/// neither the model, the trace rendering, nor the embedded scenario has
+/// drifted since they were committed.
+#[test]
+fn fixtures_match_current_generator_output() {
+    let clean = {
+        let cfg = ModelCfg::flagship(2);
+        let ex = explore(&cfg, true, 2_000_000).expect("explores");
+        check_bounded_recovery(&ex).expect("clean");
+        check_no_livelock(&ex).expect("clean");
+        clean_artifact(&ex)
+    };
+    assert_eq!(clean.to_json(), fixture("clean_flagship.json"));
+
+    let convicted = {
+        let mut cfg = ModelCfg::flagship(2);
+        cfg.mutation = Some(Mutation::NeverExpireWatchdog);
+        let ex = explore(&cfg, true, 2_000_000).expect("explores");
+        let v = check_bounded_recovery(&ex).expect_err("convicted");
+        recovery_artifact(&ex, &v)
+    };
+    assert_eq!(convicted.to_json(), fixture("never_expire_watchdog.json"));
+}
+
+/// A freshly emitted weakened-variant artifact (circuit insertion
+/// skipped, concretized to the recovery-free scheme) replays and wedges.
+#[test]
+fn fresh_skip_circuit_artifact_replays_and_wedges() {
+    let mut cfg = ModelCfg::flagship(2);
+    cfg.mutation = Some(Mutation::SkipCircuitInsert);
+    let ex = explore(&cfg, true, 2_000_000).expect("explores");
+    let v = check_bounded_recovery(&ex).expect_err("convicted");
+    let artifact = recovery_artifact(&ex, &v);
+    assert_eq!(artifact.scenario.scheme, "none");
+
+    // Round-trip through JSON first: the replayed artifact is the wire
+    // form, exactly what a bug report would carry.
+    let artifact = CheckArtifact::from_json(&artifact.to_json()).expect("round-trips");
+    let report = replay_artifact(&artifact);
+    assert!(report.confirmed, "{}", report.summary());
+}
+
+/// The livelock counterexample's artifact also carries a replayable
+/// wedge prediction, and its trace ends in the cycle.
+#[test]
+fn fresh_bounce_ack_livelock_artifact_is_well_formed_and_replays() {
+    let mut cfg = ModelCfg::flagship(2);
+    cfg.mutation = Some(Mutation::BounceAck);
+    let ex = explore(&cfg, true, 2_000_000).expect("explores");
+    let v = check_no_livelock(&ex).expect_err("convicted");
+    let artifact = livelock_artifact(&ex, &v);
+    assert_eq!(artifact.property, "no-livelock");
+    assert!(artifact.steps.len() > v.cycle.len());
+
+    let artifact = CheckArtifact::from_json(&artifact.to_json()).expect("round-trips");
+    let report = replay_artifact(&artifact);
+    assert!(report.confirmed, "{}", report.summary());
+}
+
+/// Negative control for the bridge itself: an artifact that predicts the
+/// *wrong* outcome must be flagged as contradicted, proving the replay
+/// check has teeth.
+#[test]
+fn bridge_flags_a_wrong_prediction() {
+    let mut artifact = CheckArtifact::from_json(&fixture("clean_flagship.json")).expect("parses");
+    artifact.expected = ExpectedOutcome::Wedges;
+    let report = replay_artifact(&artifact);
+    assert!(
+        !report.confirmed,
+        "a wrong prediction must not be confirmed"
+    );
+}

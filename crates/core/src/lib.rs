@@ -14,6 +14,9 @@
 //!   Fig. 4;
 //! * [`detect`] — timeout counters and the round-robin upward-packet
 //!   arbiter of Sec. V-A;
+//! * [`protocol`] — the shared protocol definitions (detection threshold,
+//!   signal gap, stage set and legal stage transitions) consumed by both
+//!   the concrete scheme and the `upp-check` model checker;
 //! * [`scheme`] — the full recovery state machine of Secs. V-B/V-C,
 //!   including wormhole partial-transmission handling (Sec. V-B3), false-
 //!   positive stops, and the serialised signal units of Sec. V-B5.
@@ -54,8 +57,10 @@
 #![warn(rust_2018_idioms)]
 
 pub mod detect;
+pub mod protocol;
 pub mod scheme;
 pub mod signal;
 
+pub use protocol::PopupStage;
 pub use scheme::{Upp, UppConfig, UppStats, UppStatsHandle};
 pub use signal::{SignalCodecError, UppSignal};

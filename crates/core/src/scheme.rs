@@ -11,6 +11,7 @@
 //! an `UPP_stop` recycles the reservation and the late ack is dropped.
 
 use crate::detect::{up_sent_recently, UppCounter, UpwardArbiter};
+use crate::protocol::{self, PopupStage};
 use crate::signal::UppSignal;
 use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, VecDeque};
@@ -40,7 +41,7 @@ pub struct UppConfig {
 impl Default for UppConfig {
     fn default() -> Self {
         Self {
-            threshold: 20,
+            threshold: protocol::DEFAULT_DETECTION_THRESHOLD,
             signal_gap: None,
             serialize_per_chiplet: false,
         }
@@ -147,6 +148,20 @@ enum Stage {
         acked_at: Cycle,
         located_at: Cycle,
     },
+}
+
+impl Stage {
+    /// The shared-protocol stage this concrete (payload-carrying) stage
+    /// corresponds to.
+    fn kind(&self) -> PopupStage {
+        match self {
+            Stage::Idle => PopupStage::Idle,
+            Stage::WaitAck { .. } => PopupStage::WaitAck,
+            Stage::PopInterposer { .. } => PopupStage::PopInterposer,
+            Stage::LocateHead { .. } => PopupStage::LocateHead,
+            Stage::PopChiplet { .. } => PopupStage::PopChiplet,
+        }
+    }
 }
 
 struct VnetState {
@@ -295,7 +310,7 @@ impl Upp {
         self.gap = self
             .cfg
             .signal_gap
-            .unwrap_or(net.cfg().data_packet_flits as u64 + 1);
+            .unwrap_or_else(|| protocol::default_signal_gap(net.cfg().data_packet_flits));
         let num_vnets = net.cfg().num_vnets;
         for &ir in net.topo().interposer_routers() {
             let Some(above) = net.topo().above(ir) else {
@@ -408,15 +423,21 @@ impl Upp {
     }
 
     /// Records a popup stage transition in the network's tracer, when one
-    /// is attached and enabled.
+    /// is attached and enabled. Debug builds assert the transition is legal
+    /// per the shared protocol relation — the same relation the `upp-check`
+    /// model checker explores.
     fn trace_stage(
         net: &mut Network,
         node: NodeId,
         vnet: VnetId,
         packet: Option<PacketId>,
-        from: &'static str,
-        to: &'static str,
+        from: PopupStage,
+        to: PopupStage,
     ) {
+        debug_assert!(
+            from.can_transition_to(to),
+            "illegal popup stage transition {from} -> {to}"
+        );
         if net.tracer().enabled() {
             let at = net.cycle();
             net.tracer_mut().record(TraceEvent::PopupStage {
@@ -424,8 +445,8 @@ impl Upp {
                 node,
                 vnet,
                 packet,
-                from,
-                to,
+                from: from.name(),
+                to: to.name(),
             });
         }
     }
@@ -443,7 +464,7 @@ impl Upp {
         acked_at: Cycle,
         located_at: Cycle,
         now: Cycle,
-        from_stage: &'static str,
+        from_stage: PopupStage,
     ) {
         let wait_ack = acked_at.saturating_sub(selected_at);
         let locate = located_at.saturating_sub(acked_at);
@@ -469,8 +490,8 @@ impl Upp {
                 node,
                 vnet,
                 packet: Some(packet),
-                from: from_stage,
-                to: "Idle",
+                from: from_stage.name(),
+                to: PopupStage::Idle.name(),
             });
             net.tracer_mut().record(TraceEvent::PopupSpan {
                 node,
@@ -535,7 +556,7 @@ impl Upp {
         self.up_nodes.iter().any(|&other| {
             other != node
                 && self.routers.get(&other).is_some_and(|r| {
-                    r.chiplet == chiplet && !matches!(r.vnets[vnet.index()].stage, Stage::Idle)
+                    r.chiplet == chiplet && !r.vnets[vnet.index()].stage.kind().is_idle()
                 })
         })
     }
@@ -675,7 +696,14 @@ impl Upp {
                     if let Some(o) = &self.obs {
                         net.obs_mut().inc(o.enter_locate_head);
                     }
-                    Self::trace_stage(net, node, vnet, Some(cand.packet), "WaitAck", "LocateHead");
+                    Self::trace_stage(
+                        net,
+                        node,
+                        vnet,
+                        Some(cand.packet),
+                        PopupStage::WaitAck,
+                        PopupStage::LocateHead,
+                    );
                 } else {
                     vs.stage = Stage::PopInterposer {
                         cand,
@@ -693,8 +721,8 @@ impl Upp {
                         node,
                         vnet,
                         Some(cand.packet),
-                        "WaitAck",
-                        "PopInterposer",
+                        PopupStage::WaitAck,
+                        PopupStage::PopInterposer,
                     );
                 }
             }
@@ -706,7 +734,14 @@ impl Upp {
                     .push_back(Self::make_stop(net, node, cand.dest, vnet));
                 self.stats.lock().unwrap().stops_sent += 1;
                 vs.stage = Stage::Idle;
-                Self::trace_stage(net, node, vnet, Some(cand.packet), "WaitAck", "Idle");
+                Self::trace_stage(
+                    net,
+                    node,
+                    vnet,
+                    Some(cand.packet),
+                    PopupStage::WaitAck,
+                    PopupStage::Idle,
+                );
             }
         }
     }
@@ -743,7 +778,14 @@ impl Upp {
                     let mut s = self.stats.lock().unwrap();
                     s.stops_sent += 1;
                     drop(s);
-                    Self::trace_stage(net, node, vnet, Some(cand.packet), "WaitAck", "Idle");
+                    Self::trace_stage(
+                        net,
+                        node,
+                        vnet,
+                        Some(cand.packet),
+                        PopupStage::WaitAck,
+                        PopupStage::Idle,
+                    );
                 }
             }
             Stage::PopInterposer {
@@ -768,7 +810,7 @@ impl Upp {
                                 acked_at,
                                 acked_at,
                                 now,
-                                "PopInterposer",
+                                PopupStage::PopInterposer,
                             );
                         }
                     }
@@ -798,8 +840,8 @@ impl Upp {
                             node,
                             vnet,
                             Some(cand.packet),
-                            "LocateHead",
-                            "PopInterposer",
+                            PopupStage::LocateHead,
+                            PopupStage::PopInterposer,
                         );
                     }
                     Some((r_star, in_port, vc_flat)) => {
@@ -826,8 +868,8 @@ impl Upp {
                             node,
                             vnet,
                             Some(cand.packet),
-                            "LocateHead",
-                            "PopChiplet",
+                            PopupStage::LocateHead,
+                            PopupStage::PopChiplet,
                         );
                     }
                     None => {
@@ -844,8 +886,8 @@ impl Upp {
                                 node,
                                 vnet,
                                 Some(cand.packet),
-                                "LocateHead",
-                                "Idle",
+                                PopupStage::LocateHead,
+                                PopupStage::Idle,
                             );
                         }
                         // Otherwise the head flit is on a link; retry next
@@ -893,7 +935,7 @@ impl Upp {
                                 acked_at,
                                 located_at,
                                 now,
-                                "PopChiplet",
+                                PopupStage::PopChiplet,
                             );
                         }
                     }
@@ -903,10 +945,10 @@ impl Upp {
     }
 
     fn detect(&mut self, net: &mut Network, node: NodeId, vnet: VnetId, now: Cycle) {
-        let stage_idle = matches!(
-            self.routers.get(&node).expect("router state exists").vnets[vnet.index()].stage,
-            Stage::Idle
-        );
+        let stage_idle = self.routers.get(&node).expect("router state exists").vnets[vnet.index()]
+            .stage
+            .kind()
+            .is_idle();
         let candidates = net.upward_candidates(node, vnet);
         let recent = up_sent_recently(net.up_last_sent(node, vnet), now);
         let st = self.routers.get_mut(&node).expect("router state exists");
@@ -944,7 +986,14 @@ impl Upp {
         let req = Self::make_req(net, node, &cand);
         let st = self.routers.get_mut(&node).expect("router state exists");
         st.signal_q.push_back(req);
-        Self::trace_stage(net, node, vnet, Some(cand.packet), "Idle", "WaitAck");
+        Self::trace_stage(
+            net,
+            node,
+            vnet,
+            Some(cand.packet),
+            PopupStage::Idle,
+            PopupStage::WaitAck,
+        );
         let mut s = self.stats.lock().unwrap();
         s.upward_packets += 1;
         s.reqs_sent += 1;
@@ -993,7 +1042,7 @@ impl Scheme for Upp {
         for st in self.routers.values() {
             signals += st.signal_q.len() as u64;
             for vs in &st.vnets {
-                if !matches!(vs.stage, Stage::Idle) {
+                if !vs.stage.kind().is_idle() {
                     active += 1;
                 }
                 // Distribution of live watchdog values: how close the
@@ -1023,7 +1072,7 @@ impl Scheme for Upp {
             return false;
         }
         if self.routers.values().any(|st| {
-            !st.signal_q.is_empty() || st.vnets.iter().any(|vs| !matches!(vs.stage, Stage::Idle))
+            !st.signal_q.is_empty() || st.vnets.iter().any(|vs| !vs.stage.kind().is_idle())
         }) {
             return false;
         }

@@ -20,19 +20,27 @@
 //!   multiset of accepted sends) plus conservation (nothing in flight at
 //!   drain), and differentially compares schemes against each other;
 //! * [`shrink`] — delta-debugging reduction of a failing scenario to a
-//!   minimal replayable repro.
+//!   minimal replayable repro;
+//! * [`bridge`] — replays `upp-check` model-checker counterexample
+//!   artifacts through the concrete simulator and cross-validates the
+//!   abstract verdict against the concrete outcome.
 //!
 //! The `verify` binary drives seeded randomized campaigns over all of the
 //! above; see `verify --help`.
 
 #![warn(missing_docs)]
 
+pub mod bridge;
 pub mod harness;
 pub mod oracle;
 pub mod scenario;
 pub mod shrink;
 pub mod traffic;
 
+pub use bridge::{
+    classify, replay_artifact, AbstractStep, BridgeReport, CheckArtifact, ExpectedOutcome,
+    CHECK_ARTIFACT_VERSION,
+};
 pub use harness::{
     oracle_for, run_differential, run_scenario, run_scenario_with, DiffReport, RunReport, Verdict,
 };

@@ -140,17 +140,32 @@ pub fn random_scenario(p: &CampaignParams, seed: u64) -> Result<Scenario, String
 
 /// Resolves a scheme label to its kind.
 ///
+/// Beyond the plain labels, `UPP@t=<cycles>` selects UPP with a custom
+/// detection threshold (Fig. 13's sweep axis). The `upp-check` bridge uses
+/// a huge threshold to concretize its "watchdog never expires" mutation —
+/// the machinery is all present but detection cannot fire within the run's
+/// cycle bound.
+///
 /// # Errors
 ///
 /// Returns `Err` for unknown labels.
 pub fn scheme_kind(label: &str) -> Result<SchemeKind, String> {
+    if let Some(t) = label.strip_prefix("UPP@t=") {
+        let threshold: u64 = t
+            .parse()
+            .map_err(|e| format!("bad UPP threshold {t:?}: {e}"))?;
+        if threshold == 0 {
+            return Err("UPP threshold must be >= 1".into());
+        }
+        return Ok(SchemeKind::Upp(UppConfig::with_threshold(threshold)));
+    }
     match label {
         "none" => Ok(SchemeKind::None),
         "UPP" => Ok(SchemeKind::Upp(UppConfig::default())),
         "composable" => Ok(SchemeKind::Composable),
         "remote-control" => Ok(SchemeKind::RemoteControl),
         other => Err(format!(
-            "unknown scheme {other:?} (want none|UPP|composable|remote-control)"
+            "unknown scheme {other:?} (want none|UPP|UPP@t=<cycles>|composable|remote-control)"
         )),
     }
 }
