@@ -53,6 +53,7 @@ struct Args {
     sweep: Option<Vec<f64>>,
     journal: Option<String>,
     resume: bool,
+    shards: usize,
 }
 
 fn usage() -> ! {
@@ -100,6 +101,10 @@ fn usage() -> ! {
          --jobs N                            sweep worker threads (default: all\n\
                                              hardware threads; results identical\n\
                                              for every N)\n\
+         --shards N                          spatial shards of the cycle kernel\n\
+                                             (default 1 = serial; clamped to the\n\
+                                             chiplet count; results identical\n\
+                                             for every N)\n\
          --journal FILE                      stream finished sweep points to a\n\
                                              JSONL journal (sweep mode only)\n\
          --resume                            reopen the journal and skip points\n\
@@ -138,6 +143,7 @@ fn parse() -> Args {
         sweep: None,
         journal: None,
         resume: false,
+        shards: 1,
     };
     let mut scheme_name = "upp".to_string();
     let mut it = std::env::args().skip(1);
@@ -233,6 +239,13 @@ fn parse() -> Args {
                 }
                 upp_bench::sweep::set_default_jobs(n);
             }
+            "--shards" => {
+                let n: usize = val().parse().unwrap_or_else(|_| usage());
+                if n == 0 {
+                    usage();
+                }
+                a.shards = n;
+            }
             "--journal" => a.journal = Some(val()),
             "--resume" => a.resume = true,
             "--help" | "-h" => usage(),
@@ -265,7 +278,7 @@ fn run_sweep(args: &Args, rates: &[f64]) {
     // resumed journal from a different --system would silently serve stale
     // points.
     let fingerprint = upp_bench::sweep::config_fingerprint(&format!(
-        "simulate|{:?}|{:?}|{}|vcs{}|f{}|w{}+{}|s{}",
+        "simulate|{:?}|{:?}|{}|vcs{}|f{}|w{}+{}|s{}|sh{}",
         args.system,
         args.scheme,
         args.pattern.label(),
@@ -273,7 +286,8 @@ fn run_sweep(args: &Args, rates: &[f64]) {
         args.faults,
         windows.warmup,
         windows.measure,
-        args.seed
+        args.seed,
+        args.shards
     ));
     let journal_path = args.journal.as_ref().map(std::path::PathBuf::from);
     match upp_bench::sweep::configure_journal(journal_path, args.resume, Some(&fingerprint)) {
@@ -351,6 +365,9 @@ fn main() {
         eprintln!("--obs-out needs --obs-every N");
         exit(2);
     }
+    // The sharded kernel is applied to every network the run builds (the
+    // single simulation here, or each sweep point's system in the workers).
+    upp_noc::shard::set_default_shards(args.shards);
     if let Some(rates) = args.sweep.clone() {
         run_sweep(&args, &rates);
         return;

@@ -554,6 +554,15 @@ mod tests {
         let fp_a = config_fingerprint("scheme=upp seed=1");
         let fp_b = config_fingerprint("scheme=none seed=1");
         assert_ne!(fp_a, fp_b);
+        // The shard count is part of simulate's fingerprint input: a
+        // journal recorded serially must not be resumable by a sharded
+        // sweep (or vice versa) without the mismatch being detected —
+        // results are defined to be identical, but a fingerprint that
+        // ignored a config knob would also mask genuine divergence.
+        assert_ne!(
+            config_fingerprint("scheme=upp seed=1|sh1"),
+            config_fingerprint("scheme=upp seed=1|sh4")
+        );
 
         // Record one point under config A.
         {

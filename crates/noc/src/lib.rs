@@ -65,6 +65,7 @@ pub mod profile;
 pub mod router;
 pub mod routing;
 pub mod scheme;
+pub mod shard;
 pub mod sim;
 pub mod stats;
 pub mod topology;

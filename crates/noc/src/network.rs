@@ -134,6 +134,9 @@ pub struct Network {
     /// Router steps actually executed (the numerator of
     /// [`Network::active_router_fraction`]).
     router_ticks: u64,
+    /// Sharded parallel kernel state ([`Network::set_shards`]); `None`
+    /// runs the serial kernel.
+    shard_rt: Option<crate::shard::ShardRuntime>,
 }
 
 impl std::fmt::Debug for Network {
@@ -195,7 +198,63 @@ impl Network {
             scheduler_enabled,
             verify_scheduler,
             router_ticks: 0,
+            shard_rt: None,
         }
+    }
+
+    /// Selects the spatially sharded parallel kernel with `shards` worker
+    /// shards (1 restores the serial kernel). The request is clamped to the
+    /// number of chiplets, ignored under `UPP_FORCE_SERIAL=1`, and falls
+    /// back to serial when the topology cannot be partitioned along
+    /// chiplet boundaries; returns the effective shard count.
+    pub fn set_shards(&mut self, shards: usize) -> usize {
+        self.set_shards_with_mailbox_capacity(shards, 0)
+    }
+
+    /// Like [`Network::set_shards`] but with an explicit per-segment
+    /// mailbox capacity (`0` = sized automatically from the partition).
+    /// Exceeding the capacity at runtime is a hard error, not silent
+    /// reordering.
+    pub fn set_shards_with_mailbox_capacity(&mut self, shards: usize, capacity: usize) -> usize {
+        self.shard_rt = None;
+        if shards <= 1 {
+            return 1;
+        }
+        if crate::shard::force_serial() {
+            eprintln!("warning: UPP_FORCE_SERIAL=1 set; ignoring --shards {shards}");
+            return 1;
+        }
+        let chiplets = self.topo.chiplets().len();
+        let effective = shards.min(chiplets.max(1));
+        if effective < shards {
+            eprintln!(
+                "warning: clamping --shards {shards} to {effective} (one shard per chiplet max; \
+                 topology has {chiplets} chiplets)"
+            );
+        }
+        let Some(plan) = crate::shard::ShardPlan::build(&self.topo, effective) else {
+            if effective > 1 {
+                eprintln!(
+                    "warning: topology is not partitionable along chiplet boundaries; \
+                     running the serial kernel"
+                );
+            }
+            return 1;
+        };
+        let capacity = if capacity == 0 {
+            crate::shard::default_mailbox_capacity(&plan)
+        } else {
+            capacity
+        };
+        let rt = crate::shard::ShardRuntime::new(plan, capacity, self.cfg.num_vnets);
+        let effective = rt.plan.shards();
+        self.shard_rt = Some(rt);
+        effective
+    }
+
+    /// The effective shard count (1 = serial kernel).
+    pub fn shards(&self) -> usize {
+        self.shard_rt.as_ref().map_or(1, |rt| rt.plan.shards())
     }
 
     /// Enables or disables the active-set scheduler at runtime. Disabling
@@ -500,6 +559,7 @@ impl Network {
                 tracker,
                 tracer,
                 obs,
+                link_log: None,
             };
             routers[node.index()].pop_bypass_flit(&mut ctx, in_port, vc_flat, out_port)
         };
@@ -700,6 +760,10 @@ impl Network {
     /// Phase 1 of a cycle: delivers everything scheduled to arrive now.
     /// Schemes observe post-arrival state in their `pre_cycle` hook.
     pub fn begin_cycle(&mut self) {
+        if self.shard_rt.is_some() {
+            self.begin_cycle_sharded();
+            return;
+        }
         let mut events = self.calendar.take(self.cycle);
         let Network {
             cfg,
@@ -744,6 +808,7 @@ impl Network {
                         tracker,
                         tracer,
                         obs,
+                        link_log: None,
                     };
                     routers[node.index()].deliver_flit(&mut ctx, in_port, vc_flat, flit);
                 }
@@ -804,6 +869,10 @@ impl Network {
     /// Phase 2 of a cycle: NI injection, router allocation/commit, PE
     /// consumption; then the clock advances.
     pub fn finish_cycle(&mut self) {
+        if self.shard_rt.is_some() {
+            self.finish_cycle_sharded();
+            return;
+        }
         let Network {
             cfg,
             topo,
@@ -902,6 +971,7 @@ impl Network {
                 tracker,
                 tracer,
                 obs,
+                link_log: None,
             };
             routers[i].step(&mut ctx);
             if sched && !routers[i].has_pending_work() {
@@ -926,6 +996,205 @@ impl Network {
         }
         *emit_scratch = emit;
         *cycle += 1;
+    }
+
+    /// Sharded variant of [`Network::begin_cycle`]. A serial pre-pass in
+    /// slot order sets every wake flag and performs the ejections
+    /// (`NiFlitArrive` is the only delivery with global side effects:
+    /// stats, the progress tracker and the trace stream), routing every
+    /// other event to its owning shard; the worker pool then delivers the
+    /// per-shard queues in parallel. Parallel deliveries mutate only their
+    /// target component plus commutative shadow-telemetry counters and
+    /// touch state disjoint from the ejection path (`Ni::accept_flit`
+    /// never shares fields with `Ni::on_credit`/`Ni::deliver_control`,
+    /// and router deliveries never reach the NI), so the reordering is
+    /// unobservable and the outcome byte-identical to the serial kernel.
+    fn begin_cycle_sharded(&mut self) {
+        let mut rt = self.shard_rt.take().expect("sharded dispatch");
+        rt.arm(self.tracer.enabled(), self.obs.is_enabled());
+        let now = self.cycle;
+        let mut events = self.calendar.take(now);
+        let mut any_pending = false;
+        for ev in events.drain(..) {
+            match ev.wake_target() {
+                crate::event::WakeTarget::Router(n) => self.router_active[n.index()] = true,
+                crate::event::WakeTarget::Ni(n) => self.ni_active[n.index()] = true,
+            }
+            match ev {
+                Event::NiFlitArrive { node, flit } => {
+                    self.stats.flits_ejected += 1;
+                    self.tracker.touch(now);
+                    let done = self.nis[node.index()].accept_flit(flit, now, flit.upward);
+                    if let Some(d) = done {
+                        if let Some(rec) = self.tracker.on_ejected(d.pkt.id, now) {
+                            self.stats.record_ejection(&rec, now);
+                            if self.tracer.enabled() {
+                                let injected = rec.injected_at.unwrap_or(rec.created_at);
+                                self.tracer.record(TraceEvent::PacketEjected {
+                                    at: now,
+                                    packet: d.pkt.id,
+                                    node,
+                                    net_latency: now.saturating_sub(injected),
+                                    total_latency: now.saturating_sub(rec.created_at),
+                                });
+                            }
+                        }
+                    }
+                }
+                ev => {
+                    let target = match ev.wake_target() {
+                        crate::event::WakeTarget::Router(n) => n,
+                        crate::event::WakeTarget::Ni(n) => n,
+                    };
+                    rt.scratch[rt.plan.shard_of(target)].pending.push(ev);
+                    any_pending = true;
+                }
+            }
+        }
+        self.calendar.recycle(now, events);
+
+        if any_pending {
+            self.run_sharded_phase(&mut rt, false);
+            for scratch in rt.scratch.iter_mut() {
+                // Deliveries stage no events and record no traces (checked
+                // in debug builds; drained defensively in release so a
+                // future delivery-path emit degrades to wrong-order instead
+                // of silent loss).
+                debug_assert!(
+                    scratch.begin_emit.is_empty(),
+                    "begin-phase delivery emitted an event"
+                );
+                for (at, ev) in scratch.begin_emit.drain(..) {
+                    self.calendar.push(now, at, ev);
+                }
+                for ev in scratch.begin_trace.drain_captured() {
+                    self.tracer.record(ev);
+                }
+                self.stats
+                    .absorb_shard_delta(&mut scratch.stats, &scratch.link_touch);
+                scratch.link_touch.clear();
+                self.obs.absorb_shard_delta(&mut scratch.obs);
+                self.tracker.touch(scratch.tracker.last_progress());
+            }
+        }
+        self.shard_rt = Some(rt);
+    }
+
+    /// Sharded variant of [`Network::finish_cycle`]: the worker pool runs
+    /// inject/route/consume over each shard's node ranges with every
+    /// global side effect staged into shard-local mailboxes, then the main
+    /// thread drains the mailboxes phase-major (inject, then route),
+    /// range-major (chiplet layer, then interposer layer), shard-minor —
+    /// which is exactly the serial kernel's ascending-node iteration, so
+    /// the calendar, trace and tracker streams are byte-identical.
+    fn finish_cycle_sharded(&mut self) {
+        let mut rt = self.shard_rt.take().expect("sharded dispatch");
+        let now = self.cycle;
+        // Scheduler cross-check stays serial (read-only over all shards).
+        if self.scheduler_enabled && self.verify_scheduler {
+            for (i, r) in self.routers.iter().enumerate() {
+                assert!(
+                    self.router_active[i] || !r.has_pending_work(),
+                    "active-set scheduler would skip router {} with pending work at cycle {now}",
+                    r.node()
+                );
+            }
+            for (i, ni) in self.nis.iter().enumerate() {
+                assert!(
+                    self.ni_active[i] || !ni.has_pending_work(),
+                    "active-set scheduler would skip NI {} with pending work at cycle {now}",
+                    ni.node()
+                );
+            }
+        }
+        rt.arm(self.tracer.enabled(), self.obs.is_enabled());
+        self.run_sharded_phase(&mut rt, true);
+
+        for phase in 0..2 {
+            for range in 0..2 {
+                for scratch in rt.scratch.iter_mut() {
+                    let seg = &mut scratch.segs[phase][range];
+                    for pkt in seg.injected.drain(..) {
+                        self.tracker.on_injected(pkt, now);
+                    }
+                    let mut captured = seg.trace.drain_captured();
+                    for ev in captured.drain(..) {
+                        self.tracer.record(ev);
+                    }
+                    seg.trace.recycle_captured(captured);
+                    for (at, ev) in seg.emit.drain(..) {
+                        self.calendar.push(now, at, ev);
+                    }
+                }
+            }
+        }
+        for scratch in rt.scratch.iter_mut() {
+            self.stats
+                .absorb_shard_delta(&mut scratch.stats, &scratch.link_touch);
+            scratch.link_touch.clear();
+            self.obs.absorb_shard_delta(&mut scratch.obs);
+            self.tracker.touch(scratch.tracker.last_progress());
+            self.router_ticks += std::mem::take(&mut scratch.router_ticks);
+        }
+        self.shard_rt = Some(rt);
+        self.cycle += 1;
+    }
+
+    /// Fans one compute phase out over the worker pool: splits the
+    /// component arrays along the shard plan, builds one job per shard and
+    /// joins. `finish` selects the finish-phase body (inject/route/consume)
+    /// over the begin-phase body (event delivery).
+    fn run_sharded_phase(&mut self, rt: &mut crate::shard::ShardRuntime, finish: bool) {
+        let now = self.cycle;
+        let sched = self.scheduler_enabled;
+        let plan = &rt.plan;
+        let capacity = rt.mailbox_capacity;
+        let (r0s, r1s) = crate::shard::split_mut(&mut self.routers, plan);
+        let (n0s, n1s) = crate::shard::split_mut(&mut self.nis, plan);
+        let (ra0s, ra1s) = crate::shard::split_mut(&mut self.router_active, plan);
+        let (na0s, na1s) = crate::shard::split_mut(&mut self.ni_active, plan);
+        let cfg = &self.cfg;
+        let topo = &self.topo;
+        let routing = self.routing.as_ref();
+        let mut r0s = r0s.into_iter();
+        let mut r1s = r1s.into_iter();
+        let mut n0s = n0s.into_iter();
+        let mut n1s = n1s.into_iter();
+        let mut ra0s = ra0s.into_iter();
+        let mut ra1s = ra1s.into_iter();
+        let mut na0s = na0s.into_iter();
+        let mut na1s = na1s.into_iter();
+        let mut jobs: Vec<Box<dyn FnOnce() + Send + '_>> = Vec::with_capacity(plan.shards());
+        for (s, scratch) in rt.scratch.iter_mut().enumerate() {
+            let routers = [r0s.next().unwrap(), r1s.next().unwrap()];
+            let nis = [n0s.next().unwrap(), n1s.next().unwrap()];
+            let router_active = [ra0s.next().unwrap(), ra1s.next().unwrap()];
+            let ni_active = [na0s.next().unwrap(), na1s.next().unwrap()];
+            let base = [plan.ranges[s].0.start, plan.ranges[s].1.start];
+            jobs.push(Box::new(move || {
+                let mut parts = crate::shard::ShardParts {
+                    cfg,
+                    topo,
+                    routing,
+                    now,
+                    sched,
+                    routers,
+                    nis,
+                    router_active,
+                    ni_active,
+                    base,
+                    scratch,
+                    mailbox_capacity: capacity,
+                    shard_ix: s,
+                };
+                if finish {
+                    crate::shard::finish_shard(&mut parts);
+                } else {
+                    crate::shard::begin_shard(&mut parts);
+                }
+            }));
+        }
+        rt.pool.run(jobs);
     }
 
     /// True when no router and no NI is scheduled for the next
@@ -1123,5 +1392,79 @@ mod tests {
             1,
             "latency attributed to new window"
         );
+    }
+
+    #[test]
+    fn set_shards_clamps_to_chiplet_count() {
+        let mut net = net();
+        let chiplets = net.topo().chiplets().len();
+        assert_eq!(net.set_shards(64), chiplets, "over-request clamps");
+        assert_eq!(net.shards(), chiplets);
+        assert_eq!(net.set_shards(1), 1, "1 restores the serial kernel");
+        assert_eq!(net.shards(), 1);
+    }
+
+    #[test]
+    fn set_shards_degrades_to_serial_on_single_chiplet_mesh() {
+        let topo = crate::topology::ChipletSystemSpec::grid(1, 1)
+            .unwrap()
+            .build(0)
+            .unwrap();
+        let mut net = Network::new(
+            NocConfig::default(),
+            topo,
+            Arc::new(ChipletRouting::xy()),
+            ConsumePolicy::Immediate { latency: 1 },
+            42,
+        );
+        assert_eq!(net.set_shards(4), 1, "single chiplet cannot be sharded");
+        assert_eq!(net.shards(), 1);
+        // The degraded network still simulates.
+        let c = &net.topo().chiplets()[0];
+        let (src, dest) = (c.routers[0], c.routers[15]);
+        net.try_send(src, dest, VnetId(0), 5).unwrap();
+        run_until_drained(&mut net, 300);
+        assert_eq!(net.stats().packets_ejected, 1);
+    }
+
+    #[test]
+    fn sharded_kernel_matches_serial_exactly() {
+        let run = |shards: usize| -> (u64, String) {
+            let mut net = net();
+            if shards > 1 {
+                assert_eq!(net.set_shards(shards), shards);
+            }
+            let nodes: Vec<NodeId> = net.topo().nodes().iter().map(|n| n.id).collect();
+            for (i, &s) in nodes.iter().enumerate() {
+                let d = nodes[(i * 7 + 13) % nodes.len()];
+                if s != d {
+                    net.try_send(s, d, VnetId((i % 3) as u8), 1 + (i % 5) as u16);
+                }
+            }
+            run_until_drained(&mut net, 5_000);
+            let stats = serde_json::to_string(net.stats()).expect("serializable");
+            (net.cycle(), stats)
+        };
+        let serial = run(1);
+        for shards in [2, 4] {
+            let sharded = run(shards);
+            assert_eq!(serial.0, sharded.0, "cycle diverged at {shards} shards");
+            assert_eq!(serial.1, sharded.1, "stats diverged at {shards} shards");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "shard mailbox overflow")]
+    fn mailbox_overflow_is_a_hard_error() {
+        let mut net = net();
+        assert_eq!(net.set_shards_with_mailbox_capacity(2, 1), 2);
+        let c = &net.topo().chiplets()[0];
+        // A single multi-flit packet overflows a capacity-1 mailbox as soon
+        // as a router forwards a flit (flit event + credit event).
+        net.try_send(c.routers[0], c.routers[15], VnetId(0), 5)
+            .unwrap();
+        for _ in 0..50 {
+            net.step();
+        }
     }
 }

@@ -587,6 +587,46 @@ impl ObsRegistry {
         snap
     }
 
+    /// Folds a shard-local shadow registry into this one and zeroes the
+    /// shadow for reuse next cycle. A shadow is a fresh registry with
+    /// [`ObsRegistry::enable`] called, so its ids are a prefix of this
+    /// registry's (the mechanism metrics register first, in a fixed
+    /// order). The parallel region only increments counters and
+    /// event-maintained gauges — both monotone — so adding the deltas
+    /// reproduces the serial values *and* high-water marks exactly: within
+    /// one cycle a monotone gauge peaks at its end-of-cycle value, which
+    /// is what the merged add reaches.
+    pub fn absorb_shard_delta(&mut self, shadow: &mut ObsRegistry) {
+        if !self.enabled || !shadow.enabled {
+            return;
+        }
+        for (ix, c) in shadow.counters.iter_mut().enumerate() {
+            if *c != 0 {
+                self.counters[ix] += *c;
+                *c = 0;
+            }
+        }
+        for (ix, g) in shadow.gauge_value.iter_mut().enumerate() {
+            if *g != 0 {
+                let v = self.gauge_value[ix] + *g;
+                self.gauge_value[ix] = v;
+                self.gauge_high[ix] = self.gauge_high[ix].max(v);
+                self.gauge_epoch_high[ix] = self.gauge_epoch_high[ix].max(v);
+                *g = 0;
+            }
+        }
+        for (ix, h) in shadow.hists.iter_mut().enumerate() {
+            self.hists[ix].merge(h);
+            *h = ObsHistogram::new();
+        }
+        for h in shadow.gauge_high.iter_mut() {
+            *h = 0;
+        }
+        for h in shadow.gauge_epoch_high.iter_mut() {
+            *h = 0;
+        }
+    }
+
     // ------------------------------ export ------------------------------
 
     /// Sorted `(name, index)` views used by every export, so output bytes

@@ -1,0 +1,691 @@
+//! Spatial sharding of the cycle kernel.
+//!
+//! The mesh is partitioned along chiplet boundaries into `S` shards, each
+//! owning a contiguous block of chiplet routers/NIs plus a contiguous slice
+//! of the interposer. Every cycle runs as a deterministic two-phase
+//! fork/join: the workers *compute* (deliver this cycle's events, then
+//! inject/route/consume) strictly within their own shard, staging every
+//! outgoing event, trace record and statistic into shard-local buffers
+//! (the "mailboxes"); the main thread then *exchanges* — it drains the
+//! mailboxes in one canonical order (per phase: all shards' chiplet
+//! segments in shard order, then all interposer segments) that reproduces
+//! the serial kernel's ascending-node iteration exactly. Because shards
+//! share no mutable state during the compute phase and the exchange order
+//! is a pure function of the partition, the merged event/trace/stat
+//! streams are byte-identical to the serial kernel regardless of how the
+//! OS schedules the worker threads.
+//!
+//! Safety of the compute phase rests on the event-staging discipline the
+//! serial kernel already obeys: all cross-router communication travels
+//! through calendar events that arrive at least one cycle later, and a
+//! router's cycle only ever touches its own state plus its *own* NI — so
+//! stepping disjoint node ranges in parallel cannot race.
+
+use crate::config::NocConfig;
+use crate::control::DeliveredControl;
+use crate::event::Event;
+use crate::ids::{Cycle, NodeId, PacketId, Port};
+use crate::ni::Ni;
+use crate::obs::ObsRegistry;
+use crate::router::{Router, RouterCtx};
+use crate::routing::RouteComputer;
+use crate::stats::{NetStats, PacketTracker};
+use crate::topology::Topology;
+use crate::trace::{TraceEvent, Tracer};
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+
+// ----------------------------------------------------- process-wide default
+
+static DEFAULT_SHARDS: AtomicUsize = AtomicUsize::new(1);
+
+/// Sets the process-wide default shard count that
+/// [`upp_workloads`-style builders] apply to freshly built networks
+/// (CLI `--shards N`). Tests should call `Network::set_shards` on the
+/// instance instead — a process global leaks across parallel test threads.
+pub fn set_default_shards(n: usize) {
+    DEFAULT_SHARDS.store(n.max(1), Ordering::Relaxed);
+}
+
+/// The process-wide default shard count (1 = serial kernel).
+pub fn default_shards() -> usize {
+    DEFAULT_SHARDS.load(Ordering::Relaxed).max(1)
+}
+
+/// True when `UPP_FORCE_SERIAL=1` pins the serial kernel regardless of any
+/// requested shard count (escape hatch, mirroring `UPP_ALWAYS_TICK`).
+pub fn force_serial() -> bool {
+    std::env::var("UPP_FORCE_SERIAL").is_ok_and(|v| v == "1")
+}
+
+// ----------------------------------------------------------------- the plan
+
+/// The spatial partition: per shard, a contiguous chiplet-layer node range
+/// and a contiguous interposer-layer node range. Shard boundaries always
+/// coincide with chiplet boundaries, so intra-chiplet traffic never
+/// crosses shards and only interposer links form the parallel seam.
+#[derive(Debug, Clone)]
+pub(crate) struct ShardPlan {
+    /// Per shard: `(chiplet-layer range, interposer range)` of node
+    /// indices. The chiplet ranges concatenate to `0..interposer_base` and
+    /// the interposer ranges to `interposer_base..nodes`, each ascending.
+    pub ranges: Vec<(Range<usize>, Range<usize>)>,
+    /// First interposer node index.
+    pub interposer_base: usize,
+}
+
+impl ShardPlan {
+    /// Builds a plan with `shards` shards (`2 <= shards <= chiplets`), or
+    /// `None` when the topology's node ids are not laid out as contiguous
+    /// ascending chiplet blocks followed by a contiguous interposer block
+    /// (the invariant every [`crate::topology::ChipletSystemSpec`] build
+    /// satisfies; a custom topology that breaks it falls back to serial).
+    pub(crate) fn build(topo: &Topology, shards: usize) -> Option<ShardPlan> {
+        let chiplets = topo.chiplets();
+        if shards < 2 || shards > chiplets.len() {
+            return None;
+        }
+        // Validate the contiguous-ascending layout the split relies on.
+        let mut next = 0usize;
+        let mut chiplet_bounds: Vec<Range<usize>> = Vec::with_capacity(chiplets.len());
+        for c in chiplets {
+            let start = next;
+            for &r in &c.routers {
+                if r.index() != next {
+                    return None;
+                }
+                next += 1;
+            }
+            chiplet_bounds.push(start..next);
+        }
+        let interposer_base = next;
+        for &r in topo.interposer_routers() {
+            if r.index() != next {
+                return None;
+            }
+            next += 1;
+        }
+        if next != topo.nodes().len() {
+            return None;
+        }
+        // Even partition: shard s takes chiplets [s*C/S, (s+1)*C/S) and
+        // interposer nodes [base + s*M/S, base + (s+1)*M/S).
+        let c = chiplet_bounds.len();
+        let m = next - interposer_base;
+        let ranges = (0..shards)
+            .map(|s| {
+                let c0 = s * c / shards;
+                let c1 = (s + 1) * c / shards;
+                let r0 = chiplet_bounds[c0].start..chiplet_bounds[c1 - 1].end;
+                let r1 =
+                    (interposer_base + s * m / shards)..(interposer_base + (s + 1) * m / shards);
+                (r0, r1)
+            })
+            .collect();
+        Some(ShardPlan {
+            ranges,
+            interposer_base,
+        })
+    }
+
+    /// Number of shards.
+    pub(crate) fn shards(&self) -> usize {
+        self.ranges.len()
+    }
+
+    /// The shard owning `node`.
+    pub(crate) fn shard_of(&self, node: NodeId) -> usize {
+        let ix = node.index();
+        if ix < self.interposer_base {
+            self.ranges.partition_point(|(r0, _)| r0.end <= ix)
+        } else {
+            self.ranges.partition_point(|(_, r1)| r1.end <= ix)
+        }
+    }
+
+    /// Largest node count of any single range (sizing the mailboxes).
+    pub(crate) fn max_range_len(&self) -> usize {
+        self.ranges
+            .iter()
+            .map(|(r0, r1)| r0.len().max(r1.len()))
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// Default per-segment mailbox capacity: a router emits at most a handful
+/// of events per cycle (one flit grant plus one credit per port, control,
+/// bypass), so 32 per node is far above any reachable burst while keeping
+/// the buffers cache-friendly.
+pub(crate) fn default_mailbox_capacity(plan: &ShardPlan) -> usize {
+    32 * plan.max_range_len() + 64
+}
+
+/// Splits `full` (indexed by node) into per-shard chiplet-range slices and
+/// per-shard interposer-range slices, in physical (ascending) order.
+pub(crate) fn split_mut<'a, T>(
+    mut rest: &'a mut [T],
+    plan: &ShardPlan,
+) -> (Vec<&'a mut [T]>, Vec<&'a mut [T]>) {
+    let mut r0s = Vec::with_capacity(plan.shards());
+    let mut r1s = Vec::with_capacity(plan.shards());
+    let mut off = 0usize;
+    for (r0, _) in &plan.ranges {
+        let (a, b) = rest.split_at_mut(r0.end - off);
+        r0s.push(a);
+        rest = b;
+        off = r0.end;
+    }
+    for (_, r1) in &plan.ranges {
+        let (a, b) = rest.split_at_mut(r1.end - off);
+        r1s.push(a);
+        rest = b;
+        off = r1.end;
+    }
+    debug_assert!(rest.is_empty(), "shard plan must cover every node");
+    (r0s, r1s)
+}
+
+// ----------------------------------------------------------- shard scratch
+
+/// One phase-range mailbox: events to stage into the calendar, trace
+/// records to replay, and (inject phase only) packets whose head flit
+/// entered the network.
+pub(crate) struct SegBuf {
+    pub emit: Vec<(Cycle, Event)>,
+    pub trace: Tracer,
+    pub injected: Vec<PacketId>,
+}
+
+impl SegBuf {
+    fn new() -> Self {
+        Self {
+            emit: Vec::new(),
+            trace: Tracer::disabled(),
+            injected: Vec::new(),
+        }
+    }
+}
+
+/// All shard-local state. Persistent across cycles (buffers drain on merge
+/// and keep their allocations); nothing in here survives a merge with a
+/// non-zero value except the armed tracer/obs shells.
+pub(crate) struct ShardScratch {
+    /// Begin-phase events routed to this shard (slot order preserved).
+    pub pending: Vec<Event>,
+    /// Begin-phase emit sink; deliveries never emit, asserted on merge.
+    pub begin_emit: Vec<(Cycle, Event)>,
+    /// Begin-phase trace sink; deliveries never record, asserted on merge.
+    pub begin_trace: Tracer,
+    /// Mailboxes: `[inject, route]` x `[chiplet range, interposer range]`.
+    pub segs: [[SegBuf; 2]; 2],
+    /// Shard-local stats delta, drained into the global snapshot on merge.
+    pub stats: NetStats,
+    /// First-touch log of `stats.link_flits` indices (O(flit-hops) merge).
+    pub link_touch: Vec<u32>,
+    /// Shadow telemetry registry (mechanism metrics only; the parallel
+    /// region records nothing else).
+    pub obs: ObsRegistry,
+    /// Progress-watchdog proxy: only `touch` lands here; merged as a max.
+    pub tracker: PacketTracker,
+    /// Router steps executed by this shard this cycle.
+    pub router_ticks: u64,
+    /// Whether the segment tracers are in capture mode.
+    pub trace_armed: bool,
+}
+
+impl ShardScratch {
+    fn new(num_vnets: usize) -> Self {
+        Self {
+            pending: Vec::new(),
+            begin_emit: Vec::new(),
+            begin_trace: Tracer::disabled(),
+            segs: [
+                [SegBuf::new(), SegBuf::new()],
+                [SegBuf::new(), SegBuf::new()],
+            ],
+            stats: NetStats::new(num_vnets),
+            link_touch: Vec::new(),
+            obs: ObsRegistry::disabled(),
+            tracker: PacketTracker::new(),
+            router_ticks: 0,
+            trace_armed: false,
+        }
+    }
+}
+
+/// Everything the sharded kernel owns: the partition, the worker pool and
+/// one scratch per shard.
+pub(crate) struct ShardRuntime {
+    pub plan: ShardPlan,
+    pub pool: WorkerPool,
+    pub scratch: Vec<ShardScratch>,
+    pub mailbox_capacity: usize,
+}
+
+impl std::fmt::Debug for ShardRuntime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardRuntime")
+            .field("shards", &self.plan.shards())
+            .field("mailbox_capacity", &self.mailbox_capacity)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ShardRuntime {
+    pub(crate) fn new(plan: ShardPlan, mailbox_capacity: usize, num_vnets: usize) -> Self {
+        let shards = plan.shards();
+        Self {
+            plan,
+            pool: WorkerPool::new(shards - 1),
+            scratch: (0..shards).map(|_| ShardScratch::new(num_vnets)).collect(),
+            mailbox_capacity,
+        }
+    }
+
+    /// Aligns each shard's shadow sinks with the global tracer/obs state
+    /// (both can be armed mid-run). Called at the top of every sharded
+    /// phase, when all capture buffers are empty.
+    pub(crate) fn arm(&mut self, trace_on: bool, obs_on: bool) {
+        for sc in &mut self.scratch {
+            if obs_on && !sc.obs.is_enabled() {
+                sc.obs.enable();
+            }
+            if sc.trace_armed != trace_on {
+                sc.trace_armed = trace_on;
+                for phase in &mut sc.segs {
+                    for seg in phase {
+                        seg.trace = if trace_on {
+                            Tracer::capture()
+                        } else {
+                            Tracer::disabled()
+                        };
+                    }
+                }
+            }
+        }
+    }
+}
+
+// ------------------------------------------------------------ the job bodies
+
+#[inline]
+fn check_mailbox(len: usize, capacity: usize, shard: usize, phase: &str) {
+    assert!(
+        len <= capacity,
+        "shard mailbox overflow: {len} staged events exceed the capacity of \
+         {capacity} (shard {shard}, {phase} phase); raise the mailbox \
+         capacity via Network::set_shards_with_mailbox_capacity"
+    );
+}
+
+/// Per-shard slice of the network state for one phase.
+pub(crate) struct ShardParts<'a> {
+    pub cfg: &'a NocConfig,
+    pub topo: &'a Topology,
+    pub routing: &'a dyn RouteComputer,
+    pub now: Cycle,
+    pub sched: bool,
+    /// `[chiplet range, interposer range]` component slices.
+    pub routers: [&'a mut [Router]; 2],
+    pub nis: [&'a mut [Ni]; 2],
+    pub router_active: [&'a mut [bool]; 2],
+    pub ni_active: [&'a mut [bool]; 2],
+    /// First node index of each range (for event-target lookup).
+    pub base: [usize; 2],
+    pub scratch: &'a mut ShardScratch,
+    pub mailbox_capacity: usize,
+    pub shard_ix: usize,
+}
+
+/// Begin phase, compute step: delivers this shard's pending events in slot
+/// order. Deliveries mutate only the target component (plus commutative
+/// obs counters, routed to the shadow registry); ejections (`NiFlitArrive`)
+/// were already handled serially on the main thread, in slot order, because
+/// they touch global stats/tracker/tracer state.
+pub(crate) fn begin_shard(p: &mut ShardParts<'_>) {
+    let base = p.base;
+    let locate = |node: NodeId| -> (usize, usize) {
+        let ix = node.index();
+        if ix >= base[1] {
+            (1, ix - base[1])
+        } else {
+            (0, ix - base[0])
+        }
+    };
+    let ShardScratch {
+        pending,
+        begin_emit,
+        begin_trace,
+        stats,
+        link_touch,
+        obs,
+        tracker,
+        ..
+    } = &mut *p.scratch;
+    for ev in pending.drain(..) {
+        match ev {
+            Event::FlitArrive {
+                node,
+                in_port,
+                vc_flat,
+                flit,
+            } => {
+                let (r, j) = locate(node);
+                let mut ctx = RouterCtx {
+                    cfg: p.cfg,
+                    topo: p.topo,
+                    routing: p.routing,
+                    now: p.now,
+                    ni: &mut p.nis[r][j],
+                    emit: &mut *begin_emit,
+                    stats: &mut *stats,
+                    tracker: &mut *tracker,
+                    tracer: &mut *begin_trace,
+                    obs: &mut *obs,
+                    link_log: Some(&mut *link_touch),
+                };
+                p.routers[r][j].deliver_flit(&mut ctx, in_port, vc_flat, flit);
+            }
+            Event::CreditArrive {
+                node,
+                out_port,
+                vc_flat,
+                is_free,
+            } => {
+                let (r, j) = locate(node);
+                p.routers[r][j].deliver_credit(out_port, vc_flat, is_free);
+            }
+            Event::NiCreditArrive {
+                node,
+                vc_flat,
+                is_free,
+            } => {
+                let (r, j) = locate(node);
+                p.nis[r][j].on_credit(vc_flat, is_free);
+            }
+            Event::ControlArrive { node, in_port, msg } => {
+                let (r, j) = locate(node);
+                p.routers[r][j].deliver_control(in_port, msg, p.now);
+            }
+            Event::NiControlArrive { node, in_port, msg } => {
+                let (r, j) = locate(node);
+                p.nis[r][j].deliver_control(DeliveredControl {
+                    msg,
+                    in_port,
+                    at: p.now,
+                });
+            }
+            Event::NiFlitArrive { .. } => {
+                unreachable!("ejections are handled serially on the main thread")
+            }
+        }
+    }
+}
+
+/// Finish phase, compute step: NI injection, router allocation/commit and
+/// PE consumption over this shard's two node ranges, mirroring the serial
+/// kernel's loops with every global side effect redirected to the shard's
+/// mailboxes and delta accumulators.
+pub(crate) fn finish_shard(p: &mut ShardParts<'_>) {
+    let vct = p.cfg.flow_control == crate::config::FlowControl::VirtualCutThrough;
+    // NI injection (serial: ascending node order; here per range, with the
+    // merge concatenating ranges back into ascending order).
+    for r in 0..2 {
+        let seg = &mut p.scratch.segs[0][r];
+        for (j, ni) in p.nis[r].iter_mut().enumerate() {
+            if p.sched && !p.ni_active[r][j] {
+                continue;
+            }
+            if let Some((flit, vc_flat)) = ni.inject_step(p.now, p.cfg.vcs_per_vnet, vct) {
+                if flit.kind.is_head() {
+                    seg.injected.push(flit.packet);
+                    p.scratch.stats.packets_injected += 1;
+                    if seg.trace.enabled() {
+                        seg.trace.record(TraceEvent::PacketInjected {
+                            at: p.now,
+                            packet: flit.packet,
+                            node: ni.node(),
+                        });
+                    }
+                }
+                p.scratch.stats.flits_injected += 1;
+                p.scratch.tracker.touch(p.now);
+                seg.emit.push((
+                    p.now + p.cfg.link_latency,
+                    Event::FlitArrive {
+                        node: ni.node(),
+                        in_port: Port::Local,
+                        vc_flat,
+                        flit,
+                    },
+                ));
+            }
+        }
+        check_mailbox(seg.emit.len(), p.mailbox_capacity, p.shard_ix, "inject");
+    }
+
+    // Routers: bypass, control, switch allocation.
+    for r in 0..2 {
+        let ShardScratch {
+            segs,
+            stats,
+            link_touch,
+            obs,
+            tracker,
+            router_ticks,
+            ..
+        } = &mut *p.scratch;
+        let seg = &mut segs[1][r];
+        for j in 0..p.routers[r].len() {
+            if p.sched && !p.router_active[r][j] {
+                continue;
+            }
+            *router_ticks += 1;
+            let mut ctx = RouterCtx {
+                cfg: p.cfg,
+                topo: p.topo,
+                routing: p.routing,
+                now: p.now,
+                ni: &mut p.nis[r][j],
+                emit: &mut seg.emit,
+                stats: &mut *stats,
+                tracker: &mut *tracker,
+                tracer: &mut seg.trace,
+                obs: &mut *obs,
+                link_log: Some(&mut *link_touch),
+            };
+            p.routers[r][j].step(&mut ctx);
+            if p.sched && !p.routers[r][j].has_pending_work() {
+                p.router_active[r][j] = false;
+            }
+        }
+        check_mailbox(seg.emit.len(), p.mailbox_capacity, p.shard_ix, "route");
+    }
+
+    // PE consumption, then NI deactivation.
+    for r in 0..2 {
+        for (j, ni) in p.nis[r].iter_mut().enumerate() {
+            if p.sched && !p.ni_active[r][j] {
+                continue;
+            }
+            ni.consume_step(p.now);
+            if p.sched && !ni.has_pending_work() {
+                p.ni_active[r][j] = false;
+            }
+        }
+    }
+}
+
+// ------------------------------------------------------------- worker pool
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+fn panic_message(p: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// A persistent pool of `workers` threads fed one closure each per cycle
+/// phase. Threads persist across cycles (spawning per cycle would dominate
+/// the kernel); jobs are dispatched over channels and a counted completion
+/// channel forms the join barrier. Worker panics are caught, reported over
+/// the barrier (so the dispatcher never deadlocks mid-unwind) and re-raised
+/// on the calling thread.
+pub(crate) struct WorkerPool {
+    txs: Vec<mpsc::Sender<Job>>,
+    done_rx: mpsc::Receiver<Result<(), String>>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    pub(crate) fn new(workers: usize) -> Self {
+        let (done_tx, done_rx) = mpsc::channel::<Result<(), String>>();
+        let mut txs = Vec::with_capacity(workers);
+        let mut handles = Vec::with_capacity(workers);
+        for w in 0..workers {
+            let (tx, rx) = mpsc::channel::<Job>();
+            let done = done_tx.clone();
+            let handle = std::thread::Builder::new()
+                .name(format!("upp-shard-{}", w + 1))
+                .spawn(move || {
+                    for job in rx {
+                        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job))
+                            .map_err(panic_message);
+                        if done.send(result).is_err() {
+                            break;
+                        }
+                    }
+                })
+                .expect("spawn shard worker thread");
+            txs.push(tx);
+            handles.push(handle);
+        }
+        Self {
+            txs,
+            done_rx,
+            handles,
+        }
+    }
+
+    /// Runs one job per shard: `jobs[1..]` on the workers, `jobs[0]` inline
+    /// on the calling thread, returning only after every job finished. Any
+    /// job panic resurfaces here — after the barrier, so no borrow held by
+    /// a still-running worker can outlive the caller's frame.
+    pub(crate) fn run<'scope>(&mut self, jobs: Vec<Box<dyn FnOnce() + Send + 'scope>>) {
+        assert!(
+            jobs.len() <= self.txs.len() + 1,
+            "more shard jobs than pool slots"
+        );
+        let mut iter = jobs.into_iter();
+        let local = iter.next();
+        let mut dispatched = 0usize;
+        for (i, job) in iter.enumerate() {
+            // SAFETY: the closure borrows state from the caller's frame
+            // ('scope), and `run` does not return until the completion
+            // barrier below has collected every dispatched job — even when
+            // the local job panics — so no borrow escapes its lifetime.
+            let job: Job =
+                unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + 'scope>, Job>(job) };
+            self.txs[i].send(job).expect("shard worker alive");
+            dispatched += 1;
+        }
+        let local_result = local.map(|j| std::panic::catch_unwind(std::panic::AssertUnwindSafe(j)));
+        let mut worker_panic: Option<String> = None;
+        for _ in 0..dispatched {
+            match self.done_rx.recv().expect("shard worker alive") {
+                Ok(()) => {}
+                Err(msg) => {
+                    if worker_panic.is_none() {
+                        worker_panic = Some(msg);
+                    }
+                }
+            }
+        }
+        if let Some(Err(payload)) = local_result {
+            std::panic::resume_unwind(payload);
+        }
+        if let Some(msg) = worker_panic {
+            panic!("{msg}");
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        // Closing the job channels ends the worker loops.
+        self.txs.clear();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::ChipletSystemSpec;
+
+    #[test]
+    fn plan_partitions_baseline_into_contiguous_ranges() {
+        let topo = ChipletSystemSpec::baseline().build(0).unwrap();
+        let plan = ShardPlan::build(&topo, 2).expect("baseline is shardable");
+        assert_eq!(plan.shards(), 2);
+        let n = topo.nodes().len();
+        // Ranges tile the node space.
+        let (r0a, r1a) = &plan.ranges[0];
+        let (r0b, r1b) = &plan.ranges[1];
+        assert_eq!(r0a.start, 0);
+        assert_eq!(r0a.end, r0b.start);
+        assert_eq!(r0b.end, plan.interposer_base);
+        assert_eq!(r1a.start, plan.interposer_base);
+        assert_eq!(r1a.end, r1b.start);
+        assert_eq!(r1b.end, n);
+        // Every node maps to the shard whose range holds it.
+        for ix in 0..n {
+            let s = plan.shard_of(NodeId(ix as u32));
+            let (r0, r1) = &plan.ranges[s];
+            assert!(r0.contains(&ix) || r1.contains(&ix), "node {ix} shard {s}");
+        }
+    }
+
+    #[test]
+    fn plan_rejects_more_shards_than_chiplets() {
+        let topo = ChipletSystemSpec::baseline().build(0).unwrap();
+        let chiplets = topo.chiplets().len();
+        assert!(ShardPlan::build(&topo, chiplets + 1).is_none());
+        assert!(ShardPlan::build(&topo, 1).is_none(), "serial needs no plan");
+    }
+
+    #[test]
+    fn worker_pool_runs_jobs_and_propagates_panics() {
+        let mut pool = WorkerPool::new(2);
+        let mut a = 0u64;
+        let mut b = 0u64;
+        let mut c = 0u64;
+        pool.run(vec![
+            Box::new(|| a = 1),
+            Box::new(|| b = 2),
+            Box::new(|| c = 3),
+        ]);
+        assert_eq!((a, b, c), (1, 2, 3));
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.run(vec![
+                Box::new(|| {}),
+                Box::new(|| panic!("worker job failed deliberately")),
+            ]);
+        }));
+        let msg = panic_message(caught.expect_err("panic must propagate"));
+        assert!(msg.contains("worker job failed deliberately"), "{msg}");
+        // The pool survives a propagated panic and keeps running jobs.
+        let mut d = 0u64;
+        pool.run(vec![Box::new(|| {}), Box::new(|| d = 4)]);
+        assert_eq!(d, 4);
+    }
+}

@@ -1,10 +1,12 @@
-//! Scheduler-equivalence properties: the active-set cycle scheduler (skip
-//! idle routers/NIs, fast-forward quiescent gaps) must be unobservable.
-//! For random scenarios across every recovery scheme, a run with the
-//! scheduler on and the same run with it off must produce identical
-//! delivered-packet multisets, identical verdicts at identical cycles, and
-//! identical latency-attribution profiles — the scheduler may only change
-//! how fast wall-clock time passes, never what the simulation computes.
+//! Sharding-equivalence properties: the spatially sharded parallel cycle
+//! kernel (`--shards N`) must be unobservable. For random scenarios across
+//! every recovery scheme — including mid-run link faults and heals that
+//! cross shard boundaries — a serial run and the same run at 2 and 4
+//! shards must produce identical delivered-packet multisets, identical
+//! verdicts at identical cycles, identical latency-attribution profiles,
+//! identical stats snapshots and identical telemetry bytes. Sharding may
+//! only change which thread computes a router's cycle, never what the
+//! simulation computes.
 
 use proptest::prelude::*;
 use upp_core::UppConfig;
@@ -13,7 +15,7 @@ use upp_noc::ni::ConsumePolicy;
 use upp_noc::sim::RunOutcome;
 use upp_noc::topology::{ChipletSystemSpec, SystemKind};
 use upp_verify::scenario::{random_scenario, CampaignParams};
-use upp_verify::{oracle_for, run_scenario_sharded, run_scenario_with, RunReport};
+use upp_verify::{oracle_for, run_scenario_sharded, RunReport};
 use upp_workloads::runner::{build_system, SchemeKind};
 use upp_workloads::synthetic::{Pattern, SyntheticTraffic};
 
@@ -32,14 +34,15 @@ fn observables(r: &RunReport) -> (usize, String, String) {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(6))]
 
-    /// Full-scenario equivalence on the mini system: traffic, dynamic
-    /// faults and pauses, all three recovery schemes, per-cycle stepping
-    /// harness (exercises idle-component skipping; the harness steps every
-    /// cycle itself, so no fast-forwarding occurs here).
+    /// Full-scenario equivalence: traffic, dynamic faults/heals and
+    /// consumption pauses under all three recovery schemes. The fault plan
+    /// fails and heals links *mid-run*, including interposer links on the
+    /// seam between shards, while the popup/recovery protocols are active.
     #[test]
-    fn scheduler_is_unobservable_in_scenario_runs(
+    fn sharding_is_unobservable_in_scenario_runs(
         seed in 0u64..5_000,
         scheme_ix in 0usize..SCHEMES.len(),
+        shards in prop_oneof![Just(2usize), Just(4)],
         rate_milli in 15u64..60,
         faulty in any::<bool>(),
     ) {
@@ -55,60 +58,23 @@ proptest! {
         let mut sc = random_scenario(&params, seed).expect("valid params");
         sc.scheme = label.into();
         let oracle = oracle_for(&sc);
-        let on = run_scenario_with(&sc, oracle, true);
-        let off = run_scenario_with(&sc, oracle, false);
-        prop_assert_eq!(observables(&on), observables(&off), "run shape diverged");
-        prop_assert_eq!(&on.sent, &off.sent, "accepted-send multiset diverged");
-        prop_assert_eq!(&on.delivered, &off.delivered, "delivered multiset diverged");
-        prop_assert_eq!(&on.profile, &off.profile, "latency profile diverged");
-    }
-
-    /// The scheduler and the sharded parallel kernel compose: the cross
-    /// combination (always-tick serial vs active-set sharded) must still
-    /// agree, so neither optimization's correctness depends on the other
-    /// being off. Per-shard equivalence lives in `shard_equiv.rs`.
-    #[test]
-    fn scheduler_and_sharding_compose(
-        seed in 0u64..5_000,
-        scheme_ix in 0usize..SCHEMES.len(),
-        shards in prop_oneof![Just(2usize), Just(4)],
-        rate_milli in 15u64..60,
-    ) {
-        let label = SCHEMES[scheme_ix];
-        let params = CampaignParams {
-            rate: rate_milli as f64 / 1000.0,
-            ..CampaignParams::default()
-        };
-        let mut sc = random_scenario(&params, seed).expect("valid params");
-        sc.scheme = label.into();
-        let oracle = oracle_for(&sc);
-        let serial_off = run_scenario_with(&sc, oracle, false);
-        let sharded_on = run_scenario_sharded(&sc, oracle, true, shards);
-        prop_assert_eq!(
-            observables(&serial_off),
-            observables(&sharded_on),
-            "run shape diverged"
-        );
-        prop_assert_eq!(
-            &serial_off.delivered,
-            &sharded_on.delivered,
-            "delivered multiset diverged"
-        );
-        prop_assert_eq!(
-            &serial_off.profile,
-            &sharded_on.profile,
-            "latency profile diverged"
-        );
+        let serial = run_scenario_sharded(&sc, oracle, true, 1);
+        let sharded = run_scenario_sharded(&sc, oracle, true, shards);
+        prop_assert_eq!(observables(&serial), observables(&sharded), "run shape diverged");
+        prop_assert_eq!(&serial.sent, &sharded.sent, "accepted-send multiset diverged");
+        prop_assert_eq!(&serial.delivered, &sharded.delivered, "delivered multiset diverged");
+        prop_assert_eq!(&serial.profile, &sharded.profile, "latency profile diverged");
     }
 
     /// Drain-loop equivalence on the full baseline system: a traffic burst
-    /// followed by `run_until_drained`, which is where quiescent-gap
-    /// fast-forwarding actually fires. Outcomes (including the exact drain
-    /// cycle) and the complete stats snapshot must match byte for byte.
+    /// followed by `run_until_drained` (fast-forwarding and the active-set
+    /// scheduler both compose with sharding). Outcomes, the exact drain
+    /// cycle and the complete stats snapshot must match byte for byte.
     #[test]
-    fn fast_forward_preserves_outcome_and_stats(
+    fn sharded_drain_preserves_outcome_and_stats(
         kind_ix in 0usize..4,
         pattern_ix in 0usize..3,
+        shards in prop_oneof![Just(2usize), Just(4)],
         vcs in prop_oneof![Just(1usize), Just(2)],
         seed in 0u64..5_000,
         rate_milli in 10u64..70,
@@ -124,7 +90,7 @@ proptest! {
             1 => Pattern::Transpose,
             _ => Pattern::BitComplement,
         };
-        let run = |scheduler: bool| -> (RunOutcome, u64, String) {
+        let run = |shards: usize| -> (RunOutcome, u64, String) {
             let spec = ChipletSystemSpec::of_kind(SystemKind::Baseline);
             let cfg = NocConfig::default().with_vcs_per_vnet(vcs);
             let built = build_system(
@@ -136,7 +102,10 @@ proptest! {
                 ConsumePolicy::Immediate { latency: 1 },
             );
             let mut sys = built.sys;
-            sys.net_mut().set_active_scheduler(scheduler);
+            if shards > 1 {
+                let eff = sys.set_shards(shards);
+                assert!(eff > 1, "sharded run degraded to serial (vacuous comparison)");
+            }
             let rate = rate_milli as f64 / 1000.0;
             let mut traffic = SyntheticTraffic::new(sys.net().topo(), pattern, rate, seed);
             for _ in 0..300 {
@@ -147,23 +116,22 @@ proptest! {
             let stats = serde_json::to_string(sys.net().stats()).expect("serializable");
             (out, sys.net().cycle(), stats)
         };
-        let on = run(true);
-        let off = run(false);
-        prop_assert_eq!(on.0, off.0, "drain outcome diverged");
-        prop_assert_eq!(on.1, off.1, "final cycle diverged");
-        prop_assert_eq!(on.2, off.2, "stats snapshot diverged");
+        let serial = run(1);
+        let sharded = run(shards);
+        prop_assert_eq!(serial.0, sharded.0, "drain outcome diverged");
+        prop_assert_eq!(serial.1, sharded.1, "final cycle diverged");
+        prop_assert_eq!(serial.2, sharded.2, "stats snapshot diverged");
     }
 
-    /// Telemetry equivalence: the protocol-state registry (`--obs`) reads
-    /// protocol structures the scheduler is allowed to skip over, so its
+    /// Telemetry equivalence: the shadow registries record mechanism
+    /// counters on worker threads and merge them commutatively, so the
     /// exported bytes — the full summary *and* every epoch line — must be
-    /// identical between the active-set and always-tick kernels. Hotspot
-    /// traffic with slow consumption keeps the popup path busy, and the
-    /// drain loop runs under manual stepping so epoch cuts land on the
-    /// same cycles in both runs.
+    /// identical to the serial kernel's. Hotspot traffic with slow
+    /// consumption keeps the popup path (and its counters) busy.
     #[test]
-    fn telemetry_bytes_are_scheduler_invariant(
+    fn telemetry_bytes_are_shard_invariant(
         kind_ix in 0usize..3,
+        shards in prop_oneof![Just(2usize), Just(4)],
         seed in 0u64..5_000,
         rate_milli in 20u64..70,
     ) {
@@ -172,7 +140,7 @@ proptest! {
             1 => SchemeKind::Composable,
             _ => SchemeKind::RemoteControl,
         };
-        let run = |scheduler: bool| -> (String, Vec<String>) {
+        let run = |shards: usize| -> (String, Vec<String>) {
             let spec = ChipletSystemSpec::of_kind(SystemKind::Baseline);
             let built = build_system(
                 &spec,
@@ -183,7 +151,10 @@ proptest! {
                 ConsumePolicy::Immediate { latency: 40 },
             );
             let mut sys = built.sys;
-            sys.net_mut().set_active_scheduler(scheduler);
+            if shards > 1 {
+                let eff = sys.set_shards(shards);
+                assert!(eff > 1, "sharded run degraded to serial (vacuous comparison)");
+            }
             sys.net_mut().enable_obs();
             let rate = rate_milli as f64 / 1000.0;
             let mut traffic =
@@ -213,9 +184,9 @@ proptest! {
             sys.observe();
             (sys.net().obs().summary_json(sys.net().cycle()), epochs)
         };
-        let on = run(true);
-        let off = run(false);
-        prop_assert_eq!(on.0, off.0, "obs summary bytes diverged");
-        prop_assert_eq!(on.1, off.1, "obs epoch stream diverged");
+        let serial = run(1);
+        let sharded = run(shards);
+        prop_assert_eq!(serial.0, sharded.0, "obs summary bytes diverged");
+        prop_assert_eq!(serial.1, sharded.1, "obs epoch stream diverged");
     }
 }
