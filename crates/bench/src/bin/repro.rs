@@ -3,7 +3,8 @@
 //! Usage:
 //!
 //! ```text
-//! repro [--quick] [--jobs N] [--shards N] [--journal FILE [--resume]] [--out DIR] <id>... | all | list
+//! repro [--quick] [--jobs N] [--shards N] [--journal FILE [--resume]] [--out DIR] \
+//!       [--watch] [--watch-out FILE] [--watch-capture-dir DIR] <id>... | all | list
 //! ```
 //!
 //! `--jobs N` bounds the sweep engine's worker pool (default: all hardware
@@ -11,6 +12,16 @@
 //! finished sweep points to a JSONL file as they complete; adding `--resume`
 //! re-opens that journal and skips every already-recorded point, so an
 //! interrupted `repro all` can pick up where it left off.
+//!
+//! Every sweep point runs the online health monitor and its journal row
+//! carries per-detector alert counts. `--watch` additionally echoes a
+//! per-point summary to stderr as alerting points complete;
+//! `--watch-out FILE` streams each point's `upp-alerts/v1` lines (grouped
+//! under `{"upp_alerts_point":1,...}` context lines; group order follows
+//! completion order, so it depends on `--jobs`); `--watch-capture-dir DIR`
+//! auto-captures a forensics bundle into a per-point subdirectory when a
+//! point crosses critical. Journal-resumed points are not re-run and thus
+//! contribute no alert lines.
 
 use std::path::PathBuf;
 use std::time::Instant;
@@ -60,6 +71,24 @@ fn main() {
                     std::process::exit(2);
                 }));
             }
+            "--watch" => upp_workloads::runner::set_watch_echo(true),
+            "--watch-out" => {
+                let path = PathBuf::from(args.next().unwrap_or_else(|| {
+                    eprintln!("--watch-out needs a file path");
+                    std::process::exit(2);
+                }));
+                if let Err(e) = upp_workloads::runner::set_watch_out(&path) {
+                    eprintln!("cannot open {}: {e}", path.display());
+                    std::process::exit(2);
+                }
+            }
+            "--watch-capture-dir" => {
+                let dir = PathBuf::from(args.next().unwrap_or_else(|| {
+                    eprintln!("--watch-capture-dir needs a directory");
+                    std::process::exit(2);
+                }));
+                upp_workloads::runner::set_watch_capture_dir(&dir);
+            }
             "list" => {
                 for id in upp_bench::ALL_IDS {
                     println!("{id}");
@@ -101,7 +130,7 @@ fn main() {
     }
     if ids.is_empty() {
         eprintln!(
-            "usage: repro [--quick] [--jobs N] [--shards N] [--journal FILE [--resume]] [--out DIR] <id>... | all | list\n  ids: {}",
+            "usage: repro [--quick] [--jobs N] [--shards N] [--journal FILE [--resume]] [--out DIR] [--watch] [--watch-out FILE] [--watch-capture-dir DIR] <id>... | all | list\n  ids: {}",
             upp_bench::ALL_IDS.join(", ")
         );
         std::process::exit(2);

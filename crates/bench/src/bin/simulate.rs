@@ -47,6 +47,10 @@ struct Args {
     obs: bool,
     obs_every: Option<u64>,
     obs_out: Option<String>,
+    watch: bool,
+    watch_every: u64,
+    watch_out: Option<String>,
+    watch_capture_dir: Option<String>,
     stall_report: bool,
     stall_svg_path: Option<String>,
     json: Option<String>,
@@ -91,6 +95,19 @@ fn usage() -> ! {
          --obs-out PATH                      write the epoch snapshots as JSONL\n\
                                              (stdout when omitted; needs\n\
                                              --obs-every)\n\
+         --watch                             online health monitoring: evaluate\n\
+                                             anomaly detectors at every epoch and\n\
+                                             report upp-alerts/v1 transitions\n\
+         --watch-every N                     watch epoch length in cycles\n\
+                                             (default 200; implies --watch)\n\
+         --watch-out PATH                    stream the alert JSONL (header plus\n\
+                                             one line per alert, flushed as they\n\
+                                             fire — tailable with `upp-trace\n\
+                                             live --follow`; implies --watch)\n\
+         --watch-capture-dir DIR             auto-capture a forensics bundle\n\
+                                             (stall report, trace tail, obs\n\
+                                             summary) on the first critical\n\
+                                             alert (implies --watch)\n\
          --stall-report                      print deadlock forensics after the run\n\
          --stall-svg PATH                    write the annotated stall diagram\n\
          --json PATH                         dump final NetStats/UppStats as JSON\n\
@@ -137,6 +154,10 @@ fn parse() -> Args {
         obs: false,
         obs_every: None,
         obs_out: None,
+        watch: false,
+        watch_every: 200,
+        watch_out: None,
+        watch_capture_dir: None,
         stall_report: false,
         stall_svg_path: None,
         json: None,
@@ -207,18 +228,53 @@ fn parse() -> Args {
                 a.profile = true;
                 a.profile_out = Some(val());
             }
-            "--metrics-every" => a.metrics_every = Some(val().parse().unwrap_or_else(|_| usage())),
+            "--metrics-every" => {
+                let n: u64 = val().parse().unwrap_or_else(|_| usage());
+                if n == 0 {
+                    eprintln!(
+                        "--metrics-every must be at least 1 cycle: 0 would never \
+                         sample (use 1 to sample every cycle)"
+                    );
+                    exit(2);
+                }
+                a.metrics_every = Some(n);
+            }
             "--metrics-out" => a.metrics_out = Some(val()),
             "--obs" => a.obs = true,
             "--obs-every" => {
                 a.obs = true;
                 let n: u64 = val().parse().unwrap_or_else(|_| usage());
                 if n == 0 {
-                    usage();
+                    eprintln!(
+                        "--obs-every must be at least 1 cycle: 0 would never cut \
+                         an epoch (use 1 to snapshot every cycle)"
+                    );
+                    exit(2);
                 }
                 a.obs_every = Some(n);
             }
             "--obs-out" => a.obs_out = Some(val()),
+            "--watch" => a.watch = true,
+            "--watch-every" => {
+                a.watch = true;
+                let n: u64 = val().parse().unwrap_or_else(|_| usage());
+                if n == 0 {
+                    eprintln!(
+                        "--watch-every must be at least 1 cycle: 0 would never \
+                         evaluate the detectors"
+                    );
+                    exit(2);
+                }
+                a.watch_every = n;
+            }
+            "--watch-out" => {
+                a.watch = true;
+                a.watch_out = Some(val());
+            }
+            "--watch-capture-dir" => {
+                a.watch = true;
+                a.watch_capture_dir = Some(val());
+            }
             "--stall-report" => a.stall_report = true,
             "--stall-svg" => a.stall_svg_path = Some(val()),
             "--json" => a.json = Some(val()),
@@ -277,8 +333,11 @@ fn run_sweep(args: &Args, rates: &[f64]) {
     // system is *not* part of the per-point keys, so without this check a
     // resumed journal from a different --system would silently serve stale
     // points.
+    // The trailing "|alerts1" is the point-schema version: sweep rows grew
+    // the per-detector alert counts, so journals recorded before that are
+    // rejected up front instead of silently mixing row shapes.
     let fingerprint = upp_bench::sweep::config_fingerprint(&format!(
-        "simulate|{:?}|{:?}|{}|vcs{}|f{}|w{}+{}|s{}|sh{}",
+        "simulate|{:?}|{:?}|{}|vcs{}|f{}|w{}+{}|s{}|sh{}|alerts1",
         args.system,
         args.scheme,
         args.pattern.label(),
@@ -365,6 +424,13 @@ fn main() {
         eprintln!("--obs-out needs --obs-every N");
         exit(2);
     }
+    if args.watch && args.sweep.is_some() {
+        eprintln!(
+            "--watch only applies to single runs; sweep points always carry \
+             per-detector alert counts in their journal rows"
+        );
+        exit(2);
+    }
     // The sharded kernel is applied to every network the run builds (the
     // single simulation here, or each sweep point's system in the workers).
     upp_noc::shard::set_default_shards(args.shards);
@@ -383,13 +449,18 @@ fn main() {
         ConsumePolicy::Immediate { latency: 1 },
     );
     let mut sys = built.sys;
-    if args.obs {
+    if args.obs || args.watch {
+        // The watcher reads cumulative telemetry, so the registry must be
+        // live under --watch too — but the "obs" summary and JSON field
+        // stay keyed to --obs alone, keeping golden-pinned payloads
+        // byte-identical.
         sys.net_mut().enable_obs();
     }
 
     // Flight recorder: a Chrome trace buffers in memory (bounded by
     // --trace-ring-cap when given); a JSONL trace streams straight to disk;
     // a bare --trace-ring-cap arms an in-memory ring for post-mortems.
+    let mut auto_ring = false;
     if args.chrome_trace.is_some() {
         if args.trace.is_some() {
             eprintln!("--chrome-trace takes precedence over --trace; JSONL output disabled");
@@ -410,6 +481,12 @@ fn main() {
             .set_tracer(Tracer::jsonl(Box::new(std::io::BufWriter::new(file))));
     } else if let Some(cap) = args.trace_ring_cap {
         sys.net_mut().set_tracer(Tracer::ring(cap));
+    } else if args.watch_capture_dir.is_some() {
+        // A forensics capture wants a trace tail even though the user
+        // armed no tracer: keep a small ring so the bundle has the last
+        // few thousand events leading up to the critical alert.
+        auto_ring = true;
+        sys.net_mut().set_tracer(Tracer::ring(4096));
     }
     // The latency profiler rides inside the tracer alongside any sink.
     let mut profile = if args.profile {
@@ -440,19 +517,86 @@ fn main() {
         .metrics_every
         .map(|n| MetricsSampler::new(n.max(1), sys.net().topo().num_endpoints()));
 
-    // Telemetry epochs, collected as deterministic single-line JSON.
+    // Telemetry epochs, collected as deterministic single-line JSON, and
+    // the online health monitor. Both consume the same epoch boundary: a
+    // due boundary calls `observe()` exactly once, so the sampled-gauge
+    // stream is byte-identical whether either, both or neither is on.
     let mut obs_lines: Vec<String> = Vec::new();
-    let obs_sample = |sys: &mut upp_noc::sim::System, lines: &mut Vec<String>| {
-        let Some(every) = args.obs_every else { return };
+    let mut watch = args.watch.then(|| {
+        let mut w = upp_noc::watch::Watcher::new(upp_noc::watch::WatchConfig {
+            every: args.watch_every,
+            ..upp_noc::watch::WatchConfig::default()
+        });
+        w.arm(sys.net());
+        w
+    });
+    let mut watch_file = args.watch_out.as_ref().map(|path| {
+        let mut f = std::fs::File::create(path).unwrap_or_else(|e| {
+            eprintln!("could not create {path}: {e}");
+            exit(1);
+        });
+        let header = upp_noc::watch::alerts_header_json(args.watch_every);
+        if writeln!(f, "{header}").and_then(|()| f.flush()).is_err() {
+            eprintln!("could not write {path}");
+            exit(1);
+        }
+        f
+    });
+    let epoch_tick = |sys: &mut upp_noc::sim::System,
+                      obs_lines: &mut Vec<String>,
+                      watch: &mut Option<upp_noc::watch::Watcher>,
+                      watch_file: &mut Option<std::fs::File>| {
         let c = sys.net().cycle();
-        if c == 0 || !c.is_multiple_of(every) {
+        if c == 0 {
+            return;
+        }
+        let obs_due = args.obs_every.is_some_and(|e| c.is_multiple_of(e));
+        let watch_due = watch.is_some() && c.is_multiple_of(args.watch_every);
+        if !obs_due && !watch_due {
             return;
         }
         // Sampled gauges (queue depths, table occupancy) refresh at the
         // epoch boundary; exact counters have been accumulating all along.
         sys.observe();
-        let snap = sys.net_mut().obs_mut().take_epoch(c);
-        lines.push(sys.net().obs().epoch_json(&snap));
+        if obs_due {
+            let snap = sys.net_mut().obs_mut().take_epoch(c);
+            obs_lines.push(sys.net().obs().epoch_json(&snap));
+        }
+        if !watch_due {
+            return;
+        }
+        let w = watch.as_mut().expect("watch_due implies a watcher");
+        let tick = w.feed(sys.net());
+        for alert in &tick.alerts {
+            let line = alert.jsonl();
+            eprintln!("[watch] {line}");
+            if let Some(f) = watch_file.as_mut() {
+                // Flushed per line so `upp-trace live --follow` sees
+                // alerts as they fire.
+                let _ = writeln!(f, "{line}");
+                let _ = f.flush();
+            }
+        }
+        if tick.capture {
+            match &args.watch_capture_dir {
+                Some(dir) => {
+                    match upp_noc::watch::capture_forensics(sys, std::path::Path::new(dir), c) {
+                        Ok(b) => eprintln!(
+                            "[watch] critical: captured forensics bundle \
+                             ({} files) in {dir}",
+                            b.files.len()
+                        ),
+                        Err(e) => {
+                            eprintln!("[watch] could not capture forensics in {dir}: {e}")
+                        }
+                    }
+                }
+                None => eprintln!(
+                    "[watch] critical alert; pass --watch-capture-dir DIR \
+                     to auto-capture forensics"
+                ),
+            }
+        }
     };
 
     let mut traffic = SyntheticTraffic::new(sys.net().topo(), args.pattern, args.rate, args.seed);
@@ -472,33 +616,61 @@ fn main() {
         if let Some(s) = sampler.as_mut() {
             s.maybe_sample(sys.net());
         }
-        obs_sample(&mut sys, &mut obs_lines);
+        epoch_tick(&mut sys, &mut obs_lines, &mut watch, &mut watch_file);
         drain_spans(&mut sys, &mut profile);
         if sys.net().stalled() {
             eprintln!("network stalled (deadlock) at cycle {cycle}");
             break;
         }
     }
-    let outcome = if sampler.is_some() || profile.is_some() || args.obs_every.is_some() {
-        // Manual drain loop so epoch sampling and span streaming continue
-        // to the end; the zero-budget call afterwards just classifies the
-        // final state. (Telemetry epochs in particular must land on exact
-        // cycle boundaries, which fast-forwarding would step over.)
-        for _ in 0..args.cycles {
-            if sys.net().in_flight() == 0 || sys.net().stalled() {
-                break;
+    let outcome =
+        if sampler.is_some() || profile.is_some() || args.obs_every.is_some() || watch.is_some() {
+            // Manual drain loop so epoch sampling and span streaming continue
+            // to the end; the zero-budget call afterwards just classifies the
+            // final state. (Telemetry epochs in particular must land on exact
+            // cycle boundaries, which fast-forwarding would step over.)
+            for _ in 0..args.cycles {
+                if sys.net().in_flight() == 0 || sys.net().stalled() {
+                    break;
+                }
+                sys.step();
+                if let Some(s) = sampler.as_mut() {
+                    s.maybe_sample(sys.net());
+                }
+                epoch_tick(&mut sys, &mut obs_lines, &mut watch, &mut watch_file);
+                drain_spans(&mut sys, &mut profile);
             }
-            sys.step();
-            if let Some(s) = sampler.as_mut() {
-                s.maybe_sample(sys.net());
+            sys.run_until_drained(0)
+        } else {
+            sys.run_until_drained(args.cycles)
+        };
+    // Sharded-kernel telemetry (mailbox high-waters, per-shard merge
+    // counts) surfaces as obs gauges — but only when a shard runtime
+    // actually exists, so serial runs (and the golden-pinned payloads)
+    // keep their exact byte streams.
+    let shard_telemetry = sys.net().shard_telemetry();
+    if let Some(t) = &shard_telemetry {
+        if sys.net().obs().is_enabled() {
+            let obs = sys.net_mut().obs_mut();
+            let g = obs.gauge("shard.mailbox.capacity");
+            obs.gauge_set(g, t.mailbox_capacity as u64);
+            for (i, (&hw, &merged)) in t
+                .mailbox_high_water
+                .iter()
+                .zip(t.merged_entries.iter())
+                .enumerate()
+            {
+                let g = obs.gauge(&format!("shard.{i}.mailbox_high_water"));
+                obs.gauge_set(g, hw as u64);
+                let g = obs.gauge(&format!("shard.{i}.merged_entries"));
+                obs.gauge_set(g, merged);
             }
-            obs_sample(&mut sys, &mut obs_lines);
-            drain_spans(&mut sys, &mut profile);
         }
-        sys.run_until_drained(0)
-    } else {
-        sys.run_until_drained(args.cycles)
-    };
+        eprintln!(
+            "[shards] {} shards | mailbox high-water {:?} of {} | merged entries {:?}",
+            t.shards, t.mailbox_high_water, t.mailbox_capacity, t.merged_entries
+        );
+    }
     // Final telemetry sample: refresh the sampled gauges once so the
     // summary reflects the end state, then cut the summary. Exact counters
     // are unaffected (they accumulate at the event sites, fast-forward or
@@ -576,7 +748,9 @@ fn main() {
         tracer.flush();
     }
     let trace_dropped = tracer.dropped();
-    if trace_dropped > 0 {
+    if trace_dropped > 0 && !auto_ring {
+        // The watch auto-ring is *meant* to overflow (it keeps a tail for
+        // forensics), so the warning only fires for user-armed rings.
         eprintln!(
             "warning: trace ring overflowed; {trace_dropped} oldest events \
              dropped (raise --trace-ring-cap)"
@@ -638,6 +812,26 @@ fn main() {
         println!("telemetry summary:");
         println!("{summary}");
     }
+    // Watch verdict, human-visible; the alert lines themselves streamed
+    // to stderr (and --watch-out) as they fired.
+    if let Some(w) = &watch {
+        if w.total_raised() == 0 {
+            println!(
+                "watch: healthy ({} detectors, 0 alerts)",
+                upp_noc::watch::NUM_DETECTORS
+            );
+        } else {
+            println!("watch: {} alerts raised", w.total_raised());
+            for (d, n) in upp_noc::watch::Detector::ALL.iter().zip(w.alert_counts()) {
+                if n > 0 {
+                    println!("  {:<22} {n}", d.name());
+                }
+            }
+        }
+        if let Some(path) = &args.watch_out {
+            eprintln!("wrote {path} ({} alert lines)", w.alerts().len());
+        }
+    }
 
     // Machine-readable final stats.
     if let Some(path) = &args.json {
@@ -654,8 +848,25 @@ fn main() {
             Some(s) => format!(",\n  \"obs\": {s}"),
             None => String::new(),
         };
+        // Same golden-compatibility rule for the "watch" and "shards"
+        // keys: absent unless telemetry was explicitly requested. The
+        // "shards" key in particular must NOT appear on a bare sharded
+        // run — the scheduler goldens compare `--shards N` output
+        // byte-for-byte against the serial recordings.
+        let watch_field = match &watch {
+            Some(w) => format!(",\n  \"watch\": {}", w.counts_json()),
+            None => String::new(),
+        };
+        let shards_field = match shard_telemetry.as_ref().filter(|_| args.obs || args.watch) {
+            Some(t) => format!(
+                ",\n  \"shards\": {{\"count\": {}, \"mailbox_capacity\": {}, \
+                 \"mailbox_high_water\": {:?}, \"merged_entries\": {:?}}}",
+                t.shards, t.mailbox_capacity, t.mailbox_high_water, t.merged_entries
+            ),
+            None => String::new(),
+        };
         let payload = format!(
-            "{{\n  \"outcome\": \"{outcome:?}\",\n  \"cycles\": {},\n  \"endpoints\": {nodes},\n  \"trace_dropped\": {trace_dropped},\n  \"net\": {net_json},\n  \"upp\": {upp_json}{obs_field}\n}}\n",
+            "{{\n  \"outcome\": \"{outcome:?}\",\n  \"cycles\": {},\n  \"endpoints\": {nodes},\n  \"trace_dropped\": {trace_dropped},\n  \"net\": {net_json},\n  \"upp\": {upp_json}{obs_field}{watch_field}{shards_field}\n}}\n",
             sys.net().cycle()
         );
         match std::fs::write(path, payload) {

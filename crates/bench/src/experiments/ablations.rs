@@ -81,6 +81,7 @@ fn sweep_custom(
             p99: stats.latency_percentile(0.99),
             p999: stats.latency_percentile(0.999),
             deadlocked: stats.packets_ejected == 0,
+            alerts: upp_workloads::runner::AlertCounts::default(),
         }
     })
 }

@@ -20,7 +20,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use upp_noc::config::NocConfig;
 use upp_noc::topology::ChipletSystemSpec;
-use upp_workloads::runner::{run_point, SchemeKind, SweepPoint, SweepWindows};
+use upp_workloads::runner::{run_point, AlertCounts, SchemeKind, SweepPoint, SweepWindows};
 use upp_workloads::synthetic::Pattern;
 
 // ------------------------------------------------------------ jobs control
@@ -380,6 +380,20 @@ impl FromJsonValue for SweepPoint {
             p99: v.get("p99")?.as_f64()?,
             p999: v.get("p999")?.as_f64()?,
             deadlocked: matches!(v.get("deadlocked")?, Value::Bool(true)),
+            // Journals from before the watch column lack this object;
+            // returning None makes the engine re-run the point.
+            alerts: {
+                let a = v.get("alerts")?;
+                AlertCounts {
+                    throughput_collapse: a.get("throughput_collapse")?.as_u64()?,
+                    injection_starvation: a.get("injection_starvation")?.as_u64()?,
+                    popup_storm: a.get("popup_storm")?.as_u64()?,
+                    watchdog_cascade: a.get("watchdog_cascade")?.as_u64()?,
+                    circuit_saturation: a.get("circuit_saturation")?.as_u64()?,
+                    permit_queue_runaway: a.get("permit_queue_runaway")?.as_u64()?,
+                    shard_imbalance: a.get("shard_imbalance")?.as_u64()?,
+                }
+            },
         })
     }
 }
@@ -619,6 +633,15 @@ mod tests {
             p99: 62.25,
             p999: 80.0,
             deadlocked: false,
+            alerts: AlertCounts {
+                throughput_collapse: 2,
+                injection_starvation: 1,
+                popup_storm: 0,
+                watchdog_cascade: 0,
+                circuit_saturation: 0,
+                permit_queue_runaway: 0,
+                shard_imbalance: 3,
+            },
         };
         let v = serde_json::to_value(p).unwrap();
         let back = SweepPoint::from_json_value(&v).unwrap();

@@ -257,6 +257,21 @@ impl Network {
         self.shard_rt.as_ref().map_or(1, |rt| rt.plan.shards())
     }
 
+    /// The sharded kernel's pressure telemetry (`None` on the serial
+    /// kernel). Inherently kernel-dependent, so no byte-pinned export
+    /// includes it automatically — callers opt in (see `simulate`, which
+    /// publishes it as `shard.*` obs gauges when telemetry is enabled).
+    pub fn shard_telemetry(&self) -> Option<crate::shard::ShardTelemetry> {
+        self.shard_rt
+            .as_ref()
+            .map(|rt| crate::shard::ShardTelemetry {
+                shards: rt.plan.shards(),
+                mailbox_capacity: rt.mailbox_capacity,
+                mailbox_high_water: rt.mailbox_high_water.clone(),
+                merged_entries: rt.merged_entries.clone(),
+            })
+    }
+
     /// Enables or disables the active-set scheduler at runtime. Disabling
     /// restores the always-tick reference kernel; re-enabling marks every
     /// component active (conservative) so no pending work can be missed.
@@ -1112,12 +1127,18 @@ impl Network {
 
         for phase in 0..2 {
             for range in 0..2 {
-                for scratch in rt.scratch.iter_mut() {
+                for (s, scratch) in rt.scratch.iter_mut().enumerate() {
                     let seg = &mut scratch.segs[phase][range];
+                    // Mailbox-pressure telemetry (cheap max/add on the
+                    // merge path): how close each shard's event mailbox
+                    // came to its capacity, and how much it merged.
+                    rt.mailbox_high_water[s] = rt.mailbox_high_water[s].max(seg.emit.len());
+                    rt.merged_entries[s] += (seg.emit.len() + seg.injected.len()) as u64;
                     for pkt in seg.injected.drain(..) {
                         self.tracker.on_injected(pkt, now);
                     }
                     let mut captured = seg.trace.drain_captured();
+                    rt.merged_entries[s] += captured.len() as u64;
                     for ev in captured.drain(..) {
                         self.tracer.record(ev);
                     }

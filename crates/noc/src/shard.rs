@@ -255,6 +255,24 @@ impl ShardScratch {
     }
 }
 
+/// Read-only snapshot of the sharded kernel's own pressure telemetry:
+/// how full the fixed-capacity mailboxes ran and how much each shard
+/// merged. Kernel-dependent by nature (the serial kernel has no
+/// mailboxes), so it is surfaced only on explicit request — obs gauges
+/// and the byte-pinned export paths never include it implicitly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardTelemetry {
+    /// Effective shard count.
+    pub shards: usize,
+    /// Capacity every event mailbox was allocated with.
+    pub mailbox_capacity: usize,
+    /// Highest event-mailbox fill observed, per shard.
+    pub mailbox_high_water: Vec<usize>,
+    /// Mailbox entries (events + traces + injection notices) merged, per
+    /// shard.
+    pub merged_entries: Vec<u64>,
+}
+
 /// Everything the sharded kernel owns: the partition, the worker pool and
 /// one scratch per shard.
 pub(crate) struct ShardRuntime {
@@ -262,6 +280,13 @@ pub(crate) struct ShardRuntime {
     pub pool: WorkerPool,
     pub scratch: Vec<ShardScratch>,
     pub mailbox_capacity: usize,
+    /// Highest fill of any event mailbox (`SegBuf::emit`) seen per shard,
+    /// measured on the main-thread merge path. Pure telemetry: surfaced as
+    /// obs gauges and in `simulate`, never read by the kernel.
+    pub mailbox_high_water: Vec<usize>,
+    /// Total mailbox entries (events + trace records + injection notices)
+    /// merged per shard over the run.
+    pub merged_entries: Vec<u64>,
 }
 
 impl std::fmt::Debug for ShardRuntime {
@@ -281,6 +306,8 @@ impl ShardRuntime {
             pool: WorkerPool::new(shards - 1),
             scratch: (0..shards).map(|_| ShardScratch::new(num_vnets)).collect(),
             mailbox_capacity,
+            mailbox_high_water: vec![0; shards],
+            merged_entries: vec![0; shards],
         }
     }
 

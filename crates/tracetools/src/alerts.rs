@@ -1,0 +1,328 @@
+//! Analysis over health-monitor alert streams (`upp_noc::watch`).
+//!
+//! Input is the `upp-alerts/v1` JSONL shape written by
+//! `simulate --watch-out` (and embedded per-point by `repro --watch-out`):
+//! a header line marked `"upp_alerts": 1` followed by one alert object per
+//! line. Files carrying a different schema tag are rejected up front.
+//!
+//! The renderers mirror the `obs` module: a human table
+//! ([`report_text`]), a flat CSV timeline ([`timeline_csv`]) and an SVG
+//! lane chart ([`lanes_svg`]) with one horizontal lane per detector and
+//! one mark per hysteresis transition. All output is deterministic —
+//! fixed iteration order, integer-only values.
+
+use std::fmt::Write as _;
+
+use serde_json::Value;
+use upp_noc::watch::ALERTS_SCHEMA;
+
+/// One parsed alert line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AlertRecord {
+    /// Detector identifier (`throughput_collapse`, ...).
+    pub detector: String,
+    /// Transition: `raise`, `escalate` or `clear`.
+    pub event: String,
+    /// Severity after the transition: `info`, `warning` or `critical`.
+    pub severity: String,
+    /// The metric the detector triggers on.
+    pub metric: String,
+    /// Metric value at the emitting epoch.
+    pub value: u64,
+    /// Threshold the value was compared against.
+    pub threshold: u64,
+    /// First epoch cycle of the triggering span.
+    pub from_cycle: u64,
+    /// Cycle of the epoch that emitted the alert.
+    pub at_cycle: u64,
+}
+
+impl AlertRecord {
+    /// Parses one alert JSONL line (no header); `None` when the line is
+    /// not a complete alert object. Used by `upp-trace live` to render
+    /// lines as they are appended.
+    pub fn from_json_line(line: &str) -> Option<Self> {
+        Self::from_value(&serde_json::from_str(line).ok()?)
+    }
+
+    fn from_value(v: &Value) -> Option<Self> {
+        Some(Self {
+            detector: v.get("detector")?.as_str()?.to_string(),
+            event: v.get("event")?.as_str()?.to_string(),
+            severity: v.get("severity")?.as_str()?.to_string(),
+            metric: v.get("metric")?.as_str()?.to_string(),
+            value: v.get("value")?.as_u64()?,
+            threshold: v.get("threshold")?.as_u64()?,
+            from_cycle: v.get("from_cycle")?.as_u64()?,
+            at_cycle: v.get("at_cycle")?.as_u64()?,
+        })
+    }
+
+    /// One fixed-width human line (shared by `upp-trace alerts` and
+    /// `upp-trace live`).
+    pub fn render_line(&self) -> String {
+        format!(
+            "{:>10}  {:<8} {:<9} {:<21} {}={} (threshold {}, since cycle {})",
+            self.at_cycle,
+            self.event,
+            self.severity,
+            self.detector,
+            self.metric,
+            self.value,
+            self.threshold,
+            self.from_cycle
+        )
+    }
+}
+
+/// A parsed `upp-alerts/v1` stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AlertsReport {
+    /// Watch epoch length recorded in the header.
+    pub every: u64,
+    /// Alert records, in stream (emission) order.
+    pub alerts: Vec<AlertRecord>,
+}
+
+/// True when `v` is an `upp-alerts/v1` stream header.
+pub fn is_alerts_header(v: &Value) -> bool {
+    matches!(v.get("upp_alerts").and_then(Value::as_u64), Some(1))
+}
+
+impl AlertsReport {
+    /// Parses a full alert JSONL document (header line plus alert lines).
+    ///
+    /// # Errors
+    ///
+    /// Rejects missing/foreign headers, schema-tag mismatches and
+    /// malformed alert lines, naming the offending line.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut lines = text.lines().filter(|l| !l.trim().is_empty());
+        let header_line = lines.next().ok_or("empty input")?;
+        let header: Value = serde_json::from_str(header_line)
+            .map_err(|e| format!("header line is not JSON: {e}"))?;
+        if !is_alerts_header(&header) {
+            return Err("not an upp-alerts stream (no \"upp_alerts\" header)".into());
+        }
+        match header.get("schema").and_then(Value::as_str) {
+            Some(s) if s == ALERTS_SCHEMA => {}
+            other => {
+                return Err(format!(
+                    "alert schema mismatch: file has {other:?}, reader expects {ALERTS_SCHEMA:?}"
+                ))
+            }
+        }
+        let every = header
+            .get("every")
+            .and_then(Value::as_u64)
+            .ok_or("header lacks \"every\"")?;
+        let mut alerts = Vec::new();
+        for (i, line) in lines.enumerate() {
+            let v: Value = serde_json::from_str(line)
+                .map_err(|e| format!("alert line {}: not JSON: {e}", i + 2))?;
+            // Multi-point streams (`repro --watch-out`) interleave
+            // `{"upp_alerts_point":1,...}` context lines between groups;
+            // they are separators, not alerts.
+            if v.get("upp_alerts_point").is_some() {
+                continue;
+            }
+            let rec = AlertRecord::from_value(&v)
+                .ok_or_else(|| format!("alert line {}: missing fields", i + 2))?;
+            alerts.push(rec);
+        }
+        Ok(Self { every, alerts })
+    }
+}
+
+/// Human report: stream parameters, per-detector counts, then the
+/// transition table in emission order.
+pub fn report_text(r: &AlertsReport) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "upp-alerts stream: {} transitions, epoch {} cycles",
+        r.alerts.len(),
+        r.every
+    );
+    // Per-detector totals in the watch module's stable reporting order,
+    // skipping detectors that never fired.
+    for d in upp_noc::watch::Detector::ALL {
+        let raised = r
+            .alerts
+            .iter()
+            .filter(|a| a.detector == d.name() && a.event != "clear")
+            .count();
+        let cleared = r
+            .alerts
+            .iter()
+            .filter(|a| a.detector == d.name() && a.event == "clear")
+            .count();
+        if raised + cleared > 0 {
+            let _ = writeln!(out, "  {:<21} {raised} raised, {cleared} cleared", d.name());
+        }
+    }
+    if r.alerts.is_empty() {
+        let _ = writeln!(out, "  (healthy: no alerts)");
+        return out;
+    }
+    let _ = writeln!(
+        out,
+        "{:>10}  {:<8} {:<9} {:<21} trigger",
+        "cycle", "event", "severity", "detector"
+    );
+    for a in &r.alerts {
+        let _ = writeln!(out, "{}", a.render_line());
+    }
+    out
+}
+
+/// Flat CSV timeline: one row per transition, emission order.
+pub fn timeline_csv(r: &AlertsReport) -> String {
+    let mut out =
+        String::from("at_cycle,from_cycle,detector,event,severity,metric,value,threshold\n");
+    for a in &r.alerts {
+        let _ = writeln!(
+            out,
+            "{},{},{},{},{},{},{},{}",
+            a.at_cycle,
+            a.from_cycle,
+            a.detector,
+            a.event,
+            a.severity,
+            a.metric,
+            a.value,
+            a.threshold
+        );
+    }
+    out
+}
+
+fn severity_color(severity: &str) -> &'static str {
+    match severity {
+        "critical" => "#c0392b",
+        "warning" => "#e67e22",
+        _ => "#27ae60",
+    }
+}
+
+/// SVG lane chart: one horizontal lane per detector (in stable order,
+/// only detectors that fired), a span bar from `from_cycle` to `at_cycle`
+/// per transition and a severity-colored marker at the transition cycle.
+pub fn lanes_svg(r: &AlertsReport) -> String {
+    let lanes: Vec<&'static str> = upp_noc::watch::Detector::ALL
+        .iter()
+        .map(|d| d.name())
+        .filter(|n| r.alerts.iter().any(|a| &a.detector == n))
+        .collect();
+    let max_cycle = r
+        .alerts
+        .iter()
+        .map(|a| a.at_cycle)
+        .max()
+        .unwrap_or(r.every)
+        .max(1);
+    let (left, lane_h, plot_w) = (170.0_f64, 26.0_f64, 640.0_f64);
+    let width = left + plot_w + 20.0;
+    let height = 40.0 + lanes.len().max(1) as f64 * lane_h + 20.0;
+    let x = |c: u64| left + c as f64 / max_cycle as f64 * plot_w;
+    let mut s = format!(
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{width:.0}\" height=\"{height:.0}\" \
+         viewBox=\"0 0 {width:.0} {height:.0}\" font-family=\"monospace\" font-size=\"11\">\n\
+         <text x=\"8\" y=\"16\">upp-alerts timeline (0..{max_cycle} cycles, epoch {})</text>\n",
+        r.every
+    );
+    for (i, name) in lanes.iter().enumerate() {
+        let y = 40.0 + i as f64 * lane_h;
+        let _ = writeln!(
+            s,
+            "<text x=\"8\" y=\"{:.1}\">{name}</text>\n\
+             <line x1=\"{left:.1}\" y1=\"{:.1}\" x2=\"{:.1}\" y2=\"{:.1}\" \
+             stroke=\"#dddddd\" stroke-width=\"1\"/>",
+            y + lane_h * 0.65,
+            y + lane_h * 0.5,
+            left + plot_w,
+            y + lane_h * 0.5
+        );
+        for a in r.alerts.iter().filter(|a| a.detector == *name) {
+            let (x0, x1) = (x(a.from_cycle), x(a.at_cycle));
+            let yc = y + lane_h * 0.5;
+            let color = severity_color(&a.severity);
+            let _ = writeln!(
+                s,
+                "<line x1=\"{x0:.1}\" y1=\"{yc:.1}\" x2=\"{x1:.1}\" y2=\"{yc:.1}\" \
+                 stroke=\"{color}\" stroke-width=\"4\" stroke-opacity=\"0.45\"/>\n\
+                 <circle cx=\"{x1:.1}\" cy=\"{yc:.1}\" r=\"4\" fill=\"{color}\">\
+                 <title>{} {} at {} ({}={} threshold {})</title></circle>",
+                a.detector, a.event, a.at_cycle, a.metric, a.value, a.threshold
+            );
+        }
+    }
+    if lanes.is_empty() {
+        let _ = writeln!(
+            s,
+            "<text x=\"{left:.1}\" y=\"52\">healthy: no alerts</text>"
+        );
+    }
+    s.push_str("</svg>\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> String {
+        let mut s = upp_noc::watch::alerts_header_json(100);
+        s.push('\n');
+        s.push_str(
+            "{\"detector\":\"throughput_collapse\",\"event\":\"raise\",\
+             \"severity\":\"warning\",\"metric\":\"flits_per_epoch\",\"value\":6,\
+             \"threshold\":103,\"from_cycle\":900,\"at_cycle\":1000}\n\
+             {\"detector\":\"throughput_collapse\",\"event\":\"escalate\",\
+             \"severity\":\"critical\",\"metric\":\"flits_per_epoch\",\"value\":2,\
+             \"threshold\":63,\"from_cycle\":900,\"at_cycle\":1200}\n",
+        );
+        s
+    }
+
+    #[test]
+    fn parses_and_renders_a_stream() {
+        let r = AlertsReport::parse(&sample()).unwrap();
+        assert_eq!(r.every, 100);
+        assert_eq!(r.alerts.len(), 2);
+        assert_eq!(r.alerts[1].event, "escalate");
+        let text = report_text(&r);
+        assert!(text.contains("2 transitions"), "{text}");
+        assert!(text.contains("throughput_collapse"), "{text}");
+        let csv = timeline_csv(&r);
+        assert_eq!(csv.lines().count(), 3);
+        assert!(csv.lines().nth(2).unwrap().starts_with("1200,900,"));
+        let svg = lanes_svg(&r);
+        assert!(svg.contains("<svg"), "{svg}");
+        assert!(svg.contains("#c0392b"), "critical marker color: {svg}");
+    }
+
+    #[test]
+    fn rejects_foreign_and_malformed_input() {
+        assert!(AlertsReport::parse("").is_err());
+        assert!(AlertsReport::parse("{\"upp_obs\":1}\n").is_err());
+        let wrong_schema = "{\"upp_alerts\":1,\"schema\":\"upp-alerts/v9\",\"every\":10}\n";
+        let err = AlertsReport::parse(wrong_schema).unwrap_err();
+        assert!(err.contains("schema mismatch"), "{err}");
+        let bad_line = format!(
+            "{}\n{{\"detector\":1}}\n",
+            upp_noc::watch::alerts_header_json(5)
+        );
+        let err = AlertsReport::parse(&bad_line).unwrap_err();
+        assert!(err.contains("line 2"), "{err}");
+    }
+
+    #[test]
+    fn empty_stream_reports_healthy() {
+        let header = upp_noc::watch::alerts_header_json(200) + "\n";
+        let r = AlertsReport::parse(&header).unwrap();
+        assert!(r.alerts.is_empty());
+        assert!(report_text(&r).contains("healthy"));
+        assert!(lanes_svg(&r).contains("healthy"));
+    }
+}

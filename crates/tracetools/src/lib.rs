@@ -16,8 +16,11 @@
 //! * [`obs`] — per-metric reports, time-series CSV and SVG over the
 //!   protocol-state telemetry written by `simulate --obs`/`--obs-every`
 //!   (`upp_noc::obs` summaries and epoch streams);
+//! * [`alerts`] — tables, CSV timelines and SVG lane charts over the
+//!   `upp-alerts/v1` health-monitor streams written by
+//!   `simulate --watch-out` (`upp_noc::watch`);
 //! * the `upp-trace` CLI (`analyze`, `heatmap`, `critical-path`, `diff`,
-//!   `obs`) over all input shapes.
+//!   `obs`, `alerts`, `live`) over all input shapes.
 //!
 //! The streaming path matters at scale: `simulate --profile` folds spans
 //! into a [`summary::ProfileSummary`] as the run progresses, so a
@@ -28,12 +31,14 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod alerts;
 pub mod events;
 pub mod histogram;
 pub mod obs;
 pub mod render;
 pub mod summary;
 
+pub use alerts::AlertsReport;
 pub use histogram::Histogram;
 pub use obs::ObsReport;
 pub use summary::{PhaseTotals, ProfileSummary};

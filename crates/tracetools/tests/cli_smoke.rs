@@ -171,3 +171,64 @@ fn heatmap_critical_path_and_diff_run_end_to_end() {
         "diff shows phase deltas:\n{diff}"
     );
 }
+
+/// A small `upp-alerts/v1` stream: one collapse span that escalates and
+/// clears, plus a starvation raise (the shape a wedged run produces).
+fn sample_alerts() -> String {
+    [
+        r#"{"upp_alerts":1,"schema":"upp-alerts/v1","every":100}"#,
+        r#"{"detector":"throughput_collapse","event":"raise","severity":"warning","metric":"flits_per_epoch","value":6,"threshold":103,"from_cycle":900,"at_cycle":1000}"#,
+        r#"{"detector":"throughput_collapse","event":"escalate","severity":"critical","metric":"flits_per_epoch","value":2,"threshold":63,"from_cycle":900,"at_cycle":1200}"#,
+        r#"{"detector":"throughput_collapse","event":"clear","severity":"info","metric":"flits_per_epoch","value":0,"threshold":0,"from_cycle":900,"at_cycle":1800}"#,
+        r#"{"detector":"injection_starvation","event":"raise","severity":"warning","metric":"in_flight","value":3482,"threshold":1,"from_cycle":2100,"at_cycle":2200}"#,
+    ]
+    .map(|l| l.to_string() + "\n")
+    .concat()
+}
+
+#[test]
+fn alerts_renders_table_csv_and_svg() {
+    let stream = tmp_path("alerts.jsonl");
+    std::fs::write(&stream, sample_alerts()).expect("write alerts");
+    let csv = tmp_path("alerts.csv");
+    let svg = tmp_path("alerts.svg");
+    let table = upp_trace(&[
+        "alerts",
+        stream.to_str().expect("utf-8"),
+        "--csv-out",
+        csv.to_str().expect("utf-8"),
+        "--svg-out",
+        svg.to_str().expect("utf-8"),
+    ]);
+    assert!(
+        table.contains("throughput_collapse") && table.contains("injection_starvation"),
+        "table lists both detectors:\n{table}"
+    );
+    assert!(table.contains("critical"), "severity shown:\n{table}");
+    let csv = std::fs::read_to_string(&csv).expect("csv written");
+    assert!(
+        csv.starts_with("at_cycle,from_cycle,detector,event,severity,metric,value,threshold"),
+        "csv header:\n{csv}"
+    );
+    assert_eq!(csv.lines().count(), 5, "header plus four alerts:\n{csv}");
+    let svg = std::fs::read_to_string(&svg).expect("svg written");
+    assert!(svg.starts_with("<svg"), "svg rendered");
+    assert!(svg.contains("throughput_collapse"), "lane labelled:\n{svg}");
+}
+
+#[test]
+fn live_renders_a_finished_stream_and_exits() {
+    let stream = tmp_path("live.jsonl");
+    std::fs::write(&stream, sample_alerts()).expect("write alerts");
+    let out = upp_trace(&["live", stream.to_str().expect("utf-8")]);
+    assert!(
+        out.contains("live: upp-alerts stream (epoch 100 cycles)"),
+        "header rendered:\n{out}"
+    );
+    // One rendered line per alert record, after the header line.
+    assert_eq!(out.lines().count(), 5, "all lines rendered:\n{out}");
+    assert!(
+        out.contains("escalate") && out.contains("flits_per_epoch=2"),
+        "records rendered in table shape:\n{out}"
+    );
+}

@@ -66,6 +66,13 @@ pub struct RunReport {
     /// contention counters) — lets campaign reports explain *where* each
     /// scheme's cycles went, not just whether it drained.
     pub profile: ProfileSummary,
+    /// Health-monitor alert stream of the run: one `upp-alerts/v1` JSONL
+    /// line per hysteresis transition, in emission order. Every scenario
+    /// run arms the watcher, so harness assertions can demand clean runs
+    /// stay alert-free and wedged runs fire the deadlock-adjacent
+    /// detectors. Byte-equality across kernels/schedulers is enforced by
+    /// the equivalence suites.
+    pub alerts: Vec<String>,
 }
 
 impl RunReport {
@@ -170,6 +177,26 @@ pub fn run_scenario_sharded(
     scheduler: bool,
     shards: usize,
 ) -> RunReport {
+    run_scenario_watched(
+        sc,
+        oracle_cfg,
+        scheduler,
+        shards,
+        upp_noc::watch::WatchConfig::default(),
+    )
+}
+
+/// [`run_scenario_sharded`] with explicit health-monitor tuning — the
+/// watch differential tests lower thresholds to exercise scheme-specific
+/// detectors (popup storms, permit runaway) on mini scenarios whose
+/// absolute rates never reach the production defaults.
+pub fn run_scenario_watched(
+    sc: &Scenario,
+    oracle_cfg: OracleConfig,
+    scheduler: bool,
+    shards: usize,
+    watch_cfg: upp_noc::watch::WatchConfig,
+) -> RunReport {
     let spec = system_spec(&sc.system).expect("known system");
     let kind = scheme_kind(&sc.scheme).expect("known scheme");
     let cfg = NocConfig::default().with_vcs_per_vnet(sc.vcs_per_vnet);
@@ -187,6 +214,13 @@ pub fn run_scenario_sharded(
         .net_mut()
         .tracer_mut()
         .set_profiler(Some(Box::new(SpanRecorder::new())));
+    // The health monitor observes every run (obs is registry-only and the
+    // watcher reads cumulative values, so neither perturbs the protocols
+    // or the delivered multisets).
+    built.sys.net_mut().enable_obs();
+    let watch_every = watch_cfg.every;
+    let mut watcher = upp_noc::watch::Watcher::new(watch_cfg);
+    watcher.arm(built.sys.net());
     let endpoints: Vec<NodeId> = {
         let topo = built.sys.net().topo();
         topo.chiplets()
@@ -238,6 +272,10 @@ pub fn run_scenario_sharded(
                 }
             }
         }
+        if built.sys.net().cycle().is_multiple_of(watch_every) {
+            built.sys.observe();
+            watcher.feed(built.sys.net());
+        }
         oracle.observe(built.sys.net());
         if let Some(v) = oracle.violation() {
             break Verdict::OracleViolation(v.clone());
@@ -270,6 +308,7 @@ pub fn run_scenario_sharded(
         verdict,
         end_cycle: built.sys.net().cycle(),
         profile,
+        alerts: watcher.alerts().iter().map(|a| a.jsonl()).collect(),
     }
 }
 

@@ -2,8 +2,9 @@
 //! idle routers/NIs, fast-forward quiescent gaps) must be unobservable.
 //! For random scenarios across every recovery scheme, a run with the
 //! scheduler on and the same run with it off must produce identical
-//! delivered-packet multisets, identical verdicts at identical cycles, and
-//! identical latency-attribution profiles — the scheduler may only change
+//! delivered-packet multisets, identical verdicts at identical cycles,
+//! identical latency-attribution profiles and identical health-monitor
+//! alert streams — the scheduler may only change
 //! how fast wall-clock time passes, never what the simulation computes.
 
 use proptest::prelude::*;
@@ -61,6 +62,7 @@ proptest! {
         prop_assert_eq!(&on.sent, &off.sent, "accepted-send multiset diverged");
         prop_assert_eq!(&on.delivered, &off.delivered, "delivered multiset diverged");
         prop_assert_eq!(&on.profile, &off.profile, "latency profile diverged");
+        prop_assert_eq!(&on.alerts, &off.alerts, "alert stream diverged");
     }
 
     /// The scheduler and the sharded parallel kernel compose: the cross
@@ -98,6 +100,11 @@ proptest! {
             &serial_off.profile,
             &sharded_on.profile,
             "latency profile diverged"
+        );
+        prop_assert_eq!(
+            &serial_off.alerts,
+            &sharded_on.alerts,
+            "alert stream diverged"
         );
     }
 

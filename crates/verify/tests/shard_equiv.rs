@@ -4,7 +4,8 @@
 //! cross shard boundaries — a serial run and the same run at 2 and 4
 //! shards must produce identical delivered-packet multisets, identical
 //! verdicts at identical cycles, identical latency-attribution profiles,
-//! identical stats snapshots and identical telemetry bytes. Sharding may
+//! identical stats snapshots, identical telemetry bytes and identical
+//! health-monitor alert streams. Sharding may
 //! only change which thread computes a router's cycle, never what the
 //! simulation computes.
 
@@ -64,6 +65,7 @@ proptest! {
         prop_assert_eq!(&serial.sent, &sharded.sent, "accepted-send multiset diverged");
         prop_assert_eq!(&serial.delivered, &sharded.delivered, "delivered multiset diverged");
         prop_assert_eq!(&serial.profile, &sharded.profile, "latency profile diverged");
+        prop_assert_eq!(&serial.alerts, &sharded.alerts, "alert stream diverged");
     }
 
     /// Drain-loop equivalence on the full baseline system: a traffic burst

@@ -182,6 +182,54 @@ impl SweepWindows {
     }
 }
 
+/// Per-detector raised-alert counts for one run (watch health monitoring,
+/// `upp-alerts/v1`), as named fields in [`upp_noc::watch::Detector::ALL`]
+/// order so journal rows stay flat, diffable JSON.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AlertCounts {
+    /// Raised `throughput_collapse` alerts.
+    pub throughput_collapse: u64,
+    /// Raised `injection_starvation` alerts.
+    pub injection_starvation: u64,
+    /// Raised `popup_storm` alerts.
+    pub popup_storm: u64,
+    /// Raised `watchdog_cascade` alerts.
+    pub watchdog_cascade: u64,
+    /// Raised `circuit_saturation` alerts.
+    pub circuit_saturation: u64,
+    /// Raised `permit_queue_runaway` alerts.
+    pub permit_queue_runaway: u64,
+    /// Raised `shard_imbalance` alerts.
+    pub shard_imbalance: u64,
+}
+
+impl AlertCounts {
+    /// Folds a finished watcher's raised counts into named fields.
+    pub fn from_watcher(w: &upp_noc::watch::Watcher) -> Self {
+        let c = w.alert_counts();
+        Self {
+            throughput_collapse: c[0],
+            injection_starvation: c[1],
+            popup_storm: c[2],
+            watchdog_cascade: c[3],
+            circuit_saturation: c[4],
+            permit_queue_runaway: c[5],
+            shard_imbalance: c[6],
+        }
+    }
+
+    /// Total raised alerts across all detectors.
+    pub fn total(&self) -> u64 {
+        self.throughput_collapse
+            + self.injection_starvation
+            + self.popup_storm
+            + self.watchdog_cascade
+            + self.circuit_saturation
+            + self.permit_queue_runaway
+            + self.shard_imbalance
+    }
+}
+
 /// One measured sweep point.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct SweepPoint {
@@ -213,6 +261,50 @@ pub struct SweepPoint {
     /// True if the watchdog fired during the run (possible only for
     /// `SchemeKind::None`).
     pub deadlocked: bool,
+    /// Health-monitor alert counts over the measurement window: every
+    /// point runs the default [`upp_noc::watch::Watcher`], so sweeps
+    /// double as a fleet-wide anomaly scan.
+    pub alerts: AlertCounts,
+}
+
+/// Process-wide alert sink for sweep points (the `repro --watch-out`
+/// flag). Each finished point with alerts appends one context line
+/// (`{"upp_alerts_point":1,...}`) plus its `upp-alerts/v1` lines under a
+/// single lock, so groups stay contiguous — but group *order* follows
+/// point completion order, which depends on the worker count.
+static WATCH_OUT: Mutex<Option<std::fs::File>> = Mutex::new(None);
+/// Process-wide forensics directory (the `repro --watch-capture-dir`
+/// flag): points crossing critical capture a bundle into a per-point
+/// subdirectory.
+static WATCH_CAPTURE: Mutex<Option<std::path::PathBuf>> = Mutex::new(None);
+/// When set (the `repro --watch` flag), points with alerts echo a one-line
+/// summary to stderr as they complete.
+static WATCH_ECHO: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
+
+/// Opens `path` as the process-wide sweep alert stream and writes the
+/// `upp-alerts/v1` header. Journal-resumed points are not re-run, so they
+/// contribute no lines.
+pub fn set_watch_out(path: &std::path::Path) -> std::io::Result<()> {
+    use std::io::Write as _;
+    let mut f = std::fs::File::create(path)?;
+    writeln!(
+        f,
+        "{}",
+        upp_noc::watch::alerts_header_json(upp_noc::watch::WatchConfig::default().every)
+    )?;
+    f.flush()?;
+    *WATCH_OUT.lock().unwrap() = Some(f);
+    Ok(())
+}
+
+/// Sets the process-wide forensics directory for sweep points.
+pub fn set_watch_capture_dir(dir: &std::path::Path) {
+    *WATCH_CAPTURE.lock().unwrap() = Some(dir.to_path_buf());
+}
+
+/// Enables the per-point stderr alert summary.
+pub fn set_watch_echo(on: bool) {
+    WATCH_ECHO.store(on, std::sync::atomic::Ordering::SeqCst);
 }
 
 /// Runs one `(pattern, rate)` point.
@@ -249,13 +341,69 @@ pub fn run_point(
         .as_ref()
         .map(|h| UppStats::snapshot(h).upward_packets)
         .unwrap_or(0);
+    // The health monitor rides every point: obs must be live for the
+    // gauge-reading detectors, and arming *after* the stats reset means
+    // the first epoch differences against the window start. Obs and the
+    // watcher are both strictly read-only, so measured values (and the
+    // committed sweep goldens' non-alert columns) are untouched.
+    built.sys.net_mut().enable_obs();
+    let mut watcher = upp_noc::watch::Watcher::new(upp_noc::watch::WatchConfig::default());
+    watcher.arm(built.sys.net());
+    let watch_every = watcher.config().every;
     let mut deadlocked = false;
     for _ in 0..windows.measure {
         traffic.tick(&mut built.sys);
         built.sys.step();
+        if built.sys.net().cycle().is_multiple_of(watch_every) {
+            built.sys.observe();
+            let tick = watcher.feed(built.sys.net());
+            if tick.capture {
+                let dir = WATCH_CAPTURE.lock().unwrap().clone();
+                if let Some(dir) = dir {
+                    let sub = dir.join(format!(
+                        "{}_{}_r{rate}_s{seed}",
+                        kind.label(),
+                        pattern.label()
+                    ));
+                    let at = built.sys.net().cycle();
+                    match upp_noc::watch::capture_forensics(&mut built.sys, &sub, at) {
+                        Ok(_) => eprintln!(
+                            "[watch] critical at cycle {at}: forensics -> {}",
+                            sub.display()
+                        ),
+                        Err(e) => eprintln!("[watch] forensics capture failed: {e}"),
+                    }
+                }
+            }
+        }
         if built.sys.net().stalled() {
             deadlocked = true;
             break;
+        }
+    }
+    if !watcher.alerts().is_empty() {
+        if WATCH_ECHO.load(std::sync::atomic::Ordering::SeqCst) {
+            eprintln!(
+                "[watch] {}/{} r{rate} s{seed}: {} alerts raised",
+                kind.label(),
+                pattern.label(),
+                watcher.total_raised()
+            );
+        }
+        let mut sink = WATCH_OUT.lock().unwrap();
+        if let Some(f) = sink.as_mut() {
+            use std::io::Write as _;
+            let _ = writeln!(
+                f,
+                "{{\"upp_alerts_point\":1,\"scheme\":\"{}\",\"pattern\":\"{}\",\
+                 \"rate\":{rate},\"faults\":{faults},\"seed\":{seed}}}",
+                kind.label(),
+                pattern.label()
+            );
+            for a in watcher.alerts() {
+                let _ = writeln!(f, "{}", a.jsonl());
+            }
+            let _ = f.flush();
         }
     }
     let stats = built.sys.net().stats();
@@ -279,6 +427,7 @@ pub fn run_point(
         p99: stats.latency_percentile(0.99),
         p999: stats.latency_percentile(0.999),
         deadlocked,
+        alerts: AlertCounts::from_watcher(&watcher),
     }
 }
 
@@ -452,6 +601,7 @@ mod tests {
             p99: lat,
             p999: lat,
             deadlocked: false,
+            alerts: AlertCounts::default(),
         };
         let pts = vec![
             mk(0.02, 30.0, 0.02),
