@@ -485,7 +485,7 @@ impl Scheme for Composable {
                 if p != Port::Down {
                     continue;
                 }
-                let len = r.input_vc(p, f).buf.len() as u64;
+                let len = r.vc_buf_len(p, f) as u64;
                 flits += len;
                 deepest = deepest.max(len);
             }

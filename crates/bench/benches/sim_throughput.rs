@@ -127,6 +127,29 @@ fn obs_cycles_per_sec(enable: bool, cycles: u64) -> f64 {
     cycles as f64 / secs
 }
 
+/// End-of-run kernel memory footprint of one benched configuration.
+/// Unlike the cycles/sec numbers this is *deterministic* — same config,
+/// seed and cycle count give byte-identical reports on any machine and
+/// any `--shards` value — so regressions here are exact, not statistical.
+fn mem_footprint(vcs: usize, cycles: u64) -> upp_noc::network::MemReport {
+    let spec = ChipletSystemSpec::baseline();
+    let built = build_system(
+        &spec,
+        NocConfig::default().with_vcs_per_vnet(vcs),
+        &SchemeKind::Upp(UppConfig::default()),
+        0,
+        2022,
+        ConsumePolicy::Immediate { latency: 1 },
+    );
+    let mut sys = built.sys;
+    let mut traffic = SyntheticTraffic::new(sys.net().topo(), Pattern::UniformRandom, 0.06, 2022);
+    for _ in 0..cycles {
+        traffic.tick(&mut sys);
+        sys.step();
+    }
+    sys.net().mem_report()
+}
+
 /// One active-set-scheduler scenario: injects uniform-random traffic at
 /// `rate` for `inject_cycles`, optionally drains the tail afterwards, and
 /// returns `(cycles/sec, mean active-router fraction)`. The scheduler is
@@ -256,6 +279,13 @@ fn main() {
     let serial = sweep_seconds(1, &rates, cycles);
     let jobs4 = sweep_seconds(4, &rates, cycles);
 
+    // Kernel heap footprint of the two pinned configurations (exact,
+    // machine-independent numbers — see `mem_footprint`).
+    let mem_1vc = serde_json::to_string(&mem_footprint(1, cycles))
+        .expect("mem report serialization is infallible");
+    let mem_4vc = serde_json::to_string(&mem_footprint(4, cycles))
+        .expect("mem report serialization is infallible");
+
     // Active-set scheduler scenarios (on vs always-tick, same seed and
     // traffic): a saturated run where most routers stay busy, a
     // low-injection-rate run where most sit idle, and a drain tail where
@@ -285,6 +315,8 @@ fn main() {
          \"cycles_per_sec_shards2\": {shards2:.0},\n    \
          \"cycles_per_sec_shards4\": {shards4:.0},\n    \
          \"speedup_shards4\": {:.2}\n  }},\n  \
+         \"mem\": {{\n    \"upp_1vc\": {mem_1vc},\n    \
+         \"upp_4vc\": {mem_4vc}\n  }},\n  \
          \"sweep\": {{\n    \"rates\": {},\n    \"serial_secs\": {serial:.3},\n    \
          \"jobs4_secs\": {jobs4:.3},\n    \"speedup_jobs4\": {:.2}\n  }},\n  \
          \"scheduler_scenarios\": {{\n{scenarios_json}\n  }}\n}}\n",

@@ -51,6 +51,7 @@ struct Args {
     watch_every: u64,
     watch_out: Option<String>,
     watch_capture_dir: Option<String>,
+    mem: bool,
     stall_report: bool,
     stall_svg_path: Option<String>,
     json: Option<String>,
@@ -108,6 +109,11 @@ fn usage() -> ! {
                                              (stall report, trace tail, obs\n\
                                              summary) on the first critical\n\
                                              alert (implies --watch)\n\
+         --mem                               print the end-of-run memory-footprint\n\
+                                             report (kernel-invariant: identical\n\
+                                             for every --shards value; merged into\n\
+                                             --json as \"mem\" and into --obs as\n\
+                                             mem.* gauges when those are given)\n\
          --stall-report                      print deadlock forensics after the run\n\
          --stall-svg PATH                    write the annotated stall diagram\n\
          --json PATH                         dump final NetStats/UppStats as JSON\n\
@@ -158,6 +164,7 @@ fn parse() -> Args {
         watch_every: 200,
         watch_out: None,
         watch_capture_dir: None,
+        mem: false,
         stall_report: false,
         stall_svg_path: None,
         json: None,
@@ -275,6 +282,7 @@ fn parse() -> Args {
                 a.watch = true;
                 a.watch_capture_dir = Some(val());
             }
+            "--mem" => a.mem = true,
             "--stall-report" => a.stall_report = true,
             "--stall-svg" => a.stall_svg_path = Some(val()),
             "--json" => a.json = Some(val()),
@@ -648,7 +656,20 @@ fn main() {
     // counts) surfaces as obs gauges — but only when a shard runtime
     // actually exists, so serial runs (and the golden-pinned payloads)
     // keep their exact byte streams.
-    let shard_telemetry = sys.net().shard_telemetry();
+    // One end-of-run owned snapshot: `shard_telemetry()` itself hands out
+    // borrows, and this report outlives several mutable uses of `sys`.
+    struct ShardTelemetrySnap {
+        shards: usize,
+        mailbox_capacity: usize,
+        mailbox_high_water: Vec<usize>,
+        merged_entries: Vec<u64>,
+    }
+    let shard_telemetry = sys.net().shard_telemetry().map(|t| ShardTelemetrySnap {
+        shards: t.shards,
+        mailbox_capacity: t.mailbox_capacity,
+        mailbox_high_water: t.mailbox_high_water.to_vec(),
+        merged_entries: t.merged_entries.to_vec(),
+    });
     if let Some(t) = &shard_telemetry {
         if sys.net().obs().is_enabled() {
             let obs = sys.net_mut().obs_mut();
@@ -669,6 +690,44 @@ fn main() {
         eprintln!(
             "[shards] {} shards | mailbox high-water {:?} of {} | merged entries {:?}",
             t.shards, t.mailbox_high_water, t.mailbox_capacity, t.merged_entries
+        );
+    }
+    // Memory-footprint report (kernel-invariant: routers + NIs + arena +
+    // calendar only, so serial and sharded runs report identical bytes).
+    // Gated on --mem so runs without it — including every golden-pinned
+    // payload — keep their exact byte streams.
+    let mem_report = args.mem.then(|| sys.net().mem_report());
+    if let Some(m) = &mem_report {
+        if sys.net().obs().is_enabled() {
+            let obs = sys.net_mut().obs_mut();
+            for (name, v) in [
+                ("mem.routers_bytes", m.routers_bytes),
+                ("mem.nis_bytes", m.nis_bytes),
+                ("mem.arena_bytes", m.arena_bytes),
+                ("mem.calendar_bytes", m.calendar_bytes),
+                ("mem.total_bytes", m.total_bytes),
+                ("mem.bytes_per_router", m.bytes_per_router),
+                ("mem.arena_live", m.arena_live),
+                ("mem.arena_high_water", m.arena_high_water),
+                ("mem.arena_slots", m.arena_slots),
+            ] {
+                let g = obs.gauge(name);
+                obs.gauge_set(g, v as u64);
+            }
+        }
+        eprintln!(
+            "[mem] {} B total | {} B/router ({} routers {} B, NIs {} B) | \
+             arena {} B ({} live / {} high-water / {} slots) | calendar {} B",
+            m.total_bytes,
+            m.bytes_per_router,
+            sys.net().topo().num_nodes(),
+            m.routers_bytes,
+            m.nis_bytes,
+            m.arena_bytes,
+            m.arena_live,
+            m.arena_high_water,
+            m.arena_slots,
+            m.calendar_bytes
         );
     }
     // Final telemetry sample: refresh the sampled gauges once so the
@@ -848,6 +907,15 @@ fn main() {
             Some(s) => format!(",\n  \"obs\": {s}"),
             None => String::new(),
         };
+        // The "mem" key appears only under --mem, for the same
+        // golden-compatibility reason.
+        let mem_field = match &mem_report {
+            Some(m) => format!(
+                ",\n  \"mem\": {}",
+                serde_json::to_string(m).expect("mem report serialization is infallible")
+            ),
+            None => String::new(),
+        };
         // Same golden-compatibility rule for the "watch" and "shards"
         // keys: absent unless telemetry was explicitly requested. The
         // "shards" key in particular must NOT appear on a bare sharded
@@ -866,7 +934,7 @@ fn main() {
             None => String::new(),
         };
         let payload = format!(
-            "{{\n  \"outcome\": \"{outcome:?}\",\n  \"cycles\": {},\n  \"endpoints\": {nodes},\n  \"trace_dropped\": {trace_dropped},\n  \"net\": {net_json},\n  \"upp\": {upp_json}{obs_field}{watch_field}{shards_field}\n}}\n",
+            "{{\n  \"outcome\": \"{outcome:?}\",\n  \"cycles\": {},\n  \"endpoints\": {nodes},\n  \"trace_dropped\": {trace_dropped},\n  \"net\": {net_json},\n  \"upp\": {upp_json}{obs_field}{mem_field}{watch_field}{shards_field}\n}}\n",
             sys.net().cycle()
         );
         match std::fs::write(path, payload) {

@@ -61,6 +61,13 @@ pub struct ScalePoint {
     pub recovery_p95: u64,
     /// Popup circuits installed (UPP mechanism counter).
     pub circuit_inserts: u64,
+    /// End-of-run kernel heap footprint in bytes (routers + NIs +
+    /// descriptor arena + event calendar; kernel-invariant, see
+    /// [`upp_noc::network::MemReport`]).
+    pub mem_total_bytes: usize,
+    /// Router share of the footprint averaged per router — the per-tile
+    /// cost a chiplet integrator pays as the mesh grows.
+    pub mem_bytes_per_router: usize,
 }
 
 impl FromJsonValue for ScalePoint {
@@ -78,6 +85,8 @@ impl FromJsonValue for ScalePoint {
             recovery_mean: v.get("recovery_mean")?.as_f64()?,
             recovery_p95: v.get("recovery_p95")?.as_u64()?,
             circuit_inserts: v.get("circuit_inserts")?.as_u64()?,
+            mem_total_bytes: v.get("mem_total_bytes")?.as_u64()? as usize,
+            mem_bytes_per_router: v.get("mem_bytes_per_router")?.as_u64()? as usize,
         })
     }
 }
@@ -164,6 +173,7 @@ fn run_point(cols: u16, rows: u16, kind: &SchemeKind, quick: bool) -> ScalePoint
     let (recovery_mean, recovery_p95) = obs
         .histogram("upp.popup.recovery_cycles")
         .map_or((0.0, 0), |h| (h.mean(), h.quantile(0.95)));
+    let mem = sys.net().mem_report();
     ScalePoint {
         cols,
         rows,
@@ -177,6 +187,8 @@ fn run_point(cols: u16, rows: u16, kind: &SchemeKind, quick: bool) -> ScalePoint
         recovery_mean,
         recovery_p95,
         circuit_inserts: obs.counter_value("circuit.inserts"),
+        mem_total_bytes: mem.total_bytes,
+        mem_bytes_per_router: mem.bytes_per_router,
     }
 }
 
@@ -204,11 +216,12 @@ pub fn collect(quick: bool) -> Vec<ScalePoint> {
 pub fn csv(points: &[ScalePoint]) -> String {
     let mut out = String::from(
         "cols,rows,routers,scheme,drained,cycles,packets,boundary_pressure,\
-         protocol_events,recovery_mean,recovery_p95,circuit_inserts\n",
+         protocol_events,recovery_mean,recovery_p95,circuit_inserts,\
+         mem_total_bytes,mem_bytes_per_router\n",
     );
     for p in points {
         out.push_str(&format!(
-            "{},{},{},{},{},{},{},{},{},{:.2},{},{}\n",
+            "{},{},{},{},{},{},{},{},{},{:.2},{},{},{},{}\n",
             p.cols,
             p.rows,
             p.routers,
@@ -220,7 +233,9 @@ pub fn csv(points: &[ScalePoint]) -> String {
             p.protocol_events,
             p.recovery_mean,
             p.recovery_p95,
-            p.circuit_inserts
+            p.circuit_inserts,
+            p.mem_total_bytes,
+            p.mem_bytes_per_router
         ));
     }
     out
@@ -246,6 +261,7 @@ pub fn run(quick: bool) -> ExperimentResult {
         "protocol events",
         "recovery mean",
         "recovery p95",
+        "mem B/router",
     ]);
     for p in &points {
         t.row([
@@ -269,14 +285,16 @@ pub fn run(quick: bool) -> ExperimentResult {
             } else {
                 "-".into()
             },
+            p.mem_bytes_per_router.to_string(),
         ]);
     }
     out.push_str(&t.render());
     out.push_str(
         "\nReading: UPP's circuit-table high-water tracks the number of simultaneous popups\n\
          (bounded by the hot cores), not the router count — the modularity argument in one\n\
-         number. The raw points are in the JSON artifact; `csv()` renders the same table for\n\
-         plotting.\n",
+         number. The mem column is the kernel's per-router heap cost (VC rings + state\n\
+         arrays), flat across sizes because every buffer is fixed-capacity. The raw points\n\
+         are in the JSON artifact; `csv()` renders the same table for plotting.\n",
     );
     ExperimentResult::new(
         "fig_scaling",
@@ -312,6 +330,15 @@ mod tests {
                 "popups imply circuit entries: {p:?}"
             );
             assert!(p.recovery_p95 > 0, "popups imply recovery samples: {p:?}");
+        }
+        // The memory column is populated and the per-router cost stays flat
+        // as the mesh grows (the data-oriented layout's modularity claim).
+        for p in &points {
+            assert!(p.mem_total_bytes > 0, "memory column missing: {p:?}");
+            assert!(
+                p.mem_bytes_per_router > 0 && p.mem_bytes_per_router <= 1 << 20,
+                "per-router footprint out of range: {p:?}"
+            );
         }
         let csv = csv(&points);
         assert_eq!(csv.lines().count(), 1 + points.len());

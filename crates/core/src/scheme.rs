@@ -272,6 +272,9 @@ pub struct Upp {
     /// Reusable buffer for draining router/NI control inboxes
     /// (allocation-free on the per-cycle path).
     inbox_scratch: Vec<DeliveredControl>,
+    /// Reusable buffer for upward-candidate scans (allocation-free on the
+    /// per-cycle path).
+    cand_scratch: Vec<UpwardCandidate>,
 }
 
 impl std::fmt::Debug for Upp {
@@ -297,6 +300,7 @@ impl Upp {
             initialized: false,
             obs: None,
             inbox_scratch: Vec::new(),
+            cand_scratch: Vec::new(),
         }
     }
 
@@ -529,7 +533,7 @@ impl Upp {
             for (p, f) in r.input_vcs() {
                 let vc = r.input_vc(p, f);
                 if vc.owner == Some(packet) {
-                    if let Some(front) = vc.buf.front() {
+                    if let Some(front) = r.vc_front(p, f) {
                         if front.flit.kind.is_head() {
                             return Some((node.id, p, f));
                         }
@@ -680,7 +684,10 @@ impl Upp {
         let vc_state = {
             let r = net.router(node);
             let vc = r.input_vc(cand.in_port, cand.vc_flat);
-            (vc.owner, vc.partly_transmitted())
+            (
+                vc.owner,
+                r.vc_partly_transmitted(cand.in_port, cand.vc_flat),
+            )
         };
         let acked_at = net.cycle();
         let st = self.routers.get_mut(&node).expect("router state exists");
@@ -949,7 +956,8 @@ impl Upp {
             .stage
             .kind()
             .is_idle();
-        let candidates = net.upward_candidates(node, vnet);
+        self.cand_scratch.clear();
+        net.upward_candidates_into(node, vnet, &mut self.cand_scratch);
         let recent = up_sent_recently(net.up_last_sent(node, vnet), now);
         let st = self.routers.get_mut(&node).expect("router state exists");
         let vs = &mut st.vnets[vnet.index()];
@@ -957,7 +965,7 @@ impl Upp {
             vs.counter.reset();
             return;
         }
-        vs.counter.tick(!candidates.is_empty(), recent);
+        vs.counter.tick(!self.cand_scratch.is_empty(), recent);
         if !vs.counter.expired(self.cfg.threshold) {
             return;
         }
@@ -972,7 +980,7 @@ impl Upp {
         }
         let st = self.routers.get_mut(&node).expect("router state exists");
         let vs = &mut st.vnets[vnet.index()];
-        let Some(cand) = vs.arbiter.pick(&candidates) else {
+        let Some(cand) = vs.arbiter.pick(&self.cand_scratch) else {
             return;
         };
         vs.counter.reset();

@@ -62,6 +62,7 @@ pub mod ni;
 pub mod obs;
 pub mod packet;
 pub mod profile;
+pub mod ring;
 pub mod router;
 pub mod routing;
 pub mod scheme;

@@ -6,12 +6,13 @@ use crate::event::Event;
 use crate::ids::{Cycle, NodeId, PacketId, Port, VnetId};
 use crate::ni::{ConsumePolicy, Delivered, Ni, PermitState};
 use crate::obs::ObsRegistry;
-use crate::packet::{Flit, Packet, RouteInfo};
+use crate::packet::{Flit, Packet, PacketArena, PacketDesc, RouteInfo};
 use crate::router::{Router, RouterCtx};
 use crate::routing::{GlobalCdg, GlobalChannel, RouteComputer};
 use crate::stats::{NetStats, PacketRecord, PacketTracker};
 use crate::topology::Topology;
 use crate::trace::{StallReport, TraceEvent, Tracer, VcHold, WedgedPacket};
+use serde::Serialize;
 use std::sync::Arc;
 
 /// A ring-buffer event calendar.
@@ -72,6 +73,46 @@ impl EventCalendar {
     fn next_occupied_cycle(&self, now: Cycle) -> Option<Cycle> {
         (now..now + self.slots.len() as Cycle).find(|&c| !self.slots[self.slot(c)].is_empty())
     }
+
+    /// Exact heap bytes of the calendar ring (slot capacities; the slots
+    /// grow once to the workload's staging peak and are then recycled).
+    fn mem_bytes(&self) -> usize {
+        self.slots.capacity() * std::mem::size_of::<Vec<Event>>()
+            + self
+                .slots
+                .iter()
+                .map(|s| s.capacity() * std::mem::size_of::<Event>())
+                .sum::<usize>()
+    }
+}
+
+/// Exact memory footprint of the simulation state, measured by walking the
+/// live structures (no allocator instrumentation). Kernel-invariant by
+/// construction: it covers routers, NIs, the packet-descriptor arena and the
+/// event calendar — state whose layout is byte-identical between the serial
+/// and sharded kernels — and deliberately excludes kernel-private scratch
+/// such as shard mailboxes, so the same run reports the same bytes under
+/// `--shards N` for every `N`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct MemReport {
+    /// Heap bytes across all routers (VC rings, state arrays, absorber).
+    pub routers_bytes: usize,
+    /// Heap bytes across all NIs (injection/delivery rings, assembly).
+    pub nis_bytes: usize,
+    /// Heap bytes of the packet-descriptor arena slab.
+    pub arena_bytes: usize,
+    /// Heap bytes of the event-calendar ring.
+    pub calendar_bytes: usize,
+    /// Sum of the component fields.
+    pub total_bytes: usize,
+    /// `routers_bytes` averaged over the router count.
+    pub bytes_per_router: usize,
+    /// Descriptors live right now.
+    pub arena_live: usize,
+    /// Peak concurrently-live descriptors (arena occupancy high water).
+    pub arena_high_water: usize,
+    /// Arena slab length (peak footprint in slots; never shrinks).
+    pub arena_slots: usize,
 }
 
 /// A candidate *upward packet*: an input VC of an interposer router holding a
@@ -112,6 +153,11 @@ pub struct Network {
     emit_scratch: Vec<(Cycle, Event)>,
     stats: NetStats,
     tracker: PacketTracker,
+    /// Interned per-packet descriptors; wire flits carry only a handle.
+    /// Allocations and frees both happen on the serial path (injection-side
+    /// `try_send`, ejection-side `NiFlitArrive` tail), so arena state is
+    /// identical between the serial and sharded kernels.
+    arena: PacketArena,
     tracer: Tracer,
     /// Protocol-state telemetry registry (disabled unless
     /// [`Network::enable_obs`] armed it).
@@ -177,6 +223,16 @@ impl Network {
         let stats = NetStats::new(cfg.num_vnets);
         let calendar = EventCalendar::new(&cfg);
         let n = routers.len();
+        // Pre-size the descriptor arena and the packet tracker to a
+        // practical in-flight ceiling (every source can fill its injection
+        // queues) so steady-state interning rarely — and below the ceiling
+        // never — reallocates; both slabs still grow transparently past it,
+        // always on the serial `try_send` path.
+        let in_flight_bound = n * cfg.num_vnets * cfg.injection_queue_entries;
+        let mut arena = PacketArena::new();
+        arena.reserve(in_flight_bound);
+        let mut tracker = PacketTracker::new();
+        tracker.reserve(in_flight_bound);
         let scheduler_enabled = !std::env::var("UPP_ALWAYS_TICK").is_ok_and(|v| v == "1");
         let verify_scheduler =
             cfg!(debug_assertions) || std::env::var("UPP_VERIFY_SCHEDULER").is_ok_and(|v| v == "1");
@@ -190,7 +246,8 @@ impl Network {
             calendar,
             emit_scratch: Vec::new(),
             stats,
-            tracker: PacketTracker::new(),
+            tracker,
+            arena,
             tracer: Tracer::disabled(),
             obs: ObsRegistry::disabled(),
             router_active: vec![true; n],
@@ -261,14 +318,14 @@ impl Network {
     /// kernel). Inherently kernel-dependent, so no byte-pinned export
     /// includes it automatically — callers opt in (see `simulate`, which
     /// publishes it as `shard.*` obs gauges when telemetry is enabled).
-    pub fn shard_telemetry(&self) -> Option<crate::shard::ShardTelemetry> {
+    pub fn shard_telemetry(&self) -> Option<crate::shard::ShardTelemetry<'_>> {
         self.shard_rt
             .as_ref()
             .map(|rt| crate::shard::ShardTelemetry {
                 shards: rt.plan.shards(),
                 mailbox_capacity: rt.mailbox_capacity,
-                mailbox_high_water: rt.mailbox_high_water.clone(),
-                merged_entries: rt.merged_entries.clone(),
+                mailbox_high_water: &rt.mailbox_high_water,
+                merged_entries: &rt.merged_entries,
             })
     }
 
@@ -431,7 +488,16 @@ impl Network {
         let id = self.tracker.alloc_id();
         let pkt = Packet::new(id, src, dest, vnet, len_flits, self.cycle);
         let route = self.routing.plan(&self.topo, src, dest);
+        let desc = self.arena.alloc(PacketDesc {
+            id,
+            src,
+            vnet,
+            pkt_len: len_flits,
+            route,
+            created_at: self.cycle,
+        });
         self.tracker.on_created(
+            desc,
             id,
             PacketRecord {
                 src,
@@ -445,7 +511,7 @@ impl Network {
             },
         );
         self.nis[src.index()]
-            .enqueue(pkt, route)
+            .enqueue(pkt, route, desc)
             .expect("can_enqueue checked");
         self.stats.packets_created += 1;
         if self.tracer.enabled() {
@@ -493,8 +559,21 @@ impl Network {
 
     /// Scans an interposer router for upward-stalled packets of `vnet`.
     pub fn upward_candidates(&self, node: NodeId, vnet: VnetId) -> Vec<UpwardCandidate> {
-        let r = &self.routers[node.index()];
         let mut out = Vec::new();
+        self.upward_candidates_into(node, vnet, &mut out);
+        out
+    }
+
+    /// Like [`Network::upward_candidates`] but appending into a caller-held
+    /// scratch (without clearing), so a per-scheme reusable buffer makes the
+    /// per-cycle scan allocation-free.
+    pub fn upward_candidates_into(
+        &self,
+        node: NodeId,
+        vnet: VnetId,
+        out: &mut Vec<UpwardCandidate>,
+    ) {
+        let r = &self.routers[node.index()];
         for (p, f) in r.input_vcs() {
             if !r.vnet_range(vnet).contains(&f) {
                 continue;
@@ -504,20 +583,21 @@ impl Network {
                 continue;
             }
             let Some(owner) = vc.owner else { continue };
-            if vc.buf.is_empty() {
+            let Some(front) = r.vc_front(p, f) else {
                 continue;
-            }
-            let dest = vc.buf.front().map(|b| b.flit.route.dest).unwrap_or(node);
+            };
+            // Circuit keys are protocol state, legitimately read off any
+            // flit of the worm (the head may already have departed).
+            let dest = self.arena.desc(&front.flit).route.dest;
             out.push(UpwardCandidate {
                 in_port: p,
                 vc_flat: f,
                 packet: owner,
                 vnet,
                 dest,
-                partly_transmitted: vc.partly_transmitted(),
+                partly_transmitted: r.vc_partly_transmitted(p, f),
             });
         }
-        out
     }
 
     /// Last cycle a flit of `vnet` left `node` through the `Up` port.
@@ -552,6 +632,7 @@ impl Network {
             emit_scratch,
             stats,
             tracker,
+            arena,
             tracer,
             obs,
             cycle,
@@ -572,6 +653,7 @@ impl Network {
                 emit: &mut emit,
                 stats,
                 tracker,
+                arena,
                 tracer,
                 obs,
                 link_log: None,
@@ -615,10 +697,31 @@ impl Network {
             .iter()
             .map(|r| {
                 let n = r.node();
-                let flits: usize = r.input_vcs().map(|(p, f)| r.input_vc(p, f).buf.len()).sum();
+                let flits: usize = r.input_vcs().map(|(p, f)| r.vc_buf_len(p, f)).sum();
                 (n, flits)
             })
             .collect()
+    }
+
+    /// Measures the exact heap footprint of the simulation state by walking
+    /// routers, NIs, the descriptor arena and the event calendar (see
+    /// [`MemReport`] for what is — deliberately — excluded).
+    pub fn mem_report(&self) -> MemReport {
+        let routers_bytes: usize = self.routers.iter().map(|r| r.mem_bytes()).sum();
+        let nis_bytes: usize = self.nis.iter().map(|ni| ni.mem_bytes()).sum();
+        let arena_bytes = self.arena.mem_bytes();
+        let calendar_bytes = self.calendar.mem_bytes();
+        MemReport {
+            routers_bytes,
+            nis_bytes,
+            arena_bytes,
+            calendar_bytes,
+            total_bytes: routers_bytes + nis_bytes + arena_bytes + calendar_bytes,
+            bytes_per_router: routers_bytes / self.routers.len().max(1),
+            arena_live: self.arena.live_count(),
+            arena_high_water: self.arena.high_water(),
+            arena_slots: self.arena.slots_len(),
+        }
     }
 
     /// Assembles a deadlock-forensics report for the current network state:
@@ -661,8 +764,8 @@ impl Network {
                         node,
                         in_port: p,
                         vc_flat: f,
-                        buffered: vc.buf.len(),
-                        head_of_line: vc.buf.front().is_some_and(|b| b.flit.kind.is_head()),
+                        buffered: r.vc_buf_len(p, f),
+                        head_of_line: r.vc_front(p, f).is_some_and(|b| b.flit.kind.is_head()),
                         waits_out,
                         waits_node,
                     });
@@ -670,7 +773,7 @@ impl Network {
                     // flits occupy depends on the channel the packet needs
                     // next. Locally-injected flits hold no inter-router
                     // channel; ejecting packets wait on none.
-                    if vc.buf.is_empty() || p == Port::Local {
+                    if r.vc_buf_is_empty(p, f) || p == Port::Local {
                         continue;
                     }
                     let (Some(out), Some(upstream)) = (waits_out, self.topo.neighbor(node, p))
@@ -788,6 +891,7 @@ impl Network {
             nis,
             stats,
             tracker,
+            arena,
             tracer,
             obs,
             cycle,
@@ -821,6 +925,7 @@ impl Network {
                         emit: &mut emit,
                         stats,
                         tracker,
+                        arena,
                         tracer,
                         obs,
                         link_log: None,
@@ -845,9 +950,9 @@ impl Network {
                 Event::NiFlitArrive { node, flit } => {
                     stats.flits_ejected += 1;
                     tracker.touch(*cycle);
-                    let done = nis[node.index()].accept_flit(flit, *cycle, flit.upward);
+                    let done = nis[node.index()].accept_flit(flit, *cycle, flit.upward, arena);
                     if let Some(d) = done {
-                        if let Some(rec) = tracker.on_ejected(d.pkt.id, *cycle) {
+                        if let Some(rec) = tracker.on_ejected(flit.desc, *cycle) {
                             stats.record_ejection(&rec, *cycle);
                             if tracer.enabled() {
                                 let injected = rec.injected_at.unwrap_or(rec.created_at);
@@ -860,6 +965,9 @@ impl Network {
                                 });
                             }
                         }
+                        // The tail has ejected: the descriptor dies here, on
+                        // the serial path in both kernels.
+                        arena.free(flit.desc);
                     }
                 }
                 Event::ControlArrive { node, in_port, msg } => {
@@ -896,6 +1004,7 @@ impl Network {
             nis,
             stats,
             tracker,
+            arena,
             tracer,
             obs,
             cycle,
@@ -943,12 +1052,12 @@ impl Network {
             }
             if let Some((flit, vc_flat)) = ni.inject_step(now, cfg.vcs_per_vnet, vct) {
                 if flit.kind.is_head() {
-                    tracker.on_injected(flit.packet, now);
+                    tracker.on_injected(flit.desc, now);
                     stats.packets_injected += 1;
                     if tracer.enabled() {
                         tracer.record(TraceEvent::PacketInjected {
                             at: now,
-                            packet: flit.packet,
+                            packet: arena.get(flit.desc).id,
                             node: ni.node(),
                         });
                     }
@@ -984,6 +1093,7 @@ impl Network {
                 emit: &mut emit,
                 stats,
                 tracker,
+                arena,
                 tracer,
                 obs,
                 link_log: None,
@@ -1039,9 +1149,10 @@ impl Network {
                 Event::NiFlitArrive { node, flit } => {
                     self.stats.flits_ejected += 1;
                     self.tracker.touch(now);
-                    let done = self.nis[node.index()].accept_flit(flit, now, flit.upward);
+                    let done =
+                        self.nis[node.index()].accept_flit(flit, now, flit.upward, &self.arena);
                     if let Some(d) = done {
-                        if let Some(rec) = self.tracker.on_ejected(d.pkt.id, now) {
+                        if let Some(rec) = self.tracker.on_ejected(flit.desc, now) {
                             self.stats.record_ejection(&rec, now);
                             if self.tracer.enabled() {
                                 let injected = rec.injected_at.unwrap_or(rec.created_at);
@@ -1054,6 +1165,9 @@ impl Network {
                                 });
                             }
                         }
+                        // Descriptor death stays on the serial pre-pass, so
+                        // arena state matches the serial kernel exactly.
+                        self.arena.free(flit.desc);
                     }
                 }
                 ev => {
@@ -1134,8 +1248,8 @@ impl Network {
                     // came to its capacity, and how much it merged.
                     rt.mailbox_high_water[s] = rt.mailbox_high_water[s].max(seg.emit.len());
                     rt.merged_entries[s] += (seg.emit.len() + seg.injected.len()) as u64;
-                    for pkt in seg.injected.drain(..) {
-                        self.tracker.on_injected(pkt, now);
+                    for desc in seg.injected.drain(..) {
+                        self.tracker.on_injected(desc, now);
                     }
                     let mut captured = seg.trace.drain_captured();
                     rt.merged_entries[s] += captured.len() as u64;
@@ -1162,60 +1276,35 @@ impl Network {
     }
 
     /// Fans one compute phase out over the worker pool: splits the
-    /// component arrays along the shard plan, builds one job per shard and
-    /// joins. `finish` selects the finish-phase body (inject/route/consume)
-    /// over the begin-phase body (event delivery).
+    /// component arrays along the shard plan (on the dispatch recursion's
+    /// stack — no allocation) and joins. `finish` selects the finish-phase
+    /// body (inject/route/consume) over the begin-phase body (event
+    /// delivery).
     fn run_sharded_phase(&mut self, rt: &mut crate::shard::ShardRuntime, finish: bool) {
-        let now = self.cycle;
-        let sched = self.scheduler_enabled;
-        let plan = &rt.plan;
-        let capacity = rt.mailbox_capacity;
-        let (r0s, r1s) = crate::shard::split_mut(&mut self.routers, plan);
-        let (n0s, n1s) = crate::shard::split_mut(&mut self.nis, plan);
-        let (ra0s, ra1s) = crate::shard::split_mut(&mut self.router_active, plan);
-        let (na0s, na1s) = crate::shard::split_mut(&mut self.ni_active, plan);
-        let cfg = &self.cfg;
-        let topo = &self.topo;
-        let routing = self.routing.as_ref();
-        let mut r0s = r0s.into_iter();
-        let mut r1s = r1s.into_iter();
-        let mut n0s = n0s.into_iter();
-        let mut n1s = n1s.into_iter();
-        let mut ra0s = ra0s.into_iter();
-        let mut ra1s = ra1s.into_iter();
-        let mut na0s = na0s.into_iter();
-        let mut na1s = na1s.into_iter();
-        let mut jobs: Vec<Box<dyn FnOnce() + Send + '_>> = Vec::with_capacity(plan.shards());
-        for (s, scratch) in rt.scratch.iter_mut().enumerate() {
-            let routers = [r0s.next().unwrap(), r1s.next().unwrap()];
-            let nis = [n0s.next().unwrap(), n1s.next().unwrap()];
-            let router_active = [ra0s.next().unwrap(), ra1s.next().unwrap()];
-            let ni_active = [na0s.next().unwrap(), na1s.next().unwrap()];
-            let base = [plan.ranges[s].0.start, plan.ranges[s].1.start];
-            jobs.push(Box::new(move || {
-                let mut parts = crate::shard::ShardParts {
-                    cfg,
-                    topo,
-                    routing,
-                    now,
-                    sched,
-                    routers,
-                    nis,
-                    router_active,
-                    ni_active,
-                    base,
-                    scratch,
-                    mailbox_capacity: capacity,
-                    shard_ix: s,
-                };
-                if finish {
-                    crate::shard::finish_shard(&mut parts);
-                } else {
-                    crate::shard::begin_shard(&mut parts);
-                }
-            }));
-        }
-        rt.pool.run(jobs);
+        let interposer_base = rt.plan.interposer_base;
+        let (rc, ri) = self.routers.split_at_mut(interposer_base);
+        let (nc, nii) = self.nis.split_at_mut(interposer_base);
+        let (rac, rai) = self.router_active.split_at_mut(interposer_base);
+        let (nac, nai) = self.ni_active.split_at_mut(interposer_base);
+        let env = crate::shard::PhaseEnv {
+            plan: &rt.plan,
+            cfg: &self.cfg,
+            topo: &self.topo,
+            routing: self.routing.as_ref(),
+            arena: &self.arena,
+            now: self.cycle,
+            sched: self.scheduler_enabled,
+            finish,
+            mailbox_capacity: rt.mailbox_capacity,
+        };
+        let rests = crate::shard::Rests {
+            routers: [rc, ri],
+            nis: [nc, nii],
+            router_active: [rac, rai],
+            ni_active: [nac, nai],
+            scratch: &mut rt.scratch,
+        };
+        crate::shard::run_phase(&rt.pool, &env, rests);
     }
 
     /// True when no router and no NI is scheduled for the next

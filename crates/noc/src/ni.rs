@@ -5,9 +5,9 @@
 use crate::config::NocConfig;
 use crate::control::DeliveredControl;
 use crate::ids::{Cycle, NodeId, PacketId, VcId, VnetId};
-use crate::packet::{Flit, FlitKind, Packet, RouteInfo};
+use crate::packet::{Flit, Packet, PacketArena, PacketRef, RouteInfo};
+use crate::ring::RingBank;
 use serde::{Deserialize, Serialize};
-use std::collections::{HashMap, VecDeque};
 
 /// Injection-permit state of a pending packet (mechanism for remote
 /// control's injection control; `NotNeeded` for every other scheme).
@@ -30,13 +30,15 @@ pub struct PendingPacket {
     pub route: RouteInfo,
     /// Injection-control state.
     pub permit: PermitState,
+    /// Arena handle of the packet's interned descriptor.
+    pub desc: PacketRef,
 }
 
 /// A packet currently being streamed into the router, one flit per cycle.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct ActiveInjection {
-    pkt: Packet,
-    route: RouteInfo,
+    desc: PacketRef,
+    len_flits: u16,
     vc_flat: usize,
     next_seq: u16,
 }
@@ -90,10 +92,12 @@ pub enum ConsumePolicy {
     External,
 }
 
+/// In-progress reassembly of one packet, keyed by its descriptor handle in
+/// the NI's bounded assembly table (at most one per claimed ejection entry).
+#[derive(Debug, Clone, Copy)]
 struct Assembly {
+    desc: PacketRef,
     received: u16,
-    len: u16,
-    head: Flit,
     via_popup: bool,
 }
 
@@ -108,7 +112,7 @@ pub struct Ni {
     num_vnets: usize,
     eq_capacity: usize,
     inj_capacity: usize,
-    inj_queues: Vec<VecDeque<PendingPacket>>,
+    inj_queues: RingBank<PendingPacket>,
     active: Vec<Option<ActiveInjection>>,
     /// Queued packets plus in-flight injections across all VNets; lets
     /// `inject_step` skip the VNet scan entirely on idle NIs.
@@ -116,8 +120,11 @@ pub struct Ni {
     /// Credits/ownership toward the router's Local input VCs, flat-indexed.
     out_vcs: Vec<OutVcState>,
     rr_vnet: usize,
-    assembly: HashMap<PacketId, Assembly>,
-    delivered: Vec<VecDeque<Delivered>>,
+    /// Bounded reassembly table (each entry holds a claimed ejection entry,
+    /// so occupancy never exceeds `num_vnets * eq_capacity`); linear scans
+    /// over a handful of entries beat hashing here.
+    assembly: Vec<Assembly>,
+    delivered: RingBank<Delivered>,
     in_use: Vec<usize>,
     upp_reserved: Vec<usize>,
     consume: ConsumePolicy,
@@ -141,22 +148,45 @@ impl std::fmt::Debug for Ni {
     }
 }
 
+/// Never-read ring fill for queues of packet-shaped entries.
+fn fill_packet() -> Packet {
+    Packet {
+        id: PacketId(u64::MAX),
+        src: NodeId(0),
+        dest: NodeId(0),
+        vnet: VnetId(0),
+        len_flits: 1,
+        created_at: 0,
+    }
+}
+
 impl Ni {
     /// Builds the NI for `node`.
     pub fn new(node: NodeId, cfg: &NocConfig, consume: ConsumePolicy) -> Self {
         let vcs = cfg.vcs_per_port();
+        let pending_fill = PendingPacket {
+            pkt: fill_packet(),
+            route: RouteInfo::intra(NodeId(0)),
+            permit: PermitState::NotNeeded,
+            desc: PacketRef(u32::MAX),
+        };
+        let delivered_fill = Delivered {
+            pkt: fill_packet(),
+            completed_at: 0,
+            via_popup: false,
+        };
         Self {
             node,
             num_vnets: cfg.num_vnets,
             eq_capacity: cfg.ejection_queue_entries,
             inj_capacity: cfg.injection_queue_entries,
-            inj_queues: vec![VecDeque::new(); cfg.num_vnets],
+            inj_queues: RingBank::new(cfg.num_vnets, cfg.injection_queue_entries, pending_fill),
             active: vec![None; cfg.num_vnets],
             backlog: 0,
             out_vcs: vec![OutVcState::new(cfg.vc_buffer_depth); vcs],
             rr_vnet: 0,
-            assembly: HashMap::new(),
-            delivered: vec![VecDeque::new(); cfg.num_vnets],
+            assembly: Vec::with_capacity(cfg.num_vnets * cfg.ejection_queue_entries),
+            delivered: RingBank::new(cfg.num_vnets, cfg.ejection_queue_entries, delivered_fill),
             in_use: vec![0; cfg.num_vnets],
             upp_reserved: vec![0; cfg.num_vnets],
             consume,
@@ -196,41 +226,51 @@ impl Ni {
 
     /// True if the per-VNet injection queue can take another packet.
     pub fn can_enqueue(&self, vnet: VnetId) -> bool {
-        self.inj_queues[vnet.index()].len() < self.inj_capacity
+        self.inj_queues.len(vnet.index()) < self.inj_capacity
     }
 
     /// Occupancy of one injection queue.
     pub fn injection_backlog(&self, vnet: VnetId) -> usize {
-        self.inj_queues[vnet.index()].len() + usize::from(self.active[vnet.index()].is_some())
+        self.inj_queues.len(vnet.index()) + usize::from(self.active[vnet.index()].is_some())
     }
 
-    /// Enqueues a packet for injection.
+    /// Enqueues a packet for injection. `desc` is the packet's interned
+    /// descriptor handle (the caller allocates it in the arena first).
     ///
     /// # Errors
     ///
     /// Returns the packet back if the queue is full.
-    pub fn enqueue(&mut self, pkt: Packet, route: RouteInfo) -> Result<(), Packet> {
-        if !self.can_enqueue(pkt.vnet) {
-            return Err(pkt);
-        }
-        self.inj_queues[pkt.vnet.index()].push_back(PendingPacket {
+    pub fn enqueue(
+        &mut self,
+        pkt: Packet,
+        route: RouteInfo,
+        desc: PacketRef,
+    ) -> Result<(), Packet> {
+        let pending = PendingPacket {
             pkt,
             route,
             permit: PermitState::NotNeeded,
-        });
-        self.backlog += 1;
-        Ok(())
+            desc,
+        };
+        match self.inj_queues.push_back(pkt.vnet.index(), pending) {
+            Ok(()) => {
+                self.backlog += 1;
+                Ok(())
+            }
+            Err(p) => Err(p.pkt),
+        }
     }
 
     /// Immutable view of the pending packets of one VNet (head first).
     pub fn pending(&self, vnet: VnetId) -> impl Iterator<Item = &PendingPacket> {
-        self.inj_queues[vnet.index()].iter()
+        self.inj_queues.iter(vnet.index())
     }
 
     /// Sets the permit state of a specific pending packet.
     pub fn set_permit(&mut self, id: PacketId, state: PermitState) -> bool {
-        for q in &mut self.inj_queues {
-            for p in q.iter_mut() {
+        for q in 0..self.num_vnets {
+            for i in 0..self.inj_queues.len(q) {
+                let p = self.inj_queues.get_mut(q, i).expect("index in range");
                 if p.pkt.id == id {
                     p.permit = state;
                     return true;
@@ -244,11 +284,11 @@ impl Ni {
     ///
     /// At most one flit per cycle leaves the NI. Returns the flit and the
     /// flat Local-input VC it travels on. The caller (the network) turns it
-    /// into a staged link event and reports head-flit injections to the
-    /// packet tracker.
+    /// into a staged link event, reports head-flit injections to the packet
+    /// tracker, and stamps the injection cycle into the arena descriptor.
     pub fn inject_step(
         &mut self,
-        now: Cycle,
+        _now: Cycle,
         vcs_per_vnet: usize,
         vct: bool,
     ) -> Option<(Flit, usize)> {
@@ -264,15 +304,7 @@ impl Ni {
                 if self.out_vcs[vcf].credits == 0 {
                     continue;
                 }
-                let flit = Flit::new(
-                    act.pkt.id,
-                    act.next_seq,
-                    act.pkt.len_flits,
-                    act.pkt.vnet,
-                    act.pkt.src,
-                    act.route,
-                    now,
-                );
+                let flit = Flit::new(act.desc, act.next_seq, act.len_flits);
                 act.next_seq += 1;
                 self.out_vcs[vcf].credits -= 1;
                 if flit.kind.is_tail() {
@@ -283,7 +315,7 @@ impl Ni {
                 return Some((flit, vcf));
             }
             // Try to start the head-of-queue packet of this VNet.
-            let Some(head) = self.inj_queues[v].front() else {
+            let Some(head) = self.inj_queues.front(v) else {
                 continue;
             };
             if head.permit == PermitState::Waiting {
@@ -298,22 +330,14 @@ impl Ni {
             else {
                 continue;
             };
-            let pending = self.inj_queues[v].pop_front().expect("checked non-empty");
+            let pending = self.inj_queues.pop_front(v).expect("checked non-empty");
             self.out_vcs[vcf].busy = true;
             self.out_vcs[vcf].credits -= 1;
-            let flit = Flit::new(
-                pending.pkt.id,
-                0,
-                pending.pkt.len_flits,
-                pending.pkt.vnet,
-                pending.pkt.src,
-                pending.route,
-                now,
-            );
+            let flit = Flit::new(pending.desc, 0, pending.pkt.len_flits);
             if pending.pkt.len_flits > 1 {
                 self.active[v] = Some(ActiveInjection {
-                    pkt: pending.pkt,
-                    route: pending.route,
+                    desc: pending.desc,
+                    len_flits: pending.pkt.len_flits,
                     vc_flat: vcf,
                     next_seq: 1,
                 });
@@ -393,8 +417,15 @@ impl Ni {
     /// packet converts an UPP reservation into a claimed entry.
     ///
     /// Returns the completed packet when this was the tail flit.
-    pub fn accept_flit(&mut self, flit: Flit, now: Cycle, via_popup: bool) -> Option<Delivered> {
-        let v = flit.vnet.index();
+    pub fn accept_flit(
+        &mut self,
+        flit: Flit,
+        now: Cycle,
+        via_popup: bool,
+        arena: &PacketArena,
+    ) -> Option<Delivered> {
+        let desc = *arena.desc(&flit);
+        let v = desc.vnet.index();
         if flit.kind.is_head() {
             if via_popup {
                 // Convert the reservation made by UPP_req into a claim.
@@ -411,20 +442,23 @@ impl Ni {
                 "ejection over-subscription at {}",
                 self.node
             );
-            let prev = self.assembly.insert(
-                flit.packet,
-                Assembly {
-                    received: 0,
-                    len: packet_len(&flit),
-                    head: flit,
-                    via_popup,
-                },
+            debug_assert!(
+                !self.assembly.iter().any(|a| a.desc == flit.desc),
+                "duplicate head flit for {}",
+                desc.id
             );
-            debug_assert!(prev.is_none(), "duplicate head flit for {}", flit.packet);
+            self.assembly.push(Assembly {
+                desc: flit.desc,
+                received: 0,
+                via_popup,
+            });
         }
-        let asm = self.assembly.get_mut(&flit.packet).unwrap_or_else(|| {
-            panic!("flit of unknown packet {} at NI {}", flit.packet, self.node)
-        });
+        let ix = self
+            .assembly
+            .iter()
+            .position(|a| a.desc == flit.desc)
+            .unwrap_or_else(|| panic!("flit of unknown packet {} at NI {}", desc.id, self.node));
+        let asm = &mut self.assembly[ix];
         debug_assert_eq!(
             asm.received, flit.seq,
             "out-of-order flit at NI {}",
@@ -433,23 +467,28 @@ impl Ni {
         asm.received += 1;
         asm.via_popup |= via_popup;
         if flit.kind.is_tail() {
-            let asm = self.assembly.remove(&flit.packet).expect("assembly exists");
+            let asm = self.assembly.swap_remove(ix);
             let len = flit.seq + 1;
-            debug_assert!(asm.len == u16::MAX || asm.len == len);
+            debug_assert_eq!(desc.pkt_len, len, "tail seq disagrees with descriptor");
             let pkt = Packet::new(
-                flit.packet,
-                asm.head.src,
-                asm.head.route.dest,
-                asm.head.vnet,
+                desc.id,
+                desc.src,
+                desc.route.dest,
+                desc.vnet,
                 len,
-                asm.head.injected_at,
+                desc.created_at,
             );
             let d = Delivered {
                 pkt,
                 completed_at: now,
                 via_popup: asm.via_popup,
             };
-            self.delivered[v].push_back(d);
+            if self.delivered.push_back(v, d).is_err() {
+                panic!(
+                    "delivered queue overflow at NI {} vnet {v} (more packets than ejection entries)",
+                    self.node
+                );
+            }
             return Some(d);
         }
         None
@@ -458,14 +497,14 @@ impl Ni {
     /// PE-side: pops the oldest delivered packet of a VNet and frees its
     /// ejection entry (External consumption policy).
     pub fn pop_delivered(&mut self, vnet: VnetId) -> Option<Delivered> {
-        let d = self.delivered[vnet.index()].pop_front()?;
+        let d = self.delivered.pop_front(vnet.index())?;
         self.in_use[vnet.index()] -= 1;
         Some(d)
     }
 
     /// Peeks the oldest delivered packet of a VNet without consuming it.
     pub fn peek_delivered(&self, vnet: VnetId) -> Option<&Delivered> {
-        self.delivered[vnet.index()].front()
+        self.delivered.front(vnet.index())
     }
 
     /// Runs the Immediate consumption policy; External is a no-op.
@@ -474,12 +513,16 @@ impl Ni {
             return;
         }
         if let ConsumePolicy::Immediate { latency } = self.consume {
+            if !self.delivered.any_nonempty() {
+                return;
+            }
             for v in 0..self.num_vnets {
-                while self.delivered[v]
-                    .front()
+                while self
+                    .delivered
+                    .front(v)
                     .is_some_and(|d| d.completed_at + latency <= now)
                 {
-                    self.delivered[v].pop_front();
+                    self.delivered.pop_front(v);
                     self.in_use[v] -= 1;
                 }
             }
@@ -514,7 +557,19 @@ impl Ni {
             || !self.control_inbox.is_empty()
             || (!self.consumption_paused
                 && matches!(self.consume, ConsumePolicy::Immediate { .. })
-                && self.delivered.iter().any(|q| !q.is_empty()))
+                && self.delivered.any_nonempty())
+    }
+
+    /// Exact heap bytes of this NI's steady-state storage (injection and
+    /// delivered rings, VC credit mirrors, assembly table at capacity,
+    /// per-VNet counters).
+    pub fn mem_bytes(&self) -> usize {
+        self.inj_queues.mem_bytes()
+            + self.delivered.mem_bytes()
+            + self.out_vcs.len() * std::mem::size_of::<OutVcState>()
+            + self.active.len() * std::mem::size_of::<Option<ActiveInjection>>()
+            + self.assembly.capacity() * std::mem::size_of::<Assembly>()
+            + (self.in_use.len() + self.upp_reserved.len()) * std::mem::size_of::<usize>()
     }
 
     /// Helper for schemes: which flat VC indices belong to `vnet`.
@@ -529,21 +584,11 @@ impl Ni {
     }
 }
 
-fn packet_len(head: &Flit) -> u16 {
-    match head.kind {
-        FlitKind::HeadTail => 1,
-        // For multi-flit packets the length is implied by the tail; track via
-        // seq of the tail when it arrives. We carry it by treating `received`
-        // as authoritative; `len` here is provisional and fixed up at tail.
-        _ => u16::MAX,
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::ids::{NodeId, PacketId, VnetId};
-    use crate::packet::RouteInfo;
+    use crate::packet::{PacketDesc, RouteInfo};
 
     fn cfg() -> NocConfig {
         NocConfig::default()
@@ -558,19 +603,37 @@ mod tests {
         (p, RouteInfo::intra(NodeId(1)))
     }
 
-    fn deliver(ni: &mut Ni, id: u64, vnet: u8, len: u16, popup: bool) -> Option<Delivered> {
+    fn intern(arena: &mut PacketArena, p: &Packet, r: RouteInfo) -> PacketRef {
+        arena.alloc(PacketDesc {
+            id: p.id,
+            src: p.src,
+            vnet: p.vnet,
+            pkt_len: p.len_flits,
+            route: r,
+            created_at: p.created_at,
+        })
+    }
+
+    fn enqueue(n: &mut Ni, arena: &mut PacketArena, id: u64, vnet: u8, len: u16) {
+        let (p, r) = pkt(id, vnet, len);
+        let d = intern(arena, &p, r);
+        n.enqueue(p, r, d).unwrap();
+    }
+
+    fn deliver(
+        ni: &mut Ni,
+        arena: &mut PacketArena,
+        id: u64,
+        vnet: u8,
+        len: u16,
+        popup: bool,
+    ) -> Option<Delivered> {
+        let p = Packet::new(PacketId(id), NodeId(2), NodeId(0), VnetId(vnet), len, 0);
+        let d = intern(arena, &p, RouteInfo::intra(NodeId(0)));
         let mut out = None;
         for seq in 0..len {
-            let f = Flit::new(
-                PacketId(id),
-                seq,
-                len,
-                VnetId(vnet),
-                NodeId(2),
-                RouteInfo::intra(NodeId(0)),
-                0,
-            );
-            out = ni.accept_flit(f, 10 + seq as u64, popup);
+            let f = Flit::new(d, seq, len);
+            out = ni.accept_flit(f, 10 + seq as u64, popup, arena);
         }
         out
     }
@@ -578,8 +641,8 @@ mod tests {
     #[test]
     fn injection_streams_one_flit_per_cycle() {
         let mut n = ni();
-        let (p, r) = pkt(1, 0, 3);
-        n.enqueue(p, r).unwrap();
+        let mut arena = PacketArena::new();
+        enqueue(&mut n, &mut arena, 1, 0, 3);
         let (f0, vc0) = n.inject_step(0, 1, false).unwrap();
         assert_eq!(f0.seq, 0);
         let (f1, vc1) = n.inject_step(1, 1, false).unwrap();
@@ -593,8 +656,8 @@ mod tests {
     #[test]
     fn injection_respects_credits_and_busy() {
         let mut n = ni();
-        let (p, r) = pkt(1, 0, 5);
-        n.enqueue(p, r).unwrap();
+        let mut arena = PacketArena::new();
+        enqueue(&mut n, &mut arena, 1, 0, 5);
         // Drain all 4 credits of the single VC.
         for _ in 0..4 {
             assert!(n.inject_step(0, 1, false).is_some());
@@ -603,8 +666,7 @@ mod tests {
         n.on_credit(0, false);
         assert!(n.inject_step(1, 1, false).is_some());
         // VC stays busy for a second packet of the same VNet until freed.
-        let (p2, r2) = pkt(2, 0, 1);
-        n.enqueue(p2, r2).unwrap();
+        enqueue(&mut n, &mut arena, 2, 0, 1);
         assert!(
             n.inject_step(2, 1, false).is_none(),
             "tail sent but VC not yet freed"
@@ -614,14 +676,14 @@ mod tests {
             n.on_credit(0, false);
         }
         let (f, _) = n.inject_step(3, 1, false).unwrap();
-        assert_eq!(f.packet, PacketId(2));
+        assert_eq!(arena.desc(&f).id, PacketId(2));
     }
 
     #[test]
     fn waiting_permit_blocks_injection() {
         let mut n = ni();
-        let (p, r) = pkt(7, 1, 1);
-        n.enqueue(p, r).unwrap();
+        let mut arena = PacketArena::new();
+        enqueue(&mut n, &mut arena, 7, 1, 1);
         assert!(n.set_permit(PacketId(7), PermitState::Waiting));
         assert!(n.inject_step(0, 1, false).is_none());
         assert!(n.set_permit(PacketId(7), PermitState::Granted));
@@ -635,14 +697,14 @@ mod tests {
     #[test]
     fn round_robin_across_vnets() {
         let mut n = ni();
+        let mut arena = PacketArena::new();
         for v in 0..3u8 {
-            let (p, r) = pkt(v as u64, v, 2);
-            n.enqueue(p, r).unwrap();
+            enqueue(&mut n, &mut arena, v as u64, v, 2);
         }
         let mut seen = Vec::new();
         for c in 0..6 {
             let (f, _) = n.inject_step(c, 1, false).unwrap();
-            seen.push(f.vnet.0);
+            seen.push(arena.desc(&f).vnet.0);
         }
         // All three VNets interleave.
         assert_eq!(seen.iter().filter(|&&v| v == 0).count(), 2);
@@ -653,8 +715,9 @@ mod tests {
     #[test]
     fn ejection_assembles_and_pops() {
         let mut n = ni();
+        let mut arena = PacketArena::new();
         n.claim_entry(VnetId(0));
-        let d = deliver(&mut n, 5, 0, 4, false).expect("tail completes");
+        let d = deliver(&mut n, &mut arena, 5, 0, 4, false).expect("tail completes");
         assert_eq!(d.pkt.len_flits, 4);
         assert!(!d.via_popup);
         assert_eq!(n.free_entries(VnetId(0)), 3);
@@ -686,8 +749,9 @@ mod tests {
     #[test]
     fn popup_head_consumes_reservation() {
         let mut n = ni();
+        let mut arena = PacketArena::new();
         assert!(n.try_reserve_entry(VnetId(2)));
-        let d = deliver(&mut n, 9, 2, 5, true).unwrap();
+        let d = deliver(&mut n, &mut arena, 9, 2, 5, true).unwrap();
         assert!(d.via_popup);
         assert_eq!(n.reservations(VnetId(2)), 0);
         assert_eq!(
@@ -700,8 +764,9 @@ mod tests {
     #[test]
     fn immediate_policy_consumes_after_latency() {
         let mut n = Ni::new(NodeId(0), &cfg(), ConsumePolicy::Immediate { latency: 2 });
+        let mut arena = PacketArena::new();
         n.claim_entry(VnetId(0));
-        deliver(&mut n, 1, 0, 1, false).unwrap();
+        deliver(&mut n, &mut arena, 1, 0, 1, false).unwrap();
         n.consume_step(10); // completed at 10
         assert_eq!(n.free_entries(VnetId(0)), 3);
         n.consume_step(12);
@@ -711,13 +776,15 @@ mod tests {
     #[test]
     fn enqueue_full_returns_packet() {
         let mut n = ni();
+        let mut arena = PacketArena::new();
         for i in 0..16 {
-            let (p, r) = pkt(i, 0, 1);
-            n.enqueue(p, r).unwrap();
+            enqueue(&mut n, &mut arena, i, 0, 1);
         }
         let (p, r) = pkt(99, 0, 1);
-        assert!(n.enqueue(p, r).is_err());
+        let d = intern(&mut arena, &p, r);
+        assert!(n.enqueue(p, r, d).is_err());
         assert_eq!(n.injection_backlog(VnetId(0)), 16);
+        assert!(n.mem_bytes() > 0);
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! Packets, flits and route headers.
+//! Packets, flits, route headers and the interned packet-descriptor arena.
 
 use crate::ids::{Cycle, NodeId, PacketId, VnetId};
 use serde::{Deserialize, Serialize};
@@ -111,30 +111,187 @@ impl FlitKind {
     }
 }
 
-/// A flow-control unit travelling through the network.
+/// Handle of an interned [`PacketDesc`] in the [`PacketArena`].
 ///
-/// For simplicity every flit carries the route header and class of its packet
-/// (hardware would keep these only on the head flit); body flits never read
-/// them.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-pub struct Flit {
-    /// Owning packet.
-    pub packet: PacketId,
-    /// Position of this flit in the packet.
-    pub kind: FlitKind,
-    /// Sequence number within the packet (head is 0).
-    pub seq: u16,
+/// Handles are internal to one running network: they are recycled when the
+/// packet fully ejects, and they never appear in any serialized output
+/// (traces, stats and reports all speak [`PacketId`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct PacketRef(pub u32);
+
+impl PacketRef {
+    /// The slab index of this handle.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for PacketRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "d{}", self.0)
+    }
+}
+
+/// The per-packet metadata interned once per in-flight packet: identity, the
+/// route header of the head flit, and injection bookkeeping. Hardware keeps
+/// this on the head flit only; the simulator keeps it in the arena so wire
+/// flits stay a compact POD.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PacketDesc {
+    /// Globally-unique packet id (what every serialized surface reports).
+    pub id: PacketId,
+    /// Source node.
+    pub src: NodeId,
+    /// Virtual network.
+    pub vnet: VnetId,
     /// Total packet length in flits (virtual cut-through allocates whole
     /// packets at once).
     pub pkt_len: u16,
-    /// Virtual network of the packet.
-    pub vnet: VnetId,
-    /// Source node of the packet.
-    pub src: NodeId,
     /// Route header.
     pub route: RouteInfo,
-    /// Cycle at which the packet's head flit entered the network.
-    pub injected_at: Cycle,
+    /// Cycle the packet was created (enqueued at the source NI); the
+    /// destination NI reconstructs the delivered [`Packet`] from this.
+    pub created_at: Cycle,
+}
+
+/// Slab of in-flight [`PacketDesc`]s with free-list recycling.
+///
+/// One descriptor is allocated per packet at `try_send` time and freed when
+/// the tail flit is accepted by the destination NI — both always on the
+/// serial path, so handle allocation order (and therefore the whole arena
+/// state) is identical between the serial and sharded kernels. The free
+/// list is LIFO, which keeps recycling deterministic and cache-warm.
+#[derive(Debug, Default)]
+pub struct PacketArena {
+    slots: Vec<PacketDesc>,
+    /// Liveness bitmap, used by debug assertions and occupancy accounting.
+    live: Vec<bool>,
+    free: Vec<u32>,
+    live_count: usize,
+    high_water: usize,
+    total_allocs: u64,
+}
+
+impl PacketArena {
+    /// An empty arena.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Pre-reserves capacity for `n` concurrently-live descriptors so
+    /// steady-state operation below that bound never reallocates.
+    pub fn reserve(&mut self, n: usize) {
+        if self.slots.capacity() < n {
+            self.slots.reserve(n - self.slots.len());
+            self.live.reserve(n - self.live.len());
+        }
+        if self.free.capacity() < n {
+            self.free.reserve(n - self.free.len());
+        }
+    }
+
+    /// Interns a descriptor, returning its handle.
+    pub fn alloc(&mut self, desc: PacketDesc) -> PacketRef {
+        self.total_allocs += 1;
+        self.live_count += 1;
+        self.high_water = self.high_water.max(self.live_count);
+        if let Some(ix) = self.free.pop() {
+            debug_assert!(!self.live[ix as usize], "free-list entry still live");
+            self.slots[ix as usize] = desc;
+            self.live[ix as usize] = true;
+            PacketRef(ix)
+        } else {
+            let ix = u32::try_from(self.slots.len()).expect("more than 2^32 live packets");
+            self.slots.push(desc);
+            self.live.push(true);
+            PacketRef(ix)
+        }
+    }
+
+    /// Releases a descriptor; its handle may be recycled by a later
+    /// [`PacketArena::alloc`].
+    pub fn free(&mut self, h: PacketRef) {
+        debug_assert!(self.live[h.index()], "double free of {h}");
+        self.live[h.index()] = false;
+        self.live_count -= 1;
+        self.free.push(h.0);
+    }
+
+    /// The descriptor behind `h`.
+    #[inline]
+    pub fn get(&self, h: PacketRef) -> &PacketDesc {
+        debug_assert!(self.live[h.index()], "read of freed descriptor {h}");
+        &self.slots[h.index()]
+    }
+
+    /// The descriptor of a flit's packet (protocol-state reads that are
+    /// legitimate on any flit: packet identity, VNet, circuit keys).
+    #[inline]
+    pub fn desc(&self, flit: &Flit) -> &PacketDesc {
+        self.get(flit.desc)
+    }
+
+    /// The descriptor of a *head* flit, for route-header reads on the
+    /// normal datapath (route computation, VCT whole-packet allocation).
+    ///
+    /// Backs the claim in the [`Flit`] doc comment: body flits never read
+    /// the route header. Debug builds assert it.
+    #[inline]
+    pub fn head_desc(&self, flit: &Flit) -> &PacketDesc {
+        debug_assert!(
+            flit.kind.is_head(),
+            "body flit {} read the route header",
+            flit.seq
+        );
+        self.get(flit.desc)
+    }
+
+    /// Descriptors currently live.
+    pub fn live_count(&self) -> usize {
+        self.live_count
+    }
+
+    /// Peak number of concurrently-live descriptors.
+    pub fn high_water(&self) -> usize {
+        self.high_water
+    }
+
+    /// Total descriptors ever interned (recycled handles count each time).
+    pub fn total_allocs(&self) -> u64 {
+        self.total_allocs
+    }
+
+    /// Slab length (peak footprint in slots; the slab never shrinks).
+    pub fn slots_len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Exact heap bytes of the slab state at its current length (capacity
+    /// headroom from [`PacketArena::reserve`] is deliberately excluded so
+    /// the number is a function of the workload, not of tuning).
+    pub fn mem_bytes(&self) -> usize {
+        self.slots.len() * std::mem::size_of::<PacketDesc>()
+            + self.live.len()
+            + self.free.len() * std::mem::size_of::<u32>()
+    }
+}
+
+/// A flow-control unit travelling through the network.
+///
+/// A flit is a compact POD: a descriptor handle, its sequence position and
+/// the two per-flit popup bits. The route header and packet metadata live
+/// in the [`PacketArena`] (as in hardware, where only the head flit carries
+/// them); body flits never read the route header —
+/// [`PacketArena::head_desc`] asserts it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Flit {
+    /// Arena handle of the owning packet's descriptor.
+    pub desc: PacketRef,
+    /// Sequence number within the packet (head is 0).
+    pub seq: u16,
+    /// Position of this flit in the packet.
+    pub kind: FlitKind,
     /// Set while the flit travels as a popped-up *upward flit*: it bypasses
     /// VC buffers and crosses routers in a single switch-traversal stage
     /// (Sec. V-C).
@@ -146,16 +303,8 @@ pub struct Flit {
 }
 
 impl Flit {
-    /// Builds the `i`-th flit (of `len`) of a packet.
-    pub fn new(
-        packet: PacketId,
-        seq: u16,
-        len: u16,
-        vnet: VnetId,
-        src: NodeId,
-        route: RouteInfo,
-        injected_at: Cycle,
-    ) -> Self {
+    /// Builds the `seq`-th flit (of `len`) of the packet behind `desc`.
+    pub fn new(desc: PacketRef, seq: u16, len: u16) -> Self {
         debug_assert!(len > 0 && seq < len);
         let kind = match (seq, len) {
             (0, 1) => FlitKind::HeadTail,
@@ -164,14 +313,9 @@ impl Flit {
             _ => FlitKind::Body,
         };
         Self {
-            packet,
-            kind,
+            desc,
             seq,
-            pkt_len: len,
-            vnet,
-            src,
-            route,
-            injected_at,
+            kind,
             upward: false,
             popup_priority: false,
         }
@@ -221,25 +365,74 @@ impl Packet {
 mod tests {
     use super::*;
 
-    fn route() -> RouteInfo {
-        RouteInfo::intra(NodeId(5))
+    fn desc(arena: &mut PacketArena, id: u64, len: u16) -> PacketRef {
+        arena.alloc(PacketDesc {
+            id: PacketId(id),
+            src: NodeId(0),
+            vnet: VnetId(0),
+            pkt_len: len,
+            route: RouteInfo::intra(NodeId(5)),
+            created_at: 0,
+        })
     }
 
     #[test]
     fn flit_kinds_by_position() {
-        let p = PacketId(1);
-        let v = VnetId(0);
-        let single = Flit::new(p, 0, 1, v, NodeId(0), route(), 0);
+        let mut arena = PacketArena::new();
+        let d = desc(&mut arena, 1, 5);
+        let single = Flit::new(d, 0, 1);
         assert_eq!(single.kind, FlitKind::HeadTail);
         assert!(single.kind.is_head() && single.kind.is_tail());
 
-        let head = Flit::new(p, 0, 5, v, NodeId(0), route(), 0);
-        let body = Flit::new(p, 2, 5, v, NodeId(0), route(), 0);
-        let tail = Flit::new(p, 4, 5, v, NodeId(0), route(), 0);
+        let head = Flit::new(d, 0, 5);
+        let body = Flit::new(d, 2, 5);
+        let tail = Flit::new(d, 4, 5);
         assert_eq!(head.kind, FlitKind::Head);
         assert_eq!(body.kind, FlitKind::Body);
         assert_eq!(tail.kind, FlitKind::Tail);
         assert!(!body.kind.is_head() && !body.kind.is_tail());
+    }
+
+    #[test]
+    fn flit_is_a_compact_pod() {
+        // The data-oriented layout exists to keep wire flits tiny; pin the
+        // budget so a metadata field cannot silently creep back in.
+        assert!(
+            std::mem::size_of::<Flit>() <= 16,
+            "Flit grew to {} bytes",
+            std::mem::size_of::<Flit>()
+        );
+    }
+
+    #[test]
+    fn arena_recycles_handles_lifo() {
+        let mut arena = PacketArena::new();
+        let a = desc(&mut arena, 1, 1);
+        let b = desc(&mut arena, 2, 1);
+        assert_ne!(a, b);
+        assert_eq!(arena.live_count(), 2);
+        assert_eq!(arena.high_water(), 2);
+        arena.free(a);
+        assert_eq!(arena.live_count(), 1);
+        let c = desc(&mut arena, 3, 1);
+        assert_eq!(c, a, "LIFO free list recycles the last-freed handle");
+        assert_eq!(arena.get(c).id, PacketId(3));
+        assert_eq!(arena.high_water(), 2, "recycling does not raise the peak");
+        assert_eq!(arena.total_allocs(), 3);
+        assert_eq!(arena.slots_len(), 2);
+        assert!(arena.mem_bytes() > 0);
+    }
+
+    /// The misuse guard is a `debug_assert`, so the test only exists in
+    /// debug builds — release builds compile the check away entirely.
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "read the route header")]
+    fn body_flits_must_not_read_the_route_header() {
+        let mut arena = PacketArena::new();
+        let d = desc(&mut arena, 1, 5);
+        let body = Flit::new(d, 2, 5);
+        let _ = arena.head_desc(&body);
     }
 
     #[test]

@@ -38,7 +38,7 @@
 
 use crate::ids::{Cycle, NodeId, PacketId, Port, VnetId};
 use crate::trace::{BlockReason, TraceEvent};
-use std::collections::HashMap;
+use std::collections::VecDeque;
 
 /// One delivered packet's fully-attributed latency decomposition.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -122,6 +122,68 @@ struct LiveSpan {
     waits: Vec<(NodeId, u64)>,
 }
 
+/// Live spans indexed densely by packet id.
+///
+/// [`crate::stats::PacketTracker`] hands out packet ids sequentially, so
+/// the live set at any instant occupies a narrow sliding id window: a ring
+/// of `Option<LiveSpan>` slots addressed by `id - base` replaces the former
+/// per-event `HashMap` hashing with one bounds check and an index. Ids
+/// outside the window (packets in flight before the recorder was
+/// installed, or non-sequential ids from a foreign source) are tolerated:
+/// lookups miss, inserts below the window grow it frontward.
+#[derive(Debug, Default)]
+struct DenseSpanMap {
+    /// Packet id of `slots[0]`.
+    base: u64,
+    slots: VecDeque<Option<LiveSpan>>,
+    len: usize,
+}
+
+impl DenseSpanMap {
+    fn insert(&mut self, id: PacketId, s: LiveSpan) {
+        let k = id.0;
+        if self.slots.is_empty() {
+            self.base = k;
+        } else if k < self.base {
+            for _ in k..self.base {
+                self.slots.push_front(None);
+            }
+            self.base = k;
+        }
+        let ix = (k - self.base) as usize;
+        if ix >= self.slots.len() {
+            self.slots.resize_with(ix + 1, || None);
+        }
+        if self.slots[ix].replace(s).is_none() {
+            self.len += 1;
+        }
+    }
+
+    fn get_mut(&mut self, id: PacketId) -> Option<&mut LiveSpan> {
+        let ix = id.0.checked_sub(self.base)? as usize;
+        self.slots.get_mut(ix)?.as_mut()
+    }
+
+    fn remove(&mut self, id: PacketId) -> Option<LiveSpan> {
+        let ix = id.0.checked_sub(self.base)? as usize;
+        let s = self.slots.get_mut(ix)?.take();
+        if s.is_some() {
+            self.len -= 1;
+            // Slide the window past leading vacancies so it stays as narrow
+            // as the live set (the ring keeps its capacity).
+            while let Some(None) = self.slots.front() {
+                self.slots.pop_front();
+                self.base += 1;
+            }
+        }
+        s
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+}
+
 /// Folds the flight-recorder event stream into per-packet latency spans
 /// plus per-router / per-link contention counters.
 ///
@@ -130,7 +192,7 @@ struct LiveSpan {
 /// are ignored.
 #[derive(Debug, Default)]
 pub struct SpanRecorder {
-    live: HashMap<PacketId, LiveSpan>,
+    live: DenseSpanMap,
     finished: Vec<PacketSpan>,
     router_blocked: Vec<u64>,
     link_blocked: Vec<u64>,
@@ -183,7 +245,7 @@ impl SpanRecorder {
                 );
             }
             TraceEvent::PacketInjected { at, packet, .. } => {
-                if let Some(s) = self.live.get_mut(&packet) {
+                if let Some(s) = self.live.get_mut(packet) {
                     s.injected_at.get_or_insert(at);
                 }
             }
@@ -202,7 +264,7 @@ impl SpanRecorder {
                         1,
                     );
                 }
-                if let Some(s) = self.live.get_mut(&packet) {
+                if let Some(s) = self.live.get_mut(packet) {
                     match reason {
                         BlockReason::Credit => s.credit += 1,
                         BlockReason::VcAlloc => s.vc_alloc += 1,
@@ -215,12 +277,12 @@ impl SpanRecorder {
                 }
             }
             TraceEvent::VcAllocated { packet, .. } => {
-                if let Some(s) = self.live.get_mut(&packet) {
+                if let Some(s) = self.live.get_mut(packet) {
                     s.hops += 1;
                 }
             }
             TraceEvent::BypassHop { packet, .. } => {
-                if let Some(s) = self.live.get_mut(&packet) {
+                if let Some(s) = self.live.get_mut(packet) {
                     s.bypass_hops += 1;
                 }
             }
@@ -232,7 +294,7 @@ impl SpanRecorder {
                 ..
             } => {
                 self.popups += 1;
-                if let Some(s) = self.live.get_mut(&packet) {
+                if let Some(s) = self.live.get_mut(packet) {
                     s.wait_ack += wait_ack;
                     s.locate += locate;
                     s.pop += pop;
@@ -244,7 +306,7 @@ impl SpanRecorder {
                 net_latency,
                 ..
             } => {
-                let Some(s) = self.live.remove(&packet) else {
+                let Some(s) = self.live.remove(packet) else {
                     return;
                 };
                 let injected_at = s.injected_at.unwrap_or(at - net_latency);

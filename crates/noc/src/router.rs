@@ -25,7 +25,8 @@ use crate::event::Event;
 use crate::ids::{Cycle, NodeId, PacketId, Port, VnetId};
 use crate::ni::{Ni, OutVcState};
 use crate::obs::ObsRegistry;
-use crate::packet::Flit;
+use crate::packet::{Flit, PacketArena, PacketRef};
+use crate::ring::RingBank;
 use crate::routing::RouteComputer;
 use crate::stats::{NetStats, PacketTracker};
 use crate::topology::Topology;
@@ -44,11 +45,11 @@ pub struct BufferedFlit {
     pub arrived: Cycle,
 }
 
-/// One input virtual channel.
-#[derive(Debug, Clone, Default)]
+/// Control state of one input virtual channel. The buffered flits themselves
+/// live in the router's contiguous [`RingBank`] (struct-of-arrays layout),
+/// accessed through [`Router::vc_front`]/[`Router::vc_buf_len`].
+#[derive(Debug, Clone, Copy, Default)]
 pub struct InputVc {
-    /// Buffered flits, oldest first.
-    pub buf: VecDeque<BufferedFlit>,
     /// Packet currently owning this VC (set by its head flit's buffer write,
     /// cleared when its tail departs).
     pub owner: Option<PacketId>,
@@ -60,16 +61,6 @@ pub struct InputVc {
     /// Frozen VCs are skipped by switch allocation (set while UPP pops the
     /// VC's packet up through the bypass path).
     pub frozen: bool,
-}
-
-impl InputVc {
-    /// True if a packet's head flit has departed but its tail has not (the
-    /// packet is partly transmitted downstream).
-    pub fn partly_transmitted(&self) -> bool {
-        self.owner.is_some()
-            && self.out_vc.is_some()
-            && self.buf.front().is_none_or(|b| !b.flit.kind.is_head())
-    }
 }
 
 /// An upward flit waiting in the bypass latch.
@@ -146,12 +137,12 @@ impl Absorber {
         }
     }
 
-    fn accept(&mut self, flit: Flit, now: Cycle, route_out: Port) {
+    fn accept(&mut self, flit: Flit, id: PacketId, now: Cycle, route_out: Port) {
         if flit.kind.is_head() {
             let idx = self
                 .slots
                 .iter()
-                .position(|s| s.reserved_for == Some(flit.packet))
+                .position(|s| s.reserved_for == Some(id))
                 .or_else(|| {
                     // Unreserved arrivals (e.g. workloads driving the absorber
                     // without a permission scheme) fall back to any free slot.
@@ -159,10 +150,10 @@ impl Absorber {
                         .iter()
                         .position(|s| s.packet.is_none() && s.reserved_for.is_none())
                 })
-                .unwrap_or_else(|| panic!("absorber overflow for {}", flit.packet));
+                .unwrap_or_else(|| panic!("absorber overflow for {id}"));
             let slot = &mut self.slots[idx];
             slot.reserved_for = None;
-            slot.packet = Some(flit.packet);
+            slot.packet = Some(id);
             slot.route_out = Some(route_out);
             slot.out_vc = None;
             slot.buf.push_back(BufferedFlit { flit, arrived: now });
@@ -170,8 +161,8 @@ impl Absorber {
             let slot = self
                 .slots
                 .iter_mut()
-                .find(|s| s.packet == Some(flit.packet))
-                .unwrap_or_else(|| panic!("absorber body flit without slot for {}", flit.packet));
+                .find(|s| s.packet == Some(id))
+                .unwrap_or_else(|| panic!("absorber body flit without slot for {id}"));
             slot.buf.push_back(BufferedFlit { flit, arrived: now });
         }
     }
@@ -189,6 +180,9 @@ pub(crate) struct RouterCtx<'a> {
     pub tracker: &'a mut PacketTracker,
     pub tracer: &'a mut Tracer,
     pub obs: &'a mut ObsRegistry,
+    /// Shared packet-descriptor arena (read-only during router stepping;
+    /// descriptors are interned/freed only on the serial path).
+    pub arena: &'a PacketArena,
     /// First-touch log of flat `link_flits` indices, armed only when
     /// `stats` is a shard-local delta: the merge step uses it to fold the
     /// per-link counters in O(touched links). `None` on the serial path.
@@ -219,6 +213,11 @@ pub struct Router {
     /// every access. The flat layout keeps the per-cycle switch-allocation
     /// scans on one contiguous allocation.
     in_vcs: Vec<InputVc>,
+    /// The buffered flits of every input VC, packed into one fixed-capacity
+    /// ring bank (same flat indexing as `in_vcs`). Capacity covers the
+    /// larger of the credit depth and one whole packet: a popup rejoin can
+    /// legally re-buffer a worm past its credit-limited depth.
+    bufs: RingBank<BufferedFlit>,
     /// Flat `port x vc` downstream credit/ownership mirrors (same indexing).
     out_vcs: Vec<OutVcState>,
     vcs_per_port: usize,
@@ -262,6 +261,15 @@ impl Router {
             }
         }
         let in_vcs = vec![InputVc::default(); Port::COUNT * vcs];
+        let ring_cap = cfg.vc_buffer_depth.max(cfg.max_packet_flits());
+        let bufs = RingBank::new(
+            Port::COUNT * vcs,
+            ring_cap,
+            BufferedFlit {
+                flit: Flit::new(PacketRef(u32::MAX), 0, 1),
+                arrived: 0,
+            },
+        );
         let mut out_vcs = vec![OutVcState::new(cfg.vc_buffer_depth); Port::COUNT * vcs];
         for f in 0..vcs {
             // Local ejection never exerts VC backpressure.
@@ -274,6 +282,7 @@ impl Router {
             vcs_per_vnet: cfg.vcs_per_vnet,
             num_vnets: cfg.num_vnets,
             in_vcs,
+            bufs,
             out_vcs,
             vcs_per_port: vcs,
             has_link,
@@ -330,6 +339,31 @@ impl Router {
     /// Panics if the port has no link.
     pub fn input_vc(&self, p: Port, vc_flat: usize) -> &InputVc {
         &self.in_vcs[p.index() * self.vcs_per_port + vc_flat]
+    }
+
+    /// Buffered-flit occupancy of an input VC.
+    pub fn vc_buf_len(&self, p: Port, vc_flat: usize) -> usize {
+        self.bufs.len(p.index() * self.vcs_per_port + vc_flat)
+    }
+
+    /// True when an input VC holds no buffered flits.
+    pub fn vc_buf_is_empty(&self, p: Port, vc_flat: usize) -> bool {
+        self.bufs.is_empty(p.index() * self.vcs_per_port + vc_flat)
+    }
+
+    /// Oldest buffered flit of an input VC, if any.
+    pub fn vc_front(&self, p: Port, vc_flat: usize) -> Option<&BufferedFlit> {
+        self.bufs.front(p.index() * self.vcs_per_port + vc_flat)
+    }
+
+    /// True if the packet owning VC `(p, vc_flat)` has sent its head flit
+    /// downstream but not yet its tail (the worm is partly transmitted).
+    pub fn vc_partly_transmitted(&self, p: Port, vc_flat: usize) -> bool {
+        let iv = p.index() * self.vcs_per_port + vc_flat;
+        let vc = &self.in_vcs[iv];
+        vc.owner.is_some()
+            && vc.out_vc.is_some()
+            && self.bufs.front(iv).is_none_or(|b| !b.flit.kind.is_head())
     }
 
     /// Downstream credit mirror for an output VC.
@@ -419,7 +453,7 @@ impl Router {
             || !self.req_buf.is_empty()
             || !self.ack_buf.is_empty()
             || !self.control_inbox.is_empty()
-            || self.in_vcs.iter().any(|vc| !vc.buf.is_empty())
+            || self.bufs.any_nonempty()
             || self
                 .absorber
                 .as_ref()
@@ -453,56 +487,82 @@ impl Router {
             if let Some(abs) = &mut self.absorber {
                 // Remote control: everything entering the chiplet is absorbed.
                 let route_out = if flit.kind.is_head() {
-                    ctx.routing.route(ctx.topo, self.node, in_port, &flit.route)
+                    let route = ctx.arena.head_desc(&flit).route;
+                    ctx.routing.route(ctx.topo, self.node, in_port, &route)
                 } else {
                     Port::Local // placeholder; body flits reuse the slot route
                 };
-                abs.accept(flit, ctx.now, route_out);
+                abs.accept(flit, ctx.arena.desc(&flit).id, ctx.now, route_out);
                 if ctx.obs.is_enabled() {
                     ctx.obs.inc(ctx.obs.mech.absorber_flits);
                 }
                 return;
             }
         }
-        let vc = &mut self.in_vcs[in_port.index() * self.vcs_per_port + vc_flat];
+        let iv = in_port.index() * self.vcs_per_port + vc_flat;
         if flit.kind.is_head() {
+            let vc = &mut self.in_vcs[iv];
             debug_assert!(
                 vc.owner.is_none(),
                 "VC collision at {} {in_port}",
                 self.node
             );
-            vc.owner = Some(flit.packet);
-            vc.route_out = Some(ctx.routing.route(ctx.topo, self.node, in_port, &flit.route));
+            let desc = ctx.arena.head_desc(&flit);
+            vc.owner = Some(desc.id);
+            vc.route_out = Some(ctx.routing.route(ctx.topo, self.node, in_port, &desc.route));
             vc.out_vc = None;
         }
-        vc.buf.push_back(BufferedFlit {
-            flit,
-            arrived: ctx.now,
-        });
+        if self
+            .bufs
+            .push_back(
+                iv,
+                BufferedFlit {
+                    flit,
+                    arrived: ctx.now,
+                },
+            )
+            .is_err()
+        {
+            panic!(
+                "input VC overflow at {} {in_port} vc {vc_flat} (credit protocol violation)",
+                self.node
+            );
+        }
     }
 
     /// Handles an arriving upward (bypass) flit: either it rejoins its worm
     /// (preserving flit order when popup started mid-packet) or it enters the
     /// bypass latch for single-stage forwarding.
     fn deliver_upward(&mut self, ctx: &mut RouterCtx<'_>, in_port: Port, flit: Flit) {
+        // Protocol-state reads (identity, circuit key) are legitimate on any
+        // flit of the packet, so this goes through the non-asserting accessor.
+        let desc = ctx.arena.desc(&flit);
+        let (id, circuit_key) = (desc.id, (desc.vnet, desc.route.dest));
         // Rejoin rule: if this packet still owns an input VC here with
         // buffered flits, append behind them so flits cannot overtake.
-        {
-            for vc in &mut self.in_vcs {
-                if vc.owner == Some(flit.packet) && !vc.buf.is_empty() {
-                    let mut f = flit;
-                    f.upward = false;
-                    f.popup_priority = true;
-                    vc.buf.push_back(BufferedFlit {
-                        flit: f,
-                        arrived: ctx.now,
-                    });
-                    self.priority_packets.insert(flit.packet);
-                    return;
+        for iv in 0..self.in_vcs.len() {
+            if self.in_vcs[iv].owner == Some(id) && !self.bufs.is_empty(iv) {
+                let mut f = flit;
+                f.upward = false;
+                f.popup_priority = true;
+                if self
+                    .bufs
+                    .push_back(
+                        iv,
+                        BufferedFlit {
+                            flit: f,
+                            arrived: ctx.now,
+                        },
+                    )
+                    .is_err()
+                {
+                    panic!("rejoin overflow at {} for {id}", self.node);
                 }
+                self.priority_packets.insert(id);
+                return;
             }
         }
-        let out_port = match self.circuits.get(&(flit.vnet, flit.route.dest)) {
+        let out_port = match self.circuits.get(&circuit_key) {
             Some(e) => {
                 if ctx.obs.is_enabled() {
                     ctx.obs.inc(ctx.obs.mech.circuit_lookup_hits);
@@ -516,7 +576,8 @@ impl Router {
                 if ctx.obs.is_enabled() {
                     ctx.obs.inc(ctx.obs.mech.circuit_lookup_misses);
                 }
-                ctx.routing.route(ctx.topo, self.node, in_port, &flit.route)
+                let route = ctx.arena.desc(&flit).route;
+                ctx.routing.route(ctx.topo, self.node, in_port, &route)
             }
         };
         self.bypass.push_back(BypassFlit {
@@ -593,13 +654,13 @@ impl Router {
             if ctx.tracer.enabled() {
                 ctx.tracer.record(TraceEvent::BypassHop {
                     at: ctx.now,
-                    packet: b.flit.packet,
+                    packet: ctx.arena.desc(&b.flit).id,
                     node: self.node,
                     out_port: b.out_port,
                 });
             }
             if b.out_port == Port::Up {
-                self.up_last_sent[b.flit.vnet.index()] = ctx.now;
+                self.up_last_sent[ctx.arena.desc(&b.flit).vnet.index()] = ctx.now;
             }
             let arrival = ctx.now + ctx.cfg.link_latency;
             if b.out_port == Port::Local {
@@ -837,14 +898,18 @@ impl Router {
                     }
                     continue;
                 }
-                let prio = self.priority_packets.contains(
-                    &self.in_vcs[base + f]
-                        .buf
-                        .front()
-                        .expect("request implies head flit")
-                        .flit
-                        .packet,
-                );
+                let prio = !self.priority_packets.is_empty()
+                    && self.priority_packets.contains(
+                        &ctx.arena
+                            .desc(
+                                &self
+                                    .bufs
+                                    .front(base + f)
+                                    .expect("request implies head flit")
+                                    .flit,
+                            )
+                            .id,
+                    );
                 match chosen {
                     None => chosen = Some((f, prio)),
                     Some((_, false)) if prio => chosen = Some((f, prio)),
@@ -931,12 +996,16 @@ impl Router {
                 if winners[b.in_port.index()] == Some(b.vc_flat) {
                     continue;
                 }
-                let packet = self.in_vcs[b.in_port.index() * self.vcs_per_port + b.vc_flat]
-                    .buf
-                    .front()
-                    .expect("losing bid still holds its flit")
-                    .flit
-                    .packet;
+                let packet = ctx
+                    .arena
+                    .desc(
+                        &self
+                            .bufs
+                            .front(b.in_port.index() * self.vcs_per_port + b.vc_flat)
+                            .expect("losing bid still holds its flit")
+                            .flit,
+                    )
+                    .id;
                 ctx.tracer.record(TraceEvent::Blocked {
                     at: ctx.now,
                     packet,
@@ -960,11 +1029,12 @@ impl Router {
         f: usize,
         ctx: &RouterCtx<'_>,
     ) -> Option<(PacketId, Option<Port>, BlockReason)> {
-        let vc = &self.in_vcs[p.index() * self.vcs_per_port + f];
+        let iv = p.index() * self.vcs_per_port + f;
+        let vc = &self.in_vcs[iv];
         if vc.frozen {
             return None;
         }
-        let head = vc.buf.front()?;
+        let head = self.bufs.front(iv)?;
         if head.arrived >= ctx.now {
             return None;
         }
@@ -977,12 +1047,17 @@ impl Router {
         }
         match vc.out_vc {
             Some(ovc) if self.out_vcs[out.index() * self.vcs_per_port + ovc].credits == 0 => {
-                Some((head.flit.packet, Some(out), BlockReason::Credit))
+                Some((
+                    ctx.arena.desc(&head.flit).id,
+                    Some(out),
+                    BlockReason::Credit,
+                ))
             }
             None => {
+                let desc = ctx.arena.head_desc(&head.flit);
                 let need = Self::alloc_credits_needed(ctx, &head.flit);
-                if !self.free_out_vc_exists(out, head.flit.vnet, need, ctx) {
-                    Some((head.flit.packet, Some(out), BlockReason::VcAlloc))
+                if !self.free_out_vc_exists(out, desc.vnet, need, ctx) {
+                    Some((desc.id, Some(out), BlockReason::VcAlloc))
                 } else {
                     None
                 }
@@ -993,11 +1068,12 @@ impl Router {
 
     /// Whether input VC `(p, f)` can bid this cycle; `Some(())` when it can.
     fn vc_request(&self, p: Port, f: usize, ctx: &RouterCtx<'_>) -> Option<()> {
-        let vc = &self.in_vcs[p.index() * self.vcs_per_port + f];
+        let iv = p.index() * self.vcs_per_port + f;
+        let vc = &self.in_vcs[iv];
         if vc.frozen {
             return None;
         }
-        let head = vc.buf.front()?;
+        let head = self.bufs.front(iv)?;
         if head.arrived >= ctx.now {
             return None;
         }
@@ -1021,7 +1097,7 @@ impl Router {
                     head.flit.kind.is_head(),
                     "body flit without allocated out VC"
                 );
-                let vnet = head.flit.vnet;
+                let vnet = ctx.arena.head_desc(&head.flit).vnet;
                 let need = Self::alloc_credits_needed(ctx, &head.flit);
                 if !self.free_out_vc_exists(out, vnet, need, ctx) {
                     return None;
@@ -1032,11 +1108,15 @@ impl Router {
     }
 
     /// Credits a head flit needs to win VC allocation: one under wormhole,
-    /// the whole packet under virtual cut-through.
+    /// the whole packet under virtual cut-through. Every call site holds a
+    /// head flit (VC allocation happens at heads only), so the route-header
+    /// read goes through the asserting [`PacketArena::head_desc`].
     fn alloc_credits_needed(ctx: &RouterCtx<'_>, flit: &Flit) -> usize {
         match ctx.cfg.flow_control {
             crate::config::FlowControl::Wormhole => 1,
-            crate::config::FlowControl::VirtualCutThrough => flit.pkt_len as usize,
+            crate::config::FlowControl::VirtualCutThrough => {
+                ctx.arena.head_desc(flit).pkt_len as usize
+            }
         }
     }
 
@@ -1086,22 +1166,24 @@ impl Router {
 
     fn commit_normal(&mut self, ctx: &mut RouterCtx<'_>, in_port: Port, f: usize, out: Port) {
         let (flit, needs_alloc) = {
-            let vc = &mut self.in_vcs[in_port.index() * self.vcs_per_port + f];
-            let b = vc.buf.pop_front().expect("winner has a head flit");
-            (b.flit, vc.out_vc.is_none())
+            let iv = in_port.index() * self.vcs_per_port + f;
+            let b = self.bufs.pop_front(iv).expect("winner has a head flit");
+            (b.flit, self.in_vcs[iv].out_vc.is_none())
         };
         let ovc = if needs_alloc {
+            let desc = ctx.arena.head_desc(&flit);
+            let (id, vnet) = (desc.id, desc.vnet);
             let need = Self::alloc_credits_needed(ctx, &flit);
-            let ovc = self.pick_out_vc(out, flit.vnet, need);
+            let ovc = self.pick_out_vc(out, vnet, need);
             self.out_vcs[out.index() * self.vcs_per_port + ovc].busy = true;
             if out == Port::Local {
-                ctx.ni.claim_entry(flit.vnet);
+                ctx.ni.claim_entry(vnet);
             }
             self.in_vcs[in_port.index() * self.vcs_per_port + f].out_vc = Some(ovc);
             if ctx.tracer.enabled() {
                 ctx.tracer.record(TraceEvent::VcAllocated {
                     at: ctx.now,
-                    packet: flit.packet,
+                    packet: id,
                     node: self.node,
                     in_port,
                     vc_flat: f,
@@ -1155,7 +1237,9 @@ impl Router {
             vc.route_out = None;
             vc.out_vc = None;
             vc.frozen = false;
-            self.priority_packets.remove(&flit.packet);
+            if !self.priority_packets.is_empty() {
+                self.priority_packets.remove(&ctx.arena.desc(&flit).id);
+            }
         }
         self.forward_flit(ctx, flit, out, ovc, is_tail);
     }
@@ -1190,7 +1274,7 @@ impl Router {
                     head.flit.kind.is_head()
                         && self.free_out_vc_exists(
                             out,
-                            head.flit.vnet,
+                            ctx.arena.head_desc(&head.flit).vnet,
                             Self::alloc_credits_needed(ctx, &head.flit),
                             ctx,
                         )
@@ -1212,11 +1296,12 @@ impl Router {
             (b.flit, s.out_vc.is_none())
         };
         let ovc = if needs_alloc {
+            let vnet = ctx.arena.head_desc(&flit).vnet;
             let need = Self::alloc_credits_needed(ctx, &flit);
-            let ovc = self.pick_out_vc(out, flit.vnet, need);
+            let ovc = self.pick_out_vc(out, vnet, need);
             self.out_vcs[out.index() * self.vcs_per_port + ovc].busy = true;
             if out == Port::Local {
-                ctx.ni.claim_entry(flit.vnet);
+                ctx.ni.claim_entry(vnet);
             }
             self.absorber.as_mut().expect("absorber").slots[slot].out_vc = Some(ovc);
             ovc
@@ -1248,7 +1333,7 @@ impl Router {
         ctx.bump_link(self.node, out);
         ctx.tracker.touch(ctx.now);
         if out == Port::Up {
-            self.up_last_sent[flit.vnet.index()] = ctx.now;
+            self.up_last_sent[ctx.arena.desc(&flit).vnet.index()] = ctx.now;
         }
         if out == Port::Local && is_tail {
             // The NI entry holds the packet; free the ejection VC now.
@@ -1305,17 +1390,17 @@ impl Router {
         if out_port != Port::Local && ctx.topo.neighbor(self.node, out_port).is_none() {
             return None; // dynamically-failed link: popup resumes after heal
         }
-        let vc = &mut self.in_vcs[in_port.index() * self.vcs_per_port + vc_flat];
-        let head = vc.buf.front()?;
+        let iv = in_port.index() * self.vcs_per_port + vc_flat;
+        let head = self.bufs.front(iv)?;
         if head.arrived >= ctx.now {
             return None;
         }
-        let mut flit = vc.buf.pop_front().expect("checked non-empty").flit;
+        let mut flit = self.bufs.pop_front(iv).expect("checked non-empty").flit;
         flit.upward = true;
         if ctx.tracer.enabled() {
             ctx.tracer.record(TraceEvent::BypassPop {
                 at: ctx.now,
-                packet: flit.packet,
+                packet: ctx.arena.desc(&flit).id,
                 node: self.node,
                 in_port,
                 vc_flat,
@@ -1324,6 +1409,7 @@ impl Router {
         }
         let is_tail = flit.kind.is_tail();
         if is_tail {
+            let vc = &mut self.in_vcs[iv];
             vc.owner = None;
             vc.route_out = None;
             vc.out_vc = None;
@@ -1385,6 +1471,30 @@ impl Router {
     pub fn num_vnets(&self) -> usize {
         self.num_vnets
     }
+
+    /// Exact heap bytes of this router's steady-state storage: the input-VC
+    /// ring bank, VC control state, credit mirrors, control buffers and the
+    /// absorber's slots. Transient structures (bypass latch, circuit table,
+    /// priority set) are counted at their current footprint.
+    pub fn mem_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.bufs.mem_bytes()
+            + self.in_vcs.len() * size_of::<InputVc>()
+            + self.out_vcs.len() * size_of::<OutVcState>()
+            + self.req_buf.capacity() * size_of::<(ControlMsg, Port, Cycle)>()
+            + self.ack_buf.capacity() * size_of::<(ControlMsg, Port, Cycle)>()
+            + self.bypass.capacity() * size_of::<BypassFlit>()
+            + self.circuits.len() * size_of::<((VnetId, NodeId), CircuitEntry)>()
+            + self.priority_packets.len() * size_of::<PacketId>()
+            + self.up_last_sent.len() * size_of::<Cycle>()
+            + self.absorber.as_ref().map_or(0, |a| {
+                a.slots.len() * size_of::<AbsorbSlot>()
+                    + a.slots
+                        .iter()
+                        .map(|s| s.buf.capacity() * size_of::<BufferedFlit>())
+                        .sum::<usize>()
+            })
+    }
 }
 
 #[cfg(test)]
@@ -1397,6 +1507,8 @@ mod tests {
     use crate::routing::ChipletRouting;
     use crate::topology::ChipletSystemSpec;
 
+    use crate::packet::{PacketArena, PacketDesc};
+
     struct Harness {
         cfg: NocConfig,
         topo: Topology,
@@ -1407,6 +1519,7 @@ mod tests {
         tracker: PacketTracker,
         tracer: Tracer,
         obs: ObsRegistry,
+        arena: PacketArena,
     }
 
     impl Harness {
@@ -1423,6 +1536,7 @@ mod tests {
                 tracker: PacketTracker::new(),
                 tracer: Tracer::disabled(),
                 obs: ObsRegistry::disabled(),
+                arena: PacketArena::new(),
             }
         }
 
@@ -1438,6 +1552,7 @@ mod tests {
                 tracker: &mut self.tracker,
                 tracer: &mut self.tracer,
                 obs: &mut self.obs,
+                arena: &self.arena,
                 link_log: None,
             }
         }
@@ -1446,18 +1561,18 @@ mod tests {
             // Node 5 = (1,1) of chiplet 0: an interior router with N/E/S/W.
             Router::new(self.topo.chiplets()[0].routers[5], &self.cfg, &self.topo, 1)
         }
-    }
 
-    fn flit(seq: u16, len: u16, dest: NodeId) -> Flit {
-        Flit::new(
-            PacketId(1),
-            seq,
-            len,
-            VnetId(0),
-            NodeId(0),
-            RouteInfo::intra(dest),
-            0,
-        )
+        /// Interns a descriptor for packet 1 of `len` flits toward `dest`.
+        fn intern(&mut self, len: u16, dest: NodeId) -> PacketRef {
+            self.arena.alloc(PacketDesc {
+                id: PacketId(1),
+                src: NodeId(0),
+                vnet: VnetId(0),
+                pkt_len: len,
+                route: RouteInfo::intra(dest),
+                created_at: 0,
+            })
+        }
     }
 
     #[test]
@@ -1465,12 +1580,14 @@ mod tests {
         let mut h = Harness::new(NocConfig::default());
         let mut r = h.router();
         let dest = h.topo.chiplets()[0].routers[6]; // east neighbour of node 5
+        let d = h.intern(2, dest);
         let mut ctx = h.ctx(0);
-        r.deliver_flit(&mut ctx, Port::West, 0, flit(0, 2, dest));
+        r.deliver_flit(&mut ctx, Port::West, 0, Flit::new(d, 0, 2));
         let vc = r.input_vc(Port::West, 0);
         assert_eq!(vc.owner, Some(PacketId(1)));
         assert_eq!(vc.route_out, Some(Port::East));
-        assert!(!vc.partly_transmitted());
+        assert!(!r.vc_partly_transmitted(Port::West, 0));
+        assert_eq!(r.vc_buf_len(Port::West, 0), 1);
     }
 
     #[test]
@@ -1478,9 +1595,10 @@ mod tests {
         let mut h = Harness::new(NocConfig::default());
         let mut r = h.router();
         let dest = h.topo.chiplets()[0].routers[6];
+        let d = h.intern(1, dest);
         {
             let mut ctx = h.ctx(5);
-            r.deliver_flit(&mut ctx, Port::West, 0, flit(0, 1, dest));
+            r.deliver_flit(&mut ctx, Port::West, 0, Flit::new(d, 0, 1));
         }
         {
             let mut ctx = h.ctx(5);
@@ -1505,9 +1623,10 @@ mod tests {
         let dest = h.topo.chiplets()[0].routers[6];
         let east = h.topo.neighbor(node, Port::East).unwrap();
         let west = h.topo.neighbor(node, Port::West).unwrap();
+        let d = h.intern(1, dest);
         {
             let mut ctx = h.ctx(0);
-            r.deliver_flit(&mut ctx, Port::West, 0, flit(0, 1, dest));
+            r.deliver_flit(&mut ctx, Port::West, 0, Flit::new(d, 0, 1));
         }
         {
             let mut ctx = h.ctx(1);
@@ -1549,9 +1668,10 @@ mod tests {
         let mut h = Harness::new(NocConfig::default());
         let mut r = h.router();
         let dest = h.topo.chiplets()[0].routers[6];
+        let d = h.intern(1, dest);
         {
             let mut ctx = h.ctx(0);
-            r.deliver_flit(&mut ctx, Port::West, 0, flit(0, 1, dest));
+            r.deliver_flit(&mut ctx, Port::West, 0, Flit::new(d, 0, 1));
         }
         r.set_vc_frozen(Port::West, 0, true);
         {
@@ -1578,9 +1698,10 @@ mod tests {
             let _ = ctx;
         }
         // Simulate: 4 previous flits consumed the credits.
+        let d = h.intern(6, dest);
         for seq in 0..4u16 {
             let mut ctx = h.ctx(seq as u64);
-            r.deliver_flit(&mut ctx, Port::West, 0, flit(seq, 6, dest));
+            r.deliver_flit(&mut ctx, Port::West, 0, Flit::new(d, seq, 6));
         }
         for now in 1..=4 {
             let mut ctx = h.ctx(now);
@@ -1598,7 +1719,7 @@ mod tests {
         // Fifth flit arrives but no credits remain: it must stall.
         {
             let mut ctx = h.ctx(5);
-            r.deliver_flit(&mut ctx, Port::West, 0, flit(4, 6, dest));
+            r.deliver_flit(&mut ctx, Port::West, 0, Flit::new(d, 4, 6));
         }
         {
             let mut ctx = h.ctx(6);
@@ -1630,9 +1751,10 @@ mod tests {
         let mut r = h.router();
         let dest = h.topo.chiplets()[0].routers[6];
         // A normal flit and a control message both want East.
+        let d = h.intern(1, dest);
         {
             let mut ctx = h.ctx(0);
-            r.deliver_flit(&mut ctx, Port::West, 0, flit(0, 1, dest));
+            r.deliver_flit(&mut ctx, Port::West, 0, Flit::new(d, 0, 1));
         }
         let msg = ControlMsg {
             class: ControlClass::ReqLike,
@@ -1677,16 +1799,8 @@ mod tests {
         assert!(a.reserve(PacketId(8)));
         assert!(!a.reserve(PacketId(9)), "no free slots left");
         assert_eq!(a.free_slots(), 0);
-        let f = Flit::new(
-            PacketId(7),
-            0,
-            1,
-            VnetId(0),
-            NodeId(0),
-            RouteInfo::intra(NodeId(1)),
-            0,
-        );
-        a.accept(f, 0, Port::East);
+        let f = Flit::new(PacketRef(0), 0, 1);
+        a.accept(f, PacketId(7), 0, Port::East);
         assert_eq!(a.free_slots(), 0, "occupied, not just reserved");
         assert_eq!(
             a.slots

@@ -24,9 +24,10 @@
 use crate::config::NocConfig;
 use crate::control::DeliveredControl;
 use crate::event::Event;
-use crate::ids::{Cycle, NodeId, PacketId, Port};
+use crate::ids::{Cycle, NodeId, Port};
 use crate::ni::Ni;
 use crate::obs::ObsRegistry;
+use crate::packet::{PacketArena, PacketRef};
 use crate::router::{Router, RouterCtx};
 use crate::routing::RouteComputer;
 use crate::stats::{NetStats, PacketTracker};
@@ -34,7 +35,7 @@ use crate::topology::Topology;
 use crate::trace::{TraceEvent, Tracer};
 use std::ops::Range;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
 
 // ----------------------------------------------------- process-wide default
 
@@ -162,40 +163,156 @@ pub(crate) fn default_mailbox_capacity(plan: &ShardPlan) -> usize {
     32 * plan.max_range_len() + 64
 }
 
-/// Splits `full` (indexed by node) into per-shard chiplet-range slices and
-/// per-shard interposer-range slices, in physical (ascending) order.
-pub(crate) fn split_mut<'a, T>(
-    mut rest: &'a mut [T],
-    plan: &ShardPlan,
-) -> (Vec<&'a mut [T]>, Vec<&'a mut [T]>) {
-    let mut r0s = Vec::with_capacity(plan.shards());
-    let mut r1s = Vec::with_capacity(plan.shards());
-    let mut off = 0usize;
-    for (r0, _) in &plan.ranges {
-        let (a, b) = rest.split_at_mut(r0.end - off);
-        r0s.push(a);
-        rest = b;
-        off = r0.end;
+/// The not-yet-assigned tails of the per-node component arrays during shard
+/// dispatch, each pre-split at the chiplet/interposer boundary. Every shard
+/// peels its two ranges off the front ([`split_off_shard`]); the recursion
+/// in [`run_phase`] keeps each shard's slices alive on its own stack frame,
+/// so the whole split is allocation-free (the former `split_mut` built four
+/// `Vec`s of slices per phase, every cycle).
+pub(crate) struct Rests<'a> {
+    /// `[chiplet-region tail, interposer-region tail]` of the routers.
+    pub routers: [&'a mut [Router]; 2],
+    /// Same split of the NIs.
+    pub nis: [&'a mut [Ni]; 2],
+    /// Same split of the router wake flags.
+    pub router_active: [&'a mut [bool]; 2],
+    /// Same split of the NI wake flags.
+    pub ni_active: [&'a mut [bool]; 2],
+    /// Remaining per-shard scratches.
+    pub scratch: &'a mut [ShardScratch],
+}
+
+fn take2<T>(pair: [&mut [T]; 2], l0: usize, l1: usize) -> ([&mut [T]; 2], [&mut [T]; 2]) {
+    let [a, b] = pair;
+    let (a0, a_rest) = a.split_at_mut(l0);
+    let (b0, b_rest) = b.split_at_mut(l1);
+    ([a0, b0], [a_rest, b_rest])
+}
+
+/// Peels shard `s`'s node ranges and scratch off the front of `rests`.
+fn split_off_shard<'a>(
+    env: &PhaseEnv<'a>,
+    s: usize,
+    rests: Rests<'a>,
+) -> (ShardParts<'a>, Rests<'a>) {
+    let (r0, r1) = &env.plan.ranges[s];
+    let (routers, routers_rest) = take2(rests.routers, r0.len(), r1.len());
+    let (nis, nis_rest) = take2(rests.nis, r0.len(), r1.len());
+    let (router_active, ra_rest) = take2(rests.router_active, r0.len(), r1.len());
+    let (ni_active, na_rest) = take2(rests.ni_active, r0.len(), r1.len());
+    let (scratch, scratch_rest) = rests
+        .scratch
+        .split_first_mut()
+        .expect("one scratch per shard");
+    let parts = ShardParts {
+        cfg: env.cfg,
+        topo: env.topo,
+        routing: env.routing,
+        now: env.now,
+        sched: env.sched,
+        routers,
+        nis,
+        router_active,
+        ni_active,
+        base: [r0.start, r1.start],
+        scratch,
+        arena: env.arena,
+        mailbox_capacity: env.mailbox_capacity,
+        shard_ix: s,
+    };
+    (
+        parts,
+        Rests {
+            routers: routers_rest,
+            nis: nis_rest,
+            router_active: ra_rest,
+            ni_active: na_rest,
+            scratch: scratch_rest,
+        },
+    )
+}
+
+/// Everything a phase dispatch shares across shards.
+pub(crate) struct PhaseEnv<'a> {
+    pub plan: &'a ShardPlan,
+    pub cfg: &'a NocConfig,
+    pub topo: &'a Topology,
+    pub routing: &'a dyn RouteComputer,
+    pub arena: &'a PacketArena,
+    pub now: Cycle,
+    pub sched: bool,
+    /// Finish-phase body (inject/route/consume) vs. begin-phase body
+    /// (event delivery).
+    pub finish: bool,
+    pub mailbox_capacity: usize,
+}
+
+/// Fans one compute phase out over the worker pool: shards `1..S` run on
+/// the workers, shard `0` inline on the calling thread, and the call
+/// returns only after every shard finished (panics from any shard
+/// resurface here, after the join). Allocation-free: each worker shard's
+/// slice bundle and job closure live on a recursion stack frame that
+/// outlives the join barrier.
+pub(crate) fn run_phase(pool: &WorkerPool, env: &PhaseEnv<'_>, rests: Rests<'_>) {
+    dispatch(pool, env, 0, rests, None);
+}
+
+fn dispatch(
+    pool: &WorkerPool,
+    env: &PhaseEnv<'_>,
+    s: usize,
+    rests: Rests<'_>,
+    local: Option<&mut ShardParts<'_>>,
+) {
+    let shards = env.plan.shards();
+    if s == shards {
+        let parts = local.expect("shard 0 dispatched first");
+        // Run shard 0 inline, catching a panic so the join barrier below
+        // always completes before any unwind releases the borrows the
+        // workers still hold.
+        let local_result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_shard_body(env.finish, parts)
+        }));
+        let worker_panic = pool.join(shards - 1);
+        if let Err(payload) = local_result {
+            std::panic::resume_unwind(payload);
+        }
+        if let Some(msg) = worker_panic {
+            panic!("{msg}");
+        }
+        return;
     }
-    for (_, r1) in &plan.ranges {
-        let (a, b) = rest.split_at_mut(r1.end - off);
-        r1s.push(a);
-        rest = b;
-        off = r1.end;
+    let (mut parts, rest) = split_off_shard(env, s, rests);
+    if s == 0 {
+        dispatch(pool, env, 1, rest, Some(&mut parts));
+    } else {
+        let finish = env.finish;
+        let mut job = move || run_shard_body(finish, &mut parts);
+        // SAFETY: `job` (and everything it borrows) lives on this frame,
+        // and the innermost frame's `pool.join` does not return until the
+        // worker has finished running it.
+        unsafe { pool.post(s - 1, &mut job) };
+        dispatch(pool, env, s + 1, rest, local);
     }
-    debug_assert!(rest.is_empty(), "shard plan must cover every node");
-    (r0s, r1s)
+}
+
+fn run_shard_body(finish: bool, parts: &mut ShardParts<'_>) {
+    if finish {
+        finish_shard(parts);
+    } else {
+        begin_shard(parts);
+    }
 }
 
 // ----------------------------------------------------------- shard scratch
 
 /// One phase-range mailbox: events to stage into the calendar, trace
-/// records to replay, and (inject phase only) packets whose head flit
-/// entered the network.
+/// records to replay, and (inject phase only) descriptor handles of packets
+/// whose head flit entered the network.
 pub(crate) struct SegBuf {
     pub emit: Vec<(Cycle, Event)>,
     pub trace: Tracer,
-    pub injected: Vec<PacketId>,
+    pub injected: Vec<PacketRef>,
 }
 
 impl SegBuf {
@@ -261,16 +378,17 @@ impl ShardScratch {
 /// mailboxes), so it is surfaced only on explicit request — obs gauges
 /// and the byte-pinned export paths never include it implicitly.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct ShardTelemetry {
+pub struct ShardTelemetry<'a> {
     /// Effective shard count.
     pub shards: usize,
     /// Capacity every event mailbox was allocated with.
     pub mailbox_capacity: usize,
-    /// Highest event-mailbox fill observed, per shard.
-    pub mailbox_high_water: Vec<usize>,
+    /// Highest event-mailbox fill observed, per shard (borrowed from the
+    /// runtime — taking a snapshot clones nothing).
+    pub mailbox_high_water: &'a [usize],
     /// Mailbox entries (events + traces + injection notices) merged, per
     /// shard.
-    pub merged_entries: Vec<u64>,
+    pub merged_entries: &'a [u64],
 }
 
 /// Everything the sharded kernel owns: the partition, the worker pool and
@@ -362,6 +480,9 @@ pub(crate) struct ShardParts<'a> {
     /// First node index of each range (for event-target lookup).
     pub base: [usize; 2],
     pub scratch: &'a mut ShardScratch,
+    /// Shared read-only descriptor arena (allocs/frees happen only on the
+    /// serial path, never during a parallel phase).
+    pub arena: &'a PacketArena,
     pub mailbox_capacity: usize,
     pub shard_ix: usize,
 }
@@ -409,6 +530,7 @@ pub(crate) fn begin_shard(p: &mut ShardParts<'_>) {
                     emit: &mut *begin_emit,
                     stats: &mut *stats,
                     tracker: &mut *tracker,
+                    arena: p.arena,
                     tracer: &mut *begin_trace,
                     obs: &mut *obs,
                     link_log: Some(&mut *link_touch),
@@ -467,12 +589,12 @@ pub(crate) fn finish_shard(p: &mut ShardParts<'_>) {
             }
             if let Some((flit, vc_flat)) = ni.inject_step(p.now, p.cfg.vcs_per_vnet, vct) {
                 if flit.kind.is_head() {
-                    seg.injected.push(flit.packet);
+                    seg.injected.push(flit.desc);
                     p.scratch.stats.packets_injected += 1;
                     if seg.trace.enabled() {
                         seg.trace.record(TraceEvent::PacketInjected {
                             at: p.now,
-                            packet: flit.packet,
+                            packet: p.arena.get(flit.desc).id,
                             node: ni.node(),
                         });
                     }
@@ -519,6 +641,7 @@ pub(crate) fn finish_shard(p: &mut ShardParts<'_>) {
                 emit: &mut seg.emit,
                 stats: &mut *stats,
                 tracker: &mut *tracker,
+                arena: p.arena,
                 tracer: &mut seg.trace,
                 obs: &mut *obs,
                 link_log: Some(&mut *link_touch),
@@ -547,8 +670,6 @@ pub(crate) fn finish_shard(p: &mut ShardParts<'_>) {
 
 // ------------------------------------------------------------- worker pool
 
-type Job = Box<dyn FnOnce() + Send + 'static>;
-
 fn panic_message(p: Box<dyn std::any::Any + Send>) -> String {
     if let Some(s) = p.downcast_ref::<&str>() {
         (*s).to_string()
@@ -559,95 +680,137 @@ fn panic_message(p: Box<dyn std::any::Any + Send>) -> String {
     }
 }
 
-/// A persistent pool of `workers` threads fed one closure each per cycle
-/// phase. Threads persist across cycles (spawning per cycle would dominate
-/// the kernel); jobs are dispatched over channels and a counted completion
-/// channel forms the join barrier. Worker panics are caught, reported over
-/// the barrier (so the dispatcher never deadlocks mid-unwind) and re-raised
-/// on the calling thread.
+/// A posted job: a lifetime-erased fat reference to a caller-stack closure.
+/// [`WorkerPool::post`]'s safety contract guarantees the pointee outlives
+/// the run (the caller keeps the closure alive until [`WorkerPool::join`]).
+struct RawJob(&'static mut (dyn FnMut() + Send));
+
+/// Per-worker handoff slot.
+enum SlotState {
+    /// No job posted; the previous result (if any) was collected.
+    Idle,
+    /// A job is posted and not yet picked up.
+    Ready(RawJob),
+    /// The job ran to completion (`Ok`) or panicked (`Err(message)`).
+    Done(Result<(), String>),
+    /// The pool is being dropped; the worker exits.
+    Shutdown,
+}
+
+struct WorkerSlot {
+    state: Mutex<SlotState>,
+    cv: Condvar,
+}
+
+/// A persistent pool of worker threads, one fixed handoff slot per worker.
+/// Threads persist across cycles (spawning per cycle would dominate the
+/// kernel), and — unlike a channel-fed pool, which boxes every closure and
+/// allocates a queue node per send — the slot protocol is allocation-free
+/// per dispatch: a job is a fat pointer to a closure on the dispatcher's
+/// stack, handed over under a mutex and signalled by condvar. Worker panics
+/// are caught, reported through the slot (so the join barrier never
+/// deadlocks mid-unwind) and re-raised on the calling thread.
 pub(crate) struct WorkerPool {
-    txs: Vec<mpsc::Sender<Job>>,
-    done_rx: mpsc::Receiver<Result<(), String>>,
+    slots: Arc<[WorkerSlot]>,
     handles: Vec<std::thread::JoinHandle<()>>,
 }
 
 impl WorkerPool {
     pub(crate) fn new(workers: usize) -> Self {
-        let (done_tx, done_rx) = mpsc::channel::<Result<(), String>>();
-        let mut txs = Vec::with_capacity(workers);
-        let mut handles = Vec::with_capacity(workers);
-        for w in 0..workers {
-            let (tx, rx) = mpsc::channel::<Job>();
-            let done = done_tx.clone();
-            let handle = std::thread::Builder::new()
-                .name(format!("upp-shard-{}", w + 1))
-                .spawn(move || {
-                    for job in rx {
-                        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job))
-                            .map_err(panic_message);
-                        if done.send(result).is_err() {
-                            break;
+        let slots: Arc<[WorkerSlot]> = (0..workers)
+            .map(|_| WorkerSlot {
+                state: Mutex::new(SlotState::Idle),
+                cv: Condvar::new(),
+            })
+            .collect();
+        let handles = (0..workers)
+            .map(|w| {
+                let slots = Arc::clone(&slots);
+                std::thread::Builder::new()
+                    .name(format!("upp-shard-{}", w + 1))
+                    .spawn(move || {
+                        let slot = &slots[w];
+                        loop {
+                            let job = {
+                                let mut st = slot.state.lock().expect("slot mutex");
+                                loop {
+                                    match &*st {
+                                        SlotState::Ready(_) => break,
+                                        SlotState::Shutdown => return,
+                                        _ => st = slot.cv.wait(st).expect("slot mutex"),
+                                    }
+                                }
+                                match std::mem::replace(&mut *st, SlotState::Idle) {
+                                    SlotState::Ready(job) => job,
+                                    _ => unreachable!(),
+                                }
+                            };
+                            let RawJob(f) = job;
+                            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(f))
+                                .map_err(panic_message);
+                            let mut st = slot.state.lock().expect("slot mutex");
+                            if matches!(*st, SlotState::Shutdown) {
+                                return;
+                            }
+                            *st = SlotState::Done(result);
+                            slot.cv.notify_all();
                         }
-                    }
-                })
-                .expect("spawn shard worker thread");
-            txs.push(tx);
-            handles.push(handle);
-        }
-        Self {
-            txs,
-            done_rx,
-            handles,
-        }
+                    })
+                    .expect("spawn shard worker thread")
+            })
+            .collect();
+        Self { slots, handles }
     }
 
-    /// Runs one job per shard: `jobs[1..]` on the workers, `jobs[0]` inline
-    /// on the calling thread, returning only after every job finished. Any
-    /// job panic resurfaces here — after the barrier, so no borrow held by
-    /// a still-running worker can outlive the caller's frame.
-    pub(crate) fn run<'scope>(&mut self, jobs: Vec<Box<dyn FnOnce() + Send + 'scope>>) {
-        assert!(
-            jobs.len() <= self.txs.len() + 1,
-            "more shard jobs than pool slots"
+    /// Posts `job` to worker `w` (which must be idle, i.e. collected by a
+    /// previous [`WorkerPool::join`]).
+    ///
+    /// # Safety
+    ///
+    /// The caller must keep `job` (and everything it borrows) alive and
+    /// untouched until a `join` covering worker `w` returns.
+    pub(crate) unsafe fn post(&self, w: usize, job: &mut (dyn FnMut() + Send)) {
+        // SAFETY: lifetime erasure only; the caller contract above keeps the
+        // pointee valid for the duration of the dispatch.
+        let raw = unsafe {
+            std::mem::transmute::<&mut (dyn FnMut() + Send), &'static mut (dyn FnMut() + Send)>(job)
+        };
+        let slot = &self.slots[w];
+        let mut st = slot.state.lock().expect("slot mutex");
+        debug_assert!(
+            matches!(*st, SlotState::Idle),
+            "posting to a busy worker slot"
         );
-        let mut iter = jobs.into_iter();
-        let local = iter.next();
-        let mut dispatched = 0usize;
-        for (i, job) in iter.enumerate() {
-            // SAFETY: the closure borrows state from the caller's frame
-            // ('scope), and `run` does not return until the completion
-            // barrier below has collected every dispatched job — even when
-            // the local job panics — so no borrow escapes its lifetime.
-            let job: Job =
-                unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + 'scope>, Job>(job) };
-            self.txs[i].send(job).expect("shard worker alive");
-            dispatched += 1;
-        }
-        let local_result = local.map(|j| std::panic::catch_unwind(std::panic::AssertUnwindSafe(j)));
-        let mut worker_panic: Option<String> = None;
-        for _ in 0..dispatched {
-            match self.done_rx.recv().expect("shard worker alive") {
-                Ok(()) => {}
-                Err(msg) => {
-                    if worker_panic.is_none() {
-                        worker_panic = Some(msg);
-                    }
+        *st = SlotState::Ready(RawJob(raw));
+        slot.cv.notify_all();
+    }
+
+    /// Join barrier over workers `0..dispatched`: blocks until each has
+    /// finished its posted job, returning the first panic message (if any).
+    pub(crate) fn join(&self, dispatched: usize) -> Option<String> {
+        let mut first_panic = None;
+        for slot in &self.slots[..dispatched] {
+            let mut st = slot.state.lock().expect("slot mutex");
+            loop {
+                match &*st {
+                    SlotState::Done(_) => break,
+                    _ => st = slot.cv.wait(st).expect("slot mutex"),
                 }
             }
+            if let SlotState::Done(Err(msg)) = std::mem::replace(&mut *st, SlotState::Idle) {
+                first_panic.get_or_insert(msg);
+            }
         }
-        if let Some(Err(payload)) = local_result {
-            std::panic::resume_unwind(payload);
-        }
-        if let Some(msg) = worker_panic {
-            panic!("{msg}");
-        }
+        first_panic
     }
 }
 
 impl Drop for WorkerPool {
     fn drop(&mut self) {
-        // Closing the job channels ends the worker loops.
-        self.txs.clear();
+        for slot in self.slots.iter() {
+            *slot.state.lock().expect("slot mutex") = SlotState::Shutdown;
+            slot.cv.notify_all();
+        }
         for h in self.handles.drain(..) {
             let _ = h.join();
         }
@@ -692,27 +855,35 @@ mod tests {
 
     #[test]
     fn worker_pool_runs_jobs_and_propagates_panics() {
-        let mut pool = WorkerPool::new(2);
+        let pool = WorkerPool::new(2);
         let mut a = 0u64;
         let mut b = 0u64;
-        let mut c = 0u64;
-        pool.run(vec![
-            Box::new(|| a = 1),
-            Box::new(|| b = 2),
-            Box::new(|| c = 3),
-        ]);
-        assert_eq!((a, b, c), (1, 2, 3));
-        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            pool.run(vec![
-                Box::new(|| {}),
-                Box::new(|| panic!("worker job failed deliberately")),
-            ]);
-        }));
-        let msg = panic_message(caught.expect_err("panic must propagate"));
-        assert!(msg.contains("worker job failed deliberately"), "{msg}");
-        // The pool survives a propagated panic and keeps running jobs.
+        {
+            let mut ja = || a = 1;
+            let mut jb = || b = 2;
+            // SAFETY: the closures outlive the join below.
+            unsafe {
+                pool.post(0, &mut ja);
+                pool.post(1, &mut jb);
+            }
+            assert!(pool.join(2).is_none());
+        }
+        assert_eq!((a, b), (1, 2));
+        {
+            let mut jp = || panic!("worker job failed deliberately");
+            // SAFETY: as above.
+            unsafe { pool.post(0, &mut jp) };
+            let msg = pool.join(1).expect("panic must surface");
+            assert!(msg.contains("worker job failed deliberately"), "{msg}");
+        }
+        // The pool survives a reported panic and keeps running jobs.
         let mut d = 0u64;
-        pool.run(vec![Box::new(|| {}), Box::new(|| d = 4)]);
+        {
+            let mut jd = || d = 4;
+            // SAFETY: as above.
+            unsafe { pool.post(0, &mut jd) };
+            assert!(pool.join(1).is_none());
+        }
         assert_eq!(d, 4);
     }
 }

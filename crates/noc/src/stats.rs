@@ -1,9 +1,8 @@
 //! Measurement: latency, throughput and event counters.
 
 use crate::ids::{Cycle, NodeId, PacketId, VnetId};
-use crate::packet::PacketClass;
+use crate::packet::{PacketClass, PacketRef};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 
 /// Lifetime record of one packet, kept while it is in flight.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -254,9 +253,15 @@ impl NetStats {
 }
 
 /// Tracks in-flight packets and the global-progress watchdog.
+///
+/// Records live in a slab indexed by the packet's [`PacketRef`] arena
+/// handle, so the hot per-flit-event lookups are direct indexing rather
+/// than hashing. Handles are recycled by the arena only after ejection
+/// removes the record here, so a slot is never overwritten while live.
 #[derive(Debug, Clone, Default)]
 pub struct PacketTracker {
-    live: HashMap<PacketId, PacketRecord>,
+    live: Vec<Option<(PacketId, PacketRecord)>>,
+    live_count: usize,
     next_id: u64,
     last_progress: Cycle,
 }
@@ -267,6 +272,13 @@ impl PacketTracker {
         Self::default()
     }
 
+    /// Pre-reserves slab capacity for `n` concurrently-live packets.
+    pub fn reserve(&mut self, n: usize) {
+        if self.live.capacity() < n {
+            self.live.reserve(n - self.live.len());
+        }
+    }
+
     /// Allocates a fresh packet id.
     pub fn alloc_id(&mut self) -> PacketId {
         let id = PacketId(self.next_id);
@@ -274,40 +286,65 @@ impl PacketTracker {
         id
     }
 
-    /// Registers a newly-created packet.
-    pub fn on_created(&mut self, id: PacketId, rec: PacketRecord) {
-        self.live.insert(id, rec);
+    #[inline]
+    fn slot(&mut self, h: PacketRef) -> &mut Option<(PacketId, PacketRecord)> {
+        if self.live.len() <= h.index() {
+            self.live.resize(h.index() + 1, None);
+        }
+        &mut self.live[h.index()]
+    }
+
+    /// Registers a newly-created packet under its arena handle.
+    pub fn on_created(&mut self, h: PacketRef, id: PacketId, rec: PacketRecord) {
+        let slot = self.slot(h);
+        debug_assert!(slot.is_none(), "tracker slot {h} reused while live");
+        *slot = Some((id, rec));
+        self.live_count += 1;
     }
 
     /// Marks the head flit's network entry.
-    pub fn on_injected(&mut self, id: PacketId, now: Cycle) {
-        if let Some(r) = self.live.get_mut(&id) {
+    pub fn on_injected(&mut self, h: PacketRef, now: Cycle) {
+        if let Some(Some((_, r))) = self.live.get_mut(h.index()) {
             r.injected_at.get_or_insert(now);
         }
     }
 
     /// Marks complete ejection; removes and returns the record.
-    pub fn on_ejected(&mut self, id: PacketId, now: Cycle) -> Option<PacketRecord> {
-        let mut rec = self.live.remove(&id)?;
+    pub fn on_ejected(&mut self, h: PacketRef, now: Cycle) -> Option<PacketRecord> {
+        let (_, mut rec) = self.live.get_mut(h.index())?.take()?;
+        self.live_count -= 1;
         rec.ejected_at = Some(now);
         Some(rec)
     }
 
-    /// Looks up an in-flight packet.
-    pub fn get(&self, id: PacketId) -> Option<&PacketRecord> {
-        self.live.get(&id)
+    /// Looks up an in-flight packet by its arena handle.
+    pub fn get(&self, h: PacketRef) -> Option<&PacketRecord> {
+        self.live.get(h.index())?.as_ref().map(|(_, r)| r)
+    }
+
+    /// Looks up an in-flight packet by id (linear scan — cold path only).
+    pub fn get_by_id(&self, id: PacketId) -> Option<&PacketRecord> {
+        self.live
+            .iter()
+            .flatten()
+            .find_map(|(i, r)| (*i == id).then_some(r))
     }
 
     /// Iterates all in-flight packets (unordered; callers needing a stable
     /// order sort by id). Powers the deadlock forensics of
     /// [`crate::trace::StallReport`].
     pub fn live_packets(&self) -> impl Iterator<Item = (PacketId, &PacketRecord)> {
-        self.live.iter().map(|(&id, rec)| (id, rec))
+        self.live.iter().flatten().map(|(id, rec)| (*id, rec))
     }
 
     /// Number of packets created but not yet fully ejected.
     pub fn in_flight(&self) -> usize {
-        self.live.len()
+        self.live_count
+    }
+
+    /// Exact heap bytes of the live-packet slab at its current length.
+    pub fn mem_bytes(&self) -> usize {
+        self.live.len() * std::mem::size_of::<Option<(PacketId, PacketRecord)>>()
     }
 
     /// Notes forward progress at `now` (any flit movement).
@@ -324,7 +361,7 @@ impl PacketTracker {
     /// `threshold` cycles — the network is globally stalled (deadlocked or
     /// starved beyond plausibility).
     pub fn stalled(&self, now: Cycle, threshold: u64) -> bool {
-        !self.live.is_empty() && now.saturating_sub(self.last_progress) >= threshold
+        self.live_count > 0 && now.saturating_sub(self.last_progress) >= threshold
     }
 
     /// Whether fast-forwarding the clock to `to` keeps the watchdog
@@ -335,7 +372,7 @@ impl PacketTracker {
     /// this can only refuse in pathological states — but refusing is what
     /// makes the scheduler provably conservative rather than probably fine.
     pub fn advance_to(&self, to: Cycle, threshold: u64) -> bool {
-        self.live.is_empty() || !self.stalled(to, threshold)
+        self.live_count == 0 || !self.stalled(to, threshold)
     }
 }
 
@@ -408,13 +445,20 @@ mod tests {
     fn tracker_lifecycle() {
         let mut t = PacketTracker::new();
         let id = t.alloc_id();
-        t.on_created(id, rec(0));
+        let h = PacketRef(0);
+        t.on_created(h, id, rec(0));
         assert_eq!(t.in_flight(), 1);
-        t.on_injected(id, 4);
-        let r = t.on_ejected(id, 9).unwrap();
+        assert_eq!(t.get_by_id(id), t.get(h));
+        t.on_injected(h, 4);
+        let r = t.on_ejected(h, 9).unwrap();
         assert_eq!(r.ejected_at, Some(9));
         assert_eq!(t.in_flight(), 0);
-        assert!(t.on_ejected(id, 10).is_none());
+        assert!(t.on_ejected(h, 10).is_none());
+        // A recycled handle starts a fresh record.
+        let id2 = t.alloc_id();
+        t.on_created(h, id2, rec(5));
+        assert_eq!(t.live_packets().next().unwrap().0, id2);
+        assert!(t.mem_bytes() > 0);
     }
 
     #[test]
@@ -423,7 +467,7 @@ mod tests {
         t.touch(0);
         assert!(!t.stalled(5_000, 1_000), "empty network is never stalled");
         let id = t.alloc_id();
-        t.on_created(id, rec(0));
+        t.on_created(PacketRef(0), id, rec(0));
         assert!(t.stalled(1_000, 1_000));
         t.touch(900);
         assert!(!t.stalled(1_000, 1_000));

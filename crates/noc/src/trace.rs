@@ -851,7 +851,7 @@ impl MetricsSampler {
         let (mut req_total, mut req_max, mut ack_total, mut ack_max) = (0, 0, 0, 0);
         for n in net.topo().nodes() {
             let r = net.router(n.id);
-            let occ: usize = r.input_vcs().map(|(p, f)| r.input_vc(p, f).buf.len()).sum();
+            let occ: usize = r.input_vcs().map(|(p, f)| r.vc_buf_len(p, f)).sum();
             buffered_flits += occ;
             max_router_occupancy = max_router_occupancy.max(occ);
             router_occupancy.push(occ);

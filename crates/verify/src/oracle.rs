@@ -182,7 +182,7 @@ pub fn wait_for_edges(net: &Network) -> Vec<WaitEdge> {
         for (p, f) in r.input_vcs() {
             let vc = r.input_vc(p, f);
             let Some(owner) = vc.owner else { continue };
-            if vc.buf.is_empty() || p == Port::Local {
+            if r.vc_buf_is_empty(p, f) || p == Port::Local {
                 continue;
             }
             let Some(out) = vc.route_out else { continue };

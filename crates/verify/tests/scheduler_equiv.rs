@@ -225,4 +225,104 @@ proptest! {
         prop_assert_eq!(on.0, off.0, "obs summary bytes diverged");
         prop_assert_eq!(on.1, off.1, "obs epoch stream diverged");
     }
+
+    /// Descriptor-arena churn equivalence: sustained traffic long enough
+    /// that the packet-descriptor slab recycles every handle many times
+    /// over (created packets ≥ 2x the slab's peak footprint). Handle reuse
+    /// must be unobservable to the active-set scheduler: full stats
+    /// snapshots, the delivered multiset, latency-profile bytes, telemetry
+    /// bytes and the memory report must be identical on/off.
+    #[test]
+    fn descriptor_churn_is_scheduler_invariant(
+        kind_ix in 0usize..3,
+        seed in 0u64..5_000,
+        rate_milli in 25u64..60,
+    ) {
+        let kind = match kind_ix {
+            0 => SchemeKind::Upp(UppConfig::default()),
+            1 => SchemeKind::Composable,
+            _ => SchemeKind::RemoteControl,
+        };
+        let run = |scheduler: bool| -> (String, String, String, upp_tracetools::ProfileSummary, String) {
+            let spec = ChipletSystemSpec::of_kind(SystemKind::Baseline);
+            let built = build_system(
+                &spec,
+                NocConfig::default(),
+                &kind,
+                0,
+                seed,
+                ConsumePolicy::External,
+            );
+            let mut sys = built.sys;
+            sys.net_mut().set_active_scheduler(scheduler);
+            sys.net_mut().enable_obs();
+            sys.net_mut()
+                .tracer_mut()
+                .set_profiler(Some(Box::new(upp_noc::profile::SpanRecorder::new())));
+            let endpoints: Vec<upp_noc::ids::NodeId> = {
+                let topo = sys.net().topo();
+                topo.chiplets()
+                    .iter()
+                    .flat_map(|c| c.routers.iter().copied())
+                    .collect()
+            };
+            let num_vnets = sys.net().cfg().num_vnets;
+            let rate = rate_milli as f64 / 1000.0;
+            let mut traffic =
+                SyntheticTraffic::new(sys.net().topo(), Pattern::UniformRandom, rate, seed);
+            let mut delivered: std::collections::BTreeMap<(u32, u32, u8, u16), usize> =
+                std::collections::BTreeMap::new();
+            let mut pop_all = |sys: &mut upp_noc::sim::System| {
+                for &node in &endpoints {
+                    for v in 0..num_vnets {
+                        while let Some(d) =
+                            sys.net_mut().pop_delivered(node, upp_noc::ids::VnetId(v as u8))
+                        {
+                            *delivered
+                                .entry((d.pkt.src.0, d.pkt.dest.0, d.pkt.vnet.0, d.pkt.len_flits))
+                                .or_default() += 1;
+                        }
+                    }
+                }
+            };
+            for _ in 0..1_500u64 {
+                traffic.tick(&mut sys);
+                sys.step();
+                pop_all(&mut sys);
+            }
+            let mut extra = 0u64;
+            while sys.net().in_flight() > 0 && !sys.net().stalled() && extra < 200_000 {
+                sys.step();
+                pop_all(&mut sys);
+                extra += 1;
+            }
+            let mem = sys.net().mem_report();
+            assert!(
+                sys.net().stats().packets_created as usize >= 2 * mem.arena_slots,
+                "churn too weak to exercise handle recycling: {} created vs {} slots",
+                sys.net().stats().packets_created,
+                mem.arena_slots
+            );
+            let mut profile = upp_tracetools::ProfileSummary::new("baseline", "churn");
+            if let Some(mut rec) = sys.net_mut().tracer_mut().set_profiler(None) {
+                profile.absorb_recorder(&mut rec);
+            }
+            sys.observe();
+            let delivered_json = format!("{delivered:?}");
+            (
+                serde_json::to_string(sys.net().stats()).expect("serializable"),
+                delivered_json,
+                sys.net().obs().summary_json(sys.net().cycle()),
+                profile,
+                serde_json::to_string(&mem).expect("serializable"),
+            )
+        };
+        let on = run(true);
+        let off = run(false);
+        prop_assert_eq!(&on.0, &off.0, "stats snapshot diverged under churn");
+        prop_assert_eq!(&on.1, &off.1, "delivered multiset diverged under churn");
+        prop_assert_eq!(&on.2, &off.2, "obs bytes diverged under churn");
+        prop_assert_eq!(&on.3, &off.3, "profile diverged under churn");
+        prop_assert_eq!(&on.4, &off.4, "memory report diverged under churn");
+    }
 }

@@ -123,7 +123,10 @@ fn check_conservation(kind: Kind, vcs: usize, seed: u64, rate: f64) {
         let r = sys.net().router(n);
         for (p, f) in r.input_vcs() {
             let vc = r.input_vc(p, f);
-            assert!(vc.buf.is_empty(), "{kind:?}: flit left in {n} {p}/{f}");
+            assert!(
+                r.vc_buf_is_empty(p, f),
+                "{kind:?}: flit left in {n} {p}/{f}"
+            );
             assert!(
                 vc.owner.is_none(),
                 "{kind:?}: VC still owned at {n} {p}/{f}"
